@@ -1,0 +1,32 @@
+"""Exp-IV: the value of k barely affects execution time.
+
+The paper: a pattern costs O(log k) to insert into the size-k queue while
+*finding* it costs far more, so time is flat in k.  The benches time the
+same query at k = 10 and k = 100; the two medians should be within noise
+of each other.
+"""
+
+import pytest
+
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+
+ENGINES = {
+    "LETopK": linear_topk_search,
+    "PETopK": pattern_enum_search,
+}
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("k", [10, 100])
+def test_vary_k(benchmark, wiki_indexes, wiki_heavy_query, engine, k):
+    result = benchmark.pedantic(
+        ENGINES[engine],
+        args=(wiki_indexes, wiki_heavy_query),
+        kwargs={"k": k, "keep_subtrees": False},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.num_answers <= k
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["answers"] = result.num_answers

@@ -1,0 +1,47 @@
+"""Figure 6: index construction cost for d = 2, 3, 4.
+
+Paper numbers (1.89M-entity Wiki, C#): 43 s / 229 MB at d=2 rising to
+7,011 s / 34 GB at d=4 — super-linear growth in d.  These benches measure
+the same build at bench scale; the d=4 point uses a smaller graph, as the
+blow-up is the phenomenon itself.
+"""
+
+import pytest
+
+from repro.datasets.wiki import WikiConfig, generate_wiki_graph
+from repro.index.builder import build_indexes
+from repro.kg.pagerank import pagerank
+
+SMALL_WIKI = WikiConfig(
+    num_entities=400, num_types=16, num_attrs=24, vocabulary_size=160, seed=29
+)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return generate_wiki_graph(SMALL_WIKI)
+
+
+@pytest.fixture(scope="module")
+def small_pagerank(small_graph):
+    return pagerank(small_graph)
+
+
+@pytest.mark.parametrize("d", [2, 3, 4])
+def test_index_construction(benchmark, small_graph, small_pagerank, d):
+    indexes = benchmark.pedantic(
+        build_indexes,
+        args=(small_graph,),
+        kwargs={"d": d, "pagerank_scores": small_pagerank},
+        rounds=2,
+        iterations=1,
+    )
+    assert indexes.num_entries > 0
+    benchmark.extra_info["entries"] = indexes.num_entries
+    benchmark.extra_info["patterns"] = indexes.num_patterns
+
+
+def test_pagerank_precompute(benchmark, small_graph):
+    """The PageRank prepass the index build depends on."""
+    scores = benchmark(pagerank, small_graph)
+    assert len(scores) == small_graph.num_nodes

@@ -1,0 +1,50 @@
+"""Figure 7: query time vs number of tree patterns (wiki-like, d=3).
+
+The paper partitions 500 Bing queries into decades of #patterns and plots
+min/geo/max time per group for Baseline, LETopK, PETopK.  The benches here
+time the three engines on a light and on the heaviest workload query; the
+full grouped sweep is ``python -m repro.bench.run_all fig7``.
+
+Expected shape: PETopK and LETopK beat Baseline by 1-2 orders of
+magnitude; the heavy query costs orders of magnitude more than the light
+one for every engine.
+"""
+
+import pytest
+
+from repro.search.baseline import baseline_search
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+
+ENGINES = {
+    "Baseline": baseline_search,
+    "LETopK": linear_topk_search,
+    "PETopK": pattern_enum_search,
+}
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_light_query(benchmark, wiki_indexes, wiki_light_query, engine):
+    result = benchmark(
+        ENGINES[engine],
+        wiki_indexes,
+        wiki_light_query,
+        k=100,
+        keep_subtrees=False,
+    )
+    benchmark.extra_info["answers"] = result.num_answers
+    benchmark.extra_info["query"] = " ".join(wiki_light_query)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_heavy_query(benchmark, wiki_indexes, wiki_heavy_query, engine):
+    result = benchmark.pedantic(
+        ENGINES[engine],
+        args=(wiki_indexes, wiki_heavy_query),
+        kwargs={"k": 100, "keep_subtrees": False},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.num_answers > 0
+    benchmark.extra_info["answers"] = result.num_answers
+    benchmark.extra_info["query"] = " ".join(wiki_heavy_query)

@@ -1,0 +1,68 @@
+"""Figure 9: query time vs number of valid subtrees (Wiki and IMDB).
+
+Theorem 3 predicts LETopK scales linearly in the subtree count; the paper
+shows Baseline/LETopK bound by dictionary building with PETopK fastest.
+The benches time the engines on queries picked by subtree count so the
+growth across the two groups is visible in one report.
+"""
+
+import pytest
+
+from repro.bench.harness import pick_query_by_subtrees
+from repro.search.baseline import baseline_search
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+
+ENGINES = {
+    "Baseline": baseline_search,
+    "LETopK": linear_topk_search,
+    "PETopK": pattern_enum_search,
+}
+
+
+@pytest.fixture(scope="module")
+def few_subtrees_query(wiki_indexes, wiki_queries):
+    return pick_query_by_subtrees(wiki_indexes, wiki_queries, 1, 100)
+
+
+@pytest.fixture(scope="module")
+def many_subtrees_query(wiki_indexes, wiki_queries):
+    query = pick_query_by_subtrees(wiki_indexes, wiki_queries, 1000)
+    return query or pick_query_by_subtrees(wiki_indexes, wiki_queries, 100)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_wiki_few_subtrees(benchmark, wiki_indexes, few_subtrees_query, engine):
+    result = benchmark(
+        ENGINES[engine],
+        wiki_indexes,
+        few_subtrees_query,
+        k=100,
+        keep_subtrees=False,
+    )
+    benchmark.extra_info["answers"] = result.num_answers
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_wiki_many_subtrees(
+    benchmark, wiki_indexes, many_subtrees_query, engine
+):
+    result = benchmark.pedantic(
+        ENGINES[engine],
+        args=(wiki_indexes, many_subtrees_query),
+        kwargs={"k": 100, "keep_subtrees": False},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["answers"] = result.num_answers
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_imdb_subtree_scaling(benchmark, imdb_indexes, imdb_queries, engine):
+    query = pick_query_by_subtrees(imdb_indexes, imdb_queries, 50)
+    if query is None:
+        query = imdb_queries[0]
+    result = benchmark(
+        ENGINES[engine], imdb_indexes, query, k=100, keep_subtrees=False
+    )
+    benchmark.extra_info["answers"] = result.num_answers

@@ -1,0 +1,42 @@
+"""Figure 11 (Exp-V): LETopK under different sampling thresholds Λ.
+
+Λ = inf disables sampling entirely (exact, slowest); Λ = 0 samples every
+root type at rate ρ (fastest, approximate).  The paper's grid spans
+Λ = 1e2..1e7 on millions of subtrees; at bench scale the two endpoints
+bracket the same trade-off.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.experiments import precision_at_k
+from repro.search.linear_topk import linear_topk_search
+
+K = 20
+RHO = 0.1
+
+
+@pytest.mark.parametrize("threshold", [0.0, math.inf], ids=["always", "never"])
+def test_sampling_threshold(benchmark, wiki_indexes, wiki_heavy_query, threshold):
+    result = benchmark.pedantic(
+        linear_topk_search,
+        args=(wiki_indexes, wiki_heavy_query),
+        kwargs={
+            "k": K,
+            "sampling_threshold": threshold,
+            "sampling_rate": RHO,
+            "seed": 1,
+            "keep_subtrees": False,
+        },
+        rounds=2,
+        iterations=1,
+    )
+    exact = linear_topk_search(
+        wiki_indexes, wiki_heavy_query, k=K, keep_subtrees=False
+    )
+    precision = precision_at_k(exact.pattern_keys(), result.pattern_keys())
+    benchmark.extra_info["precision"] = round(precision, 3)
+    benchmark.extra_info["sampled_types"] = result.stats.sampled_types
+    if math.isinf(threshold):
+        assert precision == 1.0

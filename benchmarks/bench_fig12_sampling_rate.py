@@ -1,0 +1,37 @@
+"""Figure 12 (Exp-VI): LETopK execution time vs sampling rate ρ.
+
+Time should grow roughly linearly with ρ while precision climbs towards 1
+(the paper reports >= 0.8 precision at 5x-20x speedups on subtree-heavy
+queries).
+"""
+
+import pytest
+
+from repro.bench.experiments import precision_at_k
+from repro.search.linear_topk import linear_topk_search
+
+K = 20
+
+
+@pytest.mark.parametrize("rate", [0.1, 0.5, 1.0])
+def test_sampling_rate(benchmark, wiki_indexes, wiki_heavy_query, rate):
+    result = benchmark.pedantic(
+        linear_topk_search,
+        args=(wiki_indexes, wiki_heavy_query),
+        kwargs={
+            "k": K,
+            "sampling_threshold": 0.0,
+            "sampling_rate": rate,
+            "seed": 1,
+            "keep_subtrees": False,
+        },
+        rounds=2,
+        iterations=1,
+    )
+    exact = linear_topk_search(
+        wiki_indexes, wiki_heavy_query, k=K, keep_subtrees=False
+    )
+    precision = precision_at_k(exact.pattern_keys(), result.pattern_keys())
+    benchmark.extra_info["precision"] = round(precision, 3)
+    if rate == 1.0:
+        assert precision == 1.0

@@ -1,0 +1,40 @@
+"""Figure 13: individual top-k vs top-k tree patterns.
+
+The paper's two series (coverage of individual answers inside pattern
+answers; fraction of "new" patterns) are computed per query; the bench
+times the full metric pipeline at k = 20 and records the metric values.
+"""
+
+import pytest
+
+from repro.search.individual import coverage_metrics, individual_topk
+from repro.search.pattern_enum import pattern_enum_search
+
+K = 20
+
+
+def _metrics(indexes, query):
+    individual = individual_topk(indexes, query, k=K)
+    patterns = pattern_enum_search(indexes, query, k=K, keep_subtrees=True)
+    return coverage_metrics(individual, patterns)
+
+
+def test_coverage_pipeline(benchmark, wiki_indexes, wiki_light_query):
+    metrics = benchmark(_metrics, wiki_indexes, wiki_light_query)
+    assert 0.0 <= metrics.coverage <= 1.0
+    benchmark.extra_info["coverage"] = round(metrics.coverage, 3)
+    benchmark.extra_info["new_patterns"] = round(
+        metrics.new_pattern_fraction, 3
+    )
+
+
+def test_individual_topk_alone(benchmark, wiki_indexes, wiki_heavy_query):
+    """Ranking individual subtrees over the heaviest query."""
+    result = benchmark.pedantic(
+        individual_topk,
+        args=(wiki_indexes, wiki_heavy_query),
+        kwargs={"k": K},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result.ranked) <= K

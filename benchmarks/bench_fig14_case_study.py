@@ -1,0 +1,50 @@
+"""Figures 14-15: the "XBox Game" case study, end to end.
+
+Times the full pipeline (index build + both rankings) on the hand-crafted
+case-study slice and asserts the paper's qualitative outcome: the popular
+Xbox entity tops the individual ranking while the top-1 *pattern* is the
+multi-row table of Xbox games.
+"""
+
+import pytest
+
+from repro.datasets.case_study import (
+    CASE_STUDY_D,
+    XBOX_GAMES,
+    xbox_case_study_graph,
+)
+from repro.index.builder import build_indexes
+from repro.search.individual import individual_topk
+from repro.search.pattern_enum import pattern_enum_search
+
+
+@pytest.fixture(scope="module")
+def case_indexes():
+    graph, query = xbox_case_study_graph()
+    return build_indexes(graph, d=CASE_STUDY_D), query
+
+
+def test_case_study_end_to_end(benchmark):
+    def pipeline():
+        graph, query = xbox_case_study_graph()
+        indexes = build_indexes(graph, d=CASE_STUDY_D)
+        individual = individual_topk(indexes, query, k=3)
+        patterns = pattern_enum_search(indexes, query, k=1)
+        return indexes, individual, patterns
+
+    indexes, individual, patterns = benchmark(pipeline)
+    graph = indexes.graph
+    # Individual top-1: rooted at the popular Xbox console entity.
+    top_root = individual.ranked[0][2][0].nodes[0]
+    assert graph.node_text(top_root) == "Xbox"
+    # Pattern top-1: the table of Xbox games, one row per game.
+    top_pattern = patterns.answers[0]
+    assert top_pattern.num_subtrees == len(XBOX_GAMES)
+    rows = top_pattern.to_table(graph).rows
+    assert ["Halo 2", "Xbox"] in rows
+
+
+def test_case_study_query_only(benchmark, case_indexes):
+    indexes, query = case_indexes
+    result = benchmark(pattern_enum_search, indexes, query, k=3)
+    assert result.num_answers >= 1

@@ -1,0 +1,37 @@
+"""Figure 16 (Exp-A-I): execution time vs number of keywords.
+
+The paper: performance does not deteriorate with more keywords — the
+bottleneck is the number of valid subtrees, which tends to *shrink* as
+keywords are added (more constraints).  The benches time 2-keyword vs
+6-keyword queries from the same workload.
+"""
+
+import pytest
+
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+
+ENGINES = {
+    "LETopK": linear_topk_search,
+    "PETopK": pattern_enum_search,
+}
+
+
+def _query_of_size(queries, size):
+    for query in queries:
+        if len(query) == size:
+            return query
+    return None
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("size", [2, 6])
+def test_vary_keywords(benchmark, wiki_indexes, wiki_queries, engine, size):
+    query = _query_of_size(wiki_queries, size)
+    if query is None:
+        pytest.skip(f"workload has no {size}-keyword query")
+    result = benchmark(
+        ENGINES[engine], wiki_indexes, query, k=100, keep_subtrees=False
+    )
+    benchmark.extra_info["keywords"] = size
+    benchmark.extra_info["answers"] = result.num_answers

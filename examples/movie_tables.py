@@ -1,0 +1,80 @@
+"""Movie tables: the intro's "Mel Gibson movies" scenario.
+
+Builds a small hand-written movie knowledge base (the kind of data IMDB
+holds), then shows how a keyword query over *multiple entities* is better
+answered by a table than by individual subtrees:
+
+* "mel gibson movies"      -> a table of movies starring Mel Gibson
+* "braveheart actor"       -> the cast table of one movie
+* "thriller director year" -> movies with their directors and years
+
+Run:  python examples/movie_tables.py
+"""
+
+from repro.kg.entity import EntityRef, TextValue
+from repro.kg.knowledge_base import KnowledgeBase
+from repro.search.engine import TableAnswerEngine
+
+MOVIES = [
+    # title, year, genre, director, actors
+    ("Braveheart", "1995", "Drama", "Mel Gibson",
+     ["Mel Gibson", "Sophie Marceau"]),
+    ("Mad Max", "1979", "Action", "George Miller",
+     ["Mel Gibson", "Joanne Samuel"]),
+    ("Lethal Weapon", "1987", "Action", "Richard Donner",
+     ["Mel Gibson", "Danny Glover"]),
+    ("The Patriot", "2000", "Drama", "Roland Emmerich",
+     ["Mel Gibson", "Heath Ledger"]),
+    ("Heat", "1995", "Thriller", "Michael Mann",
+     ["Al Pacino", "Robert De Niro"]),
+    ("Ransom", "1996", "Thriller", "Ron Howard",
+     ["Mel Gibson", "Rene Russo"]),
+    ("The Insider", "1999", "Thriller", "Michael Mann",
+     ["Al Pacino", "Russell Crowe"]),
+]
+
+
+def build_movie_kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    people = set()
+    genres = set()
+    for title, year, genre, director, actors in MOVIES:
+        kb.add_entity(title, "Movie")
+        for person in [director, *actors]:
+            if person not in people:
+                people.add(person)
+                kb.add_entity(person, "Person")
+        if genre not in genres:
+            genres.add(genre)
+            kb.add_entity(genre, "Genre")
+    for title, year, genre, director, actors in MOVIES:
+        kb.set_attribute(title, "Director", EntityRef(director))
+        for actor in actors:
+            kb.set_attribute(title, "Starring", EntityRef(actor))
+        kb.set_attribute(title, "Genre", EntityRef(genre))
+        kb.set_attribute(title, "Year", TextValue(year))
+    return kb
+
+
+def show(engine: TableAnswerEngine, query: str, k: int = 2) -> None:
+    print(f'\n=== query: "{query}" ===')
+    result = engine.search(query, k=k)
+    if not result.answers:
+        print("no answers")
+        return
+    for rank, answer in enumerate(result.answers, start=1):
+        print(f"\nanswer #{rank} (score {answer.score:.4f}, "
+              f"{answer.num_subtrees} rows)")
+        print(answer.to_table(engine.graph).to_ascii(max_rows=8))
+
+
+def main() -> None:
+    engine = TableAnswerEngine.from_knowledge_base(build_movie_kb(), d=3)
+    print(f"graph: {engine.graph}")
+    show(engine, "mel gibson movie")
+    show(engine, "braveheart starring person")
+    show(engine, "thriller movie director year", k=1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Production flow: load a KB dump, build once, persist, serve queries.
+
+Demonstrates the deployment shape the paper implies (index construction is
+minutes-to-hours; queries are milliseconds): parse an N-Triples dump,
+build the path indexes, save them to disk, reload in a "server" process,
+and answer queries — including a synonym-expanded one.
+
+Run:  python examples/persist_and_reload.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.index.builder import build_indexes
+from repro.index.serialize import load_indexes, save_indexes
+from repro.index.stats import index_statistics
+from repro.kg.builder import build_graph
+from repro.kg.loaders.ntriples import load_ntriples
+from repro.kg.synonyms import SynonymTable
+from repro.search.engine import TableAnswerEngine
+
+NTRIPLES_DUMP = """\
+<http://ex.org/Braveheart> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Movie> .
+<http://ex.org/Braveheart> <http://ex.org/director> <http://ex.org/Mel_Gibson> .
+<http://ex.org/Braveheart> <http://ex.org/year> "1995" .
+<http://ex.org/Mad_Max> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Movie> .
+<http://ex.org/Mad_Max> <http://ex.org/starring> <http://ex.org/Mel_Gibson> .
+<http://ex.org/Mad_Max> <http://ex.org/year> "1979" .
+<http://ex.org/Mel_Gibson> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Person> .
+<http://ex.org/Mel_Gibson> <http://www.w3.org/2000/01/rdf-schema#label> "Mel Gibson" .
+<http://ex.org/Lethal_Weapon> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Movie> .
+<http://ex.org/Lethal_Weapon> <http://ex.org/starring> <http://ex.org/Mel_Gibson> .
+<http://ex.org/Lethal_Weapon> <http://ex.org/year> "1987" .
+"""
+
+
+def main() -> None:
+    # --- offline: parse, build, persist -------------------------------
+    kb = load_ntriples(NTRIPLES_DUMP.splitlines())
+    graph, _nodes = build_graph(kb)
+    synonyms = SynonymTable([["movie", "film"]])
+    indexes = build_indexes(graph, d=3, synonyms=synonyms)
+    print("built:", index_statistics(indexes).format())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "movies.idx"
+        size = save_indexes(indexes, path)
+        print(f"persisted {size / 1024:.1f} KiB to {path.name}")
+
+        # --- online: reload and serve --------------------------------
+        served = load_indexes(path)
+        engine = TableAnswerEngine(served.graph, indexes=served)
+        for query in ("gibson movie year", "gibson film year"):
+            print(f'\nquery: "{query}"  '
+                  f"(resolved: {served.resolve_query(query)})")
+            tables = engine.tables(query, k=1)
+            if tables:
+                print(tables[0].to_ascii())
+            else:
+                print("no answers")
+
+
+if __name__ == "__main__":
+    main()

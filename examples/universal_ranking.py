@@ -1,0 +1,47 @@
+"""Universal ranking + query relaxation: the library's extensions.
+
+Two capabilities beyond the paper:
+
+* **Mixed ranking** (the Section 5.3 open problem): one result list
+  interleaving table answers with singular individual subtrees, shown on
+  the paper's "XBox Game" case study — the games *table* and the popular
+  *Xbox* entity both surface.
+* **Query relaxation**: an over-constrained query ("xbox game warranty")
+  recovers answers by dropping its least selective unanswerable keyword.
+
+Run:  python examples/universal_ranking.py
+"""
+
+from repro.datasets.case_study import CASE_STUDY_D, xbox_case_study_graph
+from repro.index.builder import build_indexes
+from repro.search.engine import TableAnswerEngine
+
+
+def main() -> None:
+    graph, query = xbox_case_study_graph()
+    indexes = build_indexes(graph, d=CASE_STUDY_D)
+    engine = TableAnswerEngine(graph, indexes=indexes)
+
+    print(f'=== universal ranking for "{query}" ===\n')
+    mixed = engine.search_mixed(query, k=4)
+    for rank, answer in enumerate(mixed.answers, start=1):
+        table = answer.pattern_answer.to_table(graph)
+        print(f"#{rank} [{answer.kind}] normalized={answer.normalized_score:.3f} "
+              f"rows={answer.num_rows}")
+        print(table.to_ascii(max_rows=3))
+        print()
+    print(f"(patterns: {mixed.num_patterns_ranked}, "
+          f"individual subtrees: {mixed.num_subtrees_ranked}, "
+          f"subsumed by tables: {mixed.num_subtrees_subsumed})")
+
+    print('\n=== relaxation for "xbox game warranty" ===\n')
+    relaxed = engine.search_relaxed("xbox game warranty", k=2)
+    if relaxed.was_relaxed:
+        print(f"dropped: {', '.join(relaxed.dropped_keywords)}  "
+              f"(kept: {', '.join(relaxed.kept_keywords)})")
+    for answer in relaxed.result.answers[:1]:
+        print(answer.to_table(graph).to_ascii(max_rows=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment ships setuptools without the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build their metadata wheel.
+This shim lets ``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+on newer toolchains) work; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

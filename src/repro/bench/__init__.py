@@ -1,0 +1,45 @@
+"""Experiment harness reproducing every table and figure of Section 5."""
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    exp_case_study,
+    exp_fig6,
+    exp_fig7,
+    exp_fig8,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_fig13,
+    exp_fig16,
+    exp_vary_k,
+    precision_at_k,
+    run_experiments,
+)
+from repro.bench.reporting import (
+    ExperimentResult,
+    decade_group,
+    geometric_mean,
+    summarize_ms,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "decade_group",
+    "exp_case_study",
+    "exp_fig6",
+    "exp_fig7",
+    "exp_fig8",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_fig13",
+    "exp_fig16",
+    "exp_vary_k",
+    "geometric_mean",
+    "precision_at_k",
+    "run_experiments",
+    "summarize_ms",
+]

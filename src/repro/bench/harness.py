@@ -1,0 +1,194 @@
+"""Shared machinery for the experiment runners.
+
+Builds and caches the benchmark datasets (wiki-like, IMDB-like) at the
+scales used by the Section 5 reproductions, generates their query
+workloads, and times algorithm runs uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.datasets.imdb import ImdbConfig, generate_imdb_graph
+from repro.datasets.queries import WorkloadConfig, generate_workload
+from repro.datasets.wiki import WikiConfig, generate_wiki_graph
+from repro.index.builder import PathIndexes, build_indexes
+from repro.search.baseline import baseline_search
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+from repro.search.result import SearchResult
+
+#: Benchmark-scale dataset configurations.  ~100x smaller than the paper's
+#: datasets (pure Python vs C# on server hardware); all comparisons are
+#: within-implementation so relative behaviour is what matters.
+BENCH_WIKI = WikiConfig(
+    num_entities=1500,
+    num_types=30,
+    num_attrs=45,
+    vocabulary_size=320,
+    seed=17,
+)
+BENCH_IMDB = ImdbConfig(num_movies=500, num_people=650, seed=17)
+BENCH_WORKLOAD = WorkloadConfig(
+    queries_per_size=5, min_keywords=1, max_keywords=10, seed=17
+)
+
+#: The three competitors of Section 5, keyed by the paper's labels.
+#: LETopK runs exact here (sampling experiments configure it separately).
+ALGORITHMS: Dict[str, Callable[..., SearchResult]] = {
+    "Baseline": baseline_search,
+    "LETopK": linear_topk_search,
+    "PETopK": pattern_enum_search,
+}
+
+_CACHE: Dict[object, object] = {}
+
+
+def wiki_indexes(d: int = 3, config: WikiConfig = BENCH_WIKI) -> PathIndexes:
+    """Bench wiki indexes, cached per (config, d)."""
+    key = ("wiki", config.seed, config.num_entities, d)
+    if key not in _CACHE:
+        graph_key = ("wiki-graph", config.seed, config.num_entities)
+        if graph_key not in _CACHE:
+            _CACHE[graph_key] = generate_wiki_graph(config)
+        _CACHE[key] = build_indexes(_CACHE[graph_key], d=d)
+    return _CACHE[key]
+
+
+def imdb_indexes(d: int = 3, config: ImdbConfig = BENCH_IMDB) -> PathIndexes:
+    """Bench IMDB indexes, cached per (config, d)."""
+    key = ("imdb", config.seed, config.num_movies, d)
+    if key not in _CACHE:
+        graph_key = ("imdb-graph", config.seed, config.num_movies)
+        if graph_key not in _CACHE:
+            _CACHE[graph_key] = generate_imdb_graph(config)
+        _CACHE[key] = build_indexes(_CACHE[graph_key], d=d)
+    return _CACHE[key]
+
+
+def workload(
+    indexes: PathIndexes, config: WorkloadConfig = BENCH_WORKLOAD
+) -> List[Tuple[str, ...]]:
+    """Query workload for an index bundle, cached."""
+    key = ("workload", id(indexes), config.seed, config.queries_per_size,
+           config.min_keywords, config.max_keywords)
+    if key not in _CACHE:
+        _CACHE[key] = generate_workload(indexes, config)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (tests use this to bound memory)."""
+    _CACHE.clear()
+
+
+def time_run(
+    algorithm: Callable[..., SearchResult],
+    indexes: PathIndexes,
+    query,
+    k: int = 100,
+    **params,
+) -> Tuple[float, SearchResult]:
+    """(wall seconds, result) for one query run.
+
+    Subtree materialization is disabled — the experiments measure search
+    time, and the paper's engines also only keep the k retained patterns.
+    """
+    params.setdefault("keep_subtrees", False)
+    started = time.perf_counter()
+    result = algorithm(indexes, query, k=k, **params)
+    return time.perf_counter() - started, result
+
+
+@dataclass
+class QueryProfile:
+    """A query annotated with its answer totals (for the paper's groupings)."""
+
+    query: Tuple[str, ...]
+    num_patterns: int
+    num_subtrees: int
+
+
+def profile_workload(
+    indexes: PathIndexes, queries: List[Tuple[str, ...]]
+) -> List[QueryProfile]:
+    """Annotate queries with their total pattern/subtree counts.
+
+    Full enumerations are expensive on pattern-heavy queries, and several
+    experiments group the same workload, so profiles are cached.
+    """
+    from repro.search.linear_enum import count_answers
+
+    key = ("profiles", id(indexes), tuple(queries))
+    if key in _CACHE:
+        return _CACHE[key]
+    profiles = []
+    for query in queries:
+        patterns, subtrees = count_answers(indexes, query)
+        profiles.append(QueryProfile(query, patterns, subtrees))
+    _CACHE[key] = profiles
+    return profiles
+
+
+@dataclass
+class GroupedTimes:
+    """Per-group, per-algorithm run times."""
+
+    group_label: str
+    times: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, algorithm: str, seconds: float) -> None:
+        self.times.setdefault(algorithm, []).append(seconds)
+
+
+def pick_query_by_subtrees(
+    indexes: PathIndexes,
+    queries: List[Tuple[str, ...]],
+    low: int,
+    high: Optional[int] = None,
+) -> Optional[Tuple[str, ...]]:
+    """First query whose total subtree count falls in [low, high).
+
+    Falls back to any answerable query when nothing lands in the band
+    (small seeds can miss a decade); returns None only if every query is
+    empty.
+    """
+    from repro.search.linear_enum import count_answers
+
+    fallback = None
+    for query in queries:
+        _patterns, subtrees = count_answers(indexes, query)
+        if subtrees >= low and (high is None or subtrees < high):
+            return query
+        if subtrees >= 1 and fallback is None:
+            fallback = query
+    return fallback
+
+
+def heavy_queries(
+    indexes: PathIndexes,
+    queries: List[Tuple[str, ...]],
+    count: int = 3,
+    minimum_subtrees: int = 1,
+    minimum_ratio: float = 0.0,
+) -> List[QueryProfile]:
+    """The ``count`` queries with the most valid subtrees (Exp-V/VI use
+    the three heaviest queries of the workload).
+
+    ``minimum_ratio`` filters on subtrees-per-pattern.  Root sampling only
+    pays off when a pattern's mass spreads over many subtrees/roots — the
+    paper's Exp-V queries average ~8 subtrees per pattern — so the sampling
+    experiments exclude near-singleton-pattern queries, for which sampling
+    is the wrong tool (and which Λ exists to protect, per Section 4.2.2).
+    """
+    profiles = [
+        profile
+        for profile in profile_workload(indexes, queries)
+        if profile.num_subtrees >= minimum_subtrees
+        and profile.num_subtrees
+        >= minimum_ratio * max(profile.num_patterns, 1)
+    ]
+    profiles.sort(key=lambda profile: -profile.num_subtrees)
+    return profiles[:count]

@@ -1,0 +1,134 @@
+"""Command-line interface.
+
+Subcommands mirror the production flow:
+
+* ``build``  — parse a knowledge base (JSON or N-Triples), build the path
+  indexes for a height threshold d, and persist them;
+* ``search`` — load persisted indexes and answer keyword queries with any
+  of the paper's algorithms, printing table answers;
+* ``stats``  — inspect a persisted index bundle.
+
+Examples::
+
+    python -m repro.cli build kb.json --format json -d 3 -o kb.idx
+    python -m repro.cli search kb.idx "database software company revenue"
+    python -m repro.cli search kb.idx "movies gibson" --algorithm letopk \
+        --sampling-rate 0.2 --sampling-threshold 1000
+    python -m repro.cli stats kb.idx
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.errors import ReproError
+from repro.index.builder import build_indexes
+from repro.index.serialize import load_indexes, save_indexes
+from repro.index.stats import index_statistics
+from repro.kg.builder import build_graph
+from repro.kg.loaders.jsonkb import load_json_kb
+from repro.kg.loaders.ntriples import load_ntriples
+from repro.kg.statistics import compute_statistics
+from repro.search.engine import TableAnswerEngine
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if args.format == "json":
+        kb = load_json_kb(args.input)
+    else:
+        kb = load_ntriples(args.input)
+    graph, _nodes = build_graph(kb)
+    print(compute_statistics(graph).format())
+    indexes = build_indexes(graph, d=args.d)
+    stats = index_statistics(indexes)
+    print(stats.format())
+    size = save_indexes(indexes, args.output)
+    print(f"wrote {size / 1e6:.1f} MB to {args.output}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    indexes = load_indexes(args.index)
+    engine = TableAnswerEngine(indexes.graph, indexes=indexes)
+    params = {}
+    if args.sampling_rate is not None:
+        params["sampling_rate"] = args.sampling_rate
+    if args.sampling_threshold is not None:
+        params["sampling_threshold"] = args.sampling_threshold
+    result = engine.search(
+        args.query, k=args.k, algorithm=args.algorithm, **params
+    )
+    if not result.answers:
+        print("no answers")
+        return 1
+    for rank, answer in enumerate(result.answers, start=1):
+        print(
+            f"--- #{rank}  score={answer.score:.4f} "
+            f"rows={answer.num_subtrees} ---"
+        )
+        print(answer.pattern.format(engine.graph, result.query))
+        if answer.subtrees:
+            print(answer.to_table(engine.graph).to_ascii(args.max_rows))
+        print()
+    print(result.stats.format())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    indexes = load_indexes(args.index)
+    print(compute_statistics(indexes.graph).format())
+    print(index_statistics(indexes).format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Keyword search over knowledge bases, composing "
+        "table answers (VLDB 2014 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build and persist indexes")
+    build.add_argument("input", help="knowledge-base file")
+    build.add_argument(
+        "--format", choices=("json", "ntriples"), default="json"
+    )
+    build.add_argument("-d", type=int, default=3, help="height threshold")
+    build.add_argument("-o", "--output", required=True, help="index file")
+    build.set_defaults(handler=_cmd_build)
+
+    search = commands.add_parser("search", help="answer a keyword query")
+    search.add_argument("index", help="persisted index file")
+    search.add_argument("query", help="keyword query")
+    search.add_argument("-k", type=int, default=5)
+    search.add_argument(
+        "--algorithm",
+        default="pattern_enum",
+        choices=("pattern_enum", "petopk", "linear", "letopk", "baseline"),
+    )
+    search.add_argument("--sampling-rate", type=float, default=None)
+    search.add_argument("--sampling-threshold", type=float, default=None)
+    search.add_argument("--max-rows", type=int, default=10)
+    search.set_defaults(handler=_cmd_search)
+
+    stats = commands.add_parser("stats", help="inspect a persisted index")
+    stats.add_argument("index", help="persisted index file")
+    stats.set_defaults(handler=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

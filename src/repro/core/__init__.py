@@ -1,0 +1,36 @@
+"""Core definitions: path/tree patterns, valid subtrees, tables, top-k."""
+
+from repro.core.errors import (
+    GraphError,
+    KnowledgeBaseError,
+    LoaderError,
+    PathIndexError,
+    QueryError,
+    ReproError,
+    ScoringError,
+    SearchError,
+)
+from repro.core.pattern import PathPattern, TreePattern
+from repro.core.subtree import MatchPath, ValidSubtree, combine_paths
+from repro.core.table import TableAnswer, TableColumn, compose_table
+from repro.core.topk import TopKQueue
+
+__all__ = [
+    "GraphError",
+    "KnowledgeBaseError",
+    "LoaderError",
+    "MatchPath",
+    "PathIndexError",
+    "PathPattern",
+    "QueryError",
+    "ReproError",
+    "ScoringError",
+    "SearchError",
+    "TableAnswer",
+    "TableColumn",
+    "TopKQueue",
+    "TreePattern",
+    "ValidSubtree",
+    "combine_paths",
+    "compose_table",
+]

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class KnowledgeBaseError(ReproError):
+    """Raised for malformed knowledge-base input (unknown types, bad refs)."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems in a knowledge graph."""
+
+
+class LoaderError(ReproError):
+    """Raised when a knowledge-base file cannot be parsed."""
+
+
+class IndexError_(ReproError):
+    """Raised for path-index construction or access failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as ``PathIndexError`` from the package root.
+    """
+
+
+PathIndexError = IndexError_
+
+
+class QueryError(ReproError):
+    """Raised for invalid keyword queries (empty, non-string words, ...)."""
+
+
+class ScoringError(ReproError):
+    """Raised when a scoring function is configured inconsistently."""
+
+
+class SearchError(ReproError):
+    """Raised when a search algorithm is invoked with invalid arguments."""

@@ -1,0 +1,141 @@
+"""Path patterns and tree patterns (Section 2.2.2 of the paper).
+
+A **path pattern** is the concatenation of node/edge types along a
+root-to-keyword path.  When the keyword matched a node, the pattern ends at
+that node's type; when it matched an edge (attribute), the pattern ends at
+the attribute type::
+
+    pattern(T(w)) = tau(v1) alpha(e1) tau(v2) ... tau(vl)        (node match)
+    pattern(T(w)) = tau(v1) alpha(e1) tau(v2) ... alpha(el)      (edge match)
+
+A **tree pattern** for an m-keyword query is the vector of the m path
+patterns.  Tree patterns are the *answers* of the d-height tree pattern
+problem: each aggregates all valid subtrees sharing structure, types, and
+keyword positions, and is rendered as one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.core.errors import GraphError
+from repro.core.types import AttrId, TypeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """The typed shape of one root-to-keyword path.
+
+    ``labels`` alternates entity-type ids and attribute-type ids starting
+    with the root's type: ``(C1, A1, C2, A2, ..., Cl)`` for node matches
+    (odd length) and ``(C1, A1, ..., Cl, Al)`` for edge matches (even
+    length, ends with the matched attribute).
+
+    ``length`` follows the paper's definition |pattern(T(w))| = number of
+    nodes on the path T(w); Example 2.4 counts the matched edge's target
+    node, so an edge-matched pattern of l explicit node labels has length
+    l + 1.
+    """
+
+    labels: Tuple[int, ...]
+    ends_at_edge: bool
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise GraphError("a path pattern needs at least the root type")
+        expected_parity = 0 if self.ends_at_edge else 1
+        if len(self.labels) % 2 != expected_parity:
+            kind = "edge" if self.ends_at_edge else "node"
+            raise GraphError(
+                f"{kind}-matched pattern must have "
+                f"{'even' if self.ends_at_edge else 'odd'} label count, "
+                f"got {len(self.labels)}"
+            )
+
+    @property
+    def root_type(self) -> TypeId:
+        return self.labels[0]
+
+    @property
+    def length(self) -> int:
+        """Number of nodes on the underlying path (paper's |pattern|)."""
+        if self.ends_at_edge:
+            return len(self.labels) // 2 + 1
+        return (len(self.labels) + 1) // 2
+
+    @property
+    def num_hops(self) -> int:
+        """Number of edges on the path (including a matched terminal edge)."""
+        return len(self.labels) // 2
+
+    def node_types(self) -> Tuple[TypeId, ...]:
+        """Types of the explicitly labeled nodes, root first."""
+        return self.labels[0::2]
+
+    def attr_types(self) -> Tuple[AttrId, ...]:
+        """Attribute types of the edges, root-side first."""
+        return self.labels[1::2]
+
+    @property
+    def matched_attr(self) -> AttrId:
+        """The attribute the keyword matched (edge matches only)."""
+        if not self.ends_at_edge:
+            raise GraphError("pattern ends at a node, not an edge")
+        return self.labels[-1]
+
+    def format(self, graph: "KnowledgeGraph") -> str:
+        """Render like the paper: ``(Software) (Developer) (Company)``."""
+        parts = []
+        for i, label in enumerate(self.labels):
+            if i % 2 == 0:
+                parts.append(f"({graph.type_name(label)})")
+            else:
+                parts.append(f"({graph.attr_name(label)})")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class TreePattern:
+    """An answer to a keyword query: one path pattern per keyword.
+
+    All path patterns must share the same root type (they are root-to-leaf
+    paths of a single rooted subtree shape).
+    """
+
+    paths: Tuple[PathPattern, ...]
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise GraphError("a tree pattern needs at least one path pattern")
+        root = self.paths[0].root_type
+        for path in self.paths[1:]:
+            if path.root_type != root:
+                raise GraphError(
+                    "all path patterns of a tree pattern must share a root "
+                    f"type (got {root} and {path.root_type})"
+                )
+
+    @property
+    def root_type(self) -> TypeId:
+        return self.paths[0].root_type
+
+    @property
+    def num_keywords(self) -> int:
+        return len(self.paths)
+
+    @property
+    def height(self) -> int:
+        """H(pattern) = max path-pattern length (Section 2.2.2)."""
+        return max(path.length for path in self.paths)
+
+    def format(self, graph: "KnowledgeGraph", query: Tuple[str, ...] = ()) -> str:
+        """Multi-line rendering, one path pattern per keyword."""
+        lines = []
+        for i, path in enumerate(self.paths):
+            prefix = f"{query[i]!r}: " if i < len(query) else f"w{i + 1}: "
+            lines.append(prefix + path.format(graph))
+        return "\n".join(lines)

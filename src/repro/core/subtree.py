@@ -1,0 +1,195 @@
+"""Valid subtrees and their construction from per-keyword paths (§2.2.1).
+
+A valid subtree ``(T, f)`` for query ``q`` is a rooted subtree of the
+knowledge graph together with a mapping from each keyword to the node or
+edge where it occurs, such that the tree is minimal (every leaf carries a
+keyword).  In the index-based algorithms a valid subtree is assembled from
+one :class:`MatchPath` per keyword, all sharing the same root; this module
+also performs the tree-validity check that the paper leaves implicit (two
+paths must not give one node two different parent edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.core.errors import GraphError
+from repro.core.pattern import PathPattern, TreePattern
+from repro.core.types import AttrId, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class MatchPath:
+    """One root-to-keyword path of a valid subtree.
+
+    ``nodes`` lists the node ids from the root down; ``attrs`` lists the
+    attribute ids of the connecting edges (``len(attrs) == len(nodes) - 1``).
+
+    For **edge matches** (keyword occurs in an attribute type), the matched
+    edge is ``attrs[-1]`` and ``nodes[-1]`` is its target — which belongs to
+    the subtree, consistent with Example 2.4 counting it in |T(w)|.  For
+    **node matches**, the keyword occurs in the text or type of
+    ``nodes[-1]``.
+    """
+
+    nodes: Tuple[NodeId, ...]
+    attrs: Tuple[AttrId, ...]
+    matched_on_edge: bool
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise GraphError("a match path needs at least one node")
+        if len(self.attrs) != len(self.nodes) - 1:
+            raise GraphError(
+                f"path with {len(self.nodes)} nodes needs "
+                f"{len(self.nodes) - 1} edges, got {len(self.attrs)}"
+            )
+        if self.matched_on_edge and len(self.nodes) < 2:
+            raise GraphError("an edge-matched path needs at least one edge")
+
+    @property
+    def root(self) -> NodeId:
+        return self.nodes[0]
+
+    @property
+    def num_nodes(self) -> int:
+        """|T(w)|: number of nodes on the path (edge target included)."""
+        return len(self.nodes)
+
+    @property
+    def match_node(self) -> NodeId:
+        """The node whose PageRank scores this keyword (Equation 5).
+
+        For node matches, the matched node itself; for edge matches, the
+        node carrying the out-going matched edge.
+        """
+        if self.matched_on_edge:
+            return self.nodes[-2]
+        return self.nodes[-1]
+
+    @property
+    def end_node(self) -> NodeId:
+        """Deepest node on the path (the leaf this path contributes)."""
+        return self.nodes[-1]
+
+    def edge_triples(self) -> Iterable[Tuple[NodeId, AttrId, NodeId]]:
+        """Yield ``(parent, attr, child)`` for every edge on the path."""
+        for i, attr in enumerate(self.attrs):
+            yield self.nodes[i], attr, self.nodes[i + 1]
+
+    def pattern(self, graph: "KnowledgeGraph") -> PathPattern:
+        """Derive this path's :class:`PathPattern` from node/edge types."""
+        labels = []
+        if self.matched_on_edge:
+            for i, attr in enumerate(self.attrs):
+                labels.append(graph.node_type(self.nodes[i]))
+                labels.append(attr)
+        else:
+            for i, attr in enumerate(self.attrs):
+                labels.append(graph.node_type(self.nodes[i]))
+                labels.append(attr)
+            labels.append(graph.node_type(self.nodes[-1]))
+        return PathPattern(tuple(labels), ends_at_edge=self.matched_on_edge)
+
+
+@dataclass(frozen=True)
+class ValidSubtree:
+    """A valid subtree: one :class:`MatchPath` per query keyword.
+
+    Two valid subtrees with the same node/edge set but different keyword
+    mappings are distinct answers — the paper's ``(T, f)`` pairs — and both
+    are enumerated by the algorithms (they may even belong to different
+    tree patterns).
+    """
+
+    paths: Tuple[MatchPath, ...]
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise GraphError("a valid subtree needs at least one path")
+        root = self.paths[0].root
+        for path in self.paths[1:]:
+            if path.root != root:
+                raise GraphError(
+                    f"paths do not share a root ({root} vs {path.root})"
+                )
+
+    @property
+    def root(self) -> NodeId:
+        return self.paths[0].root
+
+    @property
+    def num_keywords(self) -> int:
+        return len(self.paths)
+
+    def node_set(self) -> FrozenSet[NodeId]:
+        """All distinct nodes of the subtree."""
+        nodes: Set[NodeId] = set()
+        for path in self.paths:
+            nodes.update(path.nodes)
+        return frozenset(nodes)
+
+    def edge_set(self) -> FrozenSet[Tuple[NodeId, AttrId, NodeId]]:
+        """All distinct ``(parent, attr, child)`` edges of the subtree."""
+        edges: Set[Tuple[NodeId, AttrId, NodeId]] = set()
+        for path in self.paths:
+            edges.update(path.edge_triples())
+        return frozenset(edges)
+
+    def pattern(self, graph: "KnowledgeGraph") -> TreePattern:
+        """The tree pattern of this subtree (linear in tree size)."""
+        return TreePattern(tuple(path.pattern(graph) for path in self.paths))
+
+    def height(self) -> int:
+        """Max path size in nodes; equals the pattern's height."""
+        return max(path.num_nodes for path in self.paths)
+
+    def is_minimal(self) -> bool:
+        """Check condition iii): every leaf hosts a keyword.
+
+        True by construction for path unions (every leaf is the endpoint of
+        some maximal keyword path); exposed for tests and for subtrees built
+        by other means.
+        """
+        children: Dict[NodeId, Set[NodeId]] = {}
+        for parent, _attr, child in self.edge_set():
+            children.setdefault(parent, set()).add(child)
+        leaf_hosts = set()
+        for path in self.paths:
+            leaf_hosts.add(path.end_node)
+        for node in self.node_set():
+            if not children.get(node) and node not in leaf_hosts:
+                return False
+        return True
+
+
+def combine_paths(paths: Iterable[MatchPath]) -> Optional[ValidSubtree]:
+    """Join per-keyword paths at their shared root into a valid subtree.
+
+    Returns ``None`` when the union of the paths is not a tree: some node
+    would be reached through two different parent edges (the paper's
+    Algorithms 2 and 3 implicitly assume this never happens; on cyclic or
+    diamond-shaped graphs it can).  Also returns ``None`` when roots differ,
+    so callers can pass path combinations straight from index lookups.
+    """
+    paths = tuple(paths)
+    if not paths:
+        return None
+    root = paths[0].nodes[0]
+    parent: Dict[NodeId, Tuple[NodeId, AttrId]] = {}
+    for path in paths:
+        if path.nodes[0] != root:
+            return None
+        for u, attr, v in path.edge_triples():
+            if v == root:
+                return None  # edge back into the root: not a tree
+            existing = parent.get(v)
+            if existing is None:
+                parent[v] = (u, attr)
+            elif existing != (u, attr):
+                return None  # two distinct parent edges for one node
+    return ValidSubtree(paths)

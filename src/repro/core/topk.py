@@ -1,0 +1,129 @@
+"""Bounded top-k priority queue.
+
+All three search algorithms "only need to maintain k tree patterns in Q"
+(Algorithm 2, line 8).  This queue keeps the k highest-scoring items using
+a min-heap of size k; pushes below the current k-th score are O(1)
+rejections.
+
+Ties are broken deterministically.  By default, earlier insertions win.
+Callers may instead pass an explicit ``tie_key`` (any totally ordered
+value): among equal scores the *smallest* tie key is retained — the search
+engines pass canonical pattern keys so that all algorithms retain the
+same answer set at tied k-boundaries, regardless of enumeration order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from repro.core.errors import SearchError
+
+T = TypeVar("T")
+
+
+class _InvertedKey:
+    """Wrapper inverting comparison order.
+
+    The retention heap is a *min*-heap that evicts its smallest element;
+    to keep the canonically-smallest tie key we must make larger keys
+    compare smaller (evicted first).
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_InvertedKey") -> bool:
+        return self.key > other.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _InvertedKey) and self.key == other.key
+
+
+class TopKQueue(Generic[T]):
+    """Keep the ``k`` highest-scoring items seen so far.
+
+    >>> queue = TopKQueue(2)
+    >>> for score, name in [(1.0, "a"), (3.0, "b"), (2.0, "c")]:
+    ...     _ = queue.push(score, name)
+    >>> [(s, v) for s, v in queue.ranked()]
+    [(3.0, 'b'), (2.0, 'c')]
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        self.k = k
+        # Heap entries: (score, tie_token, -sequence, payload).  With a
+        # min-heap the smallest score is evicted first; among equal scores
+        # the tie token decides (see push), and the unique -sequence both
+        # breaks remaining ties and shields payloads from comparison.
+        self._heap: List[Tuple] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    def threshold(self) -> float:
+        """Current k-th best score; -inf while the queue is not full."""
+        if len(self._heap) < self.k:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def would_accept(self, score: float) -> bool:
+        """Whether ``push(score, ...)`` *might* change the queue's contents.
+
+        Scores equal to the threshold may still be retained when tie keys
+        are in play, so equality is accepted (callers use this only to
+        skip hopeless work).
+        """
+        return len(self._heap) < self.k or score >= self._heap[0][0]
+
+    def push(self, score: float, item: T, tie_key=None) -> bool:
+        """Offer an item; returns True when it was retained.
+
+        ``tie_key``: totally ordered value deciding equal-score conflicts
+        (smallest retained, and ranked first).  Omitted: insertion order
+        decides (earlier wins).  Do not mix both styles in one queue —
+        tie tokens must be mutually comparable.
+        """
+        if tie_key is None:
+            token = ()  # compares equal between entries; -seq decides
+        else:
+            token = (_InvertedKey(tie_key),)
+        entry = (score, token, -self._sequence, item)
+        self._sequence += 1
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if not self._heap[0][:3] < entry[:3]:
+            return False
+        heapq.heapreplace(self._heap, entry)
+        return True
+
+    def ranked(self) -> List[Tuple[float, T]]:
+        """Items best-first; ties per the queue's tie policy."""
+        def sort_key(entry):
+            score, token, neg_seq, _item = entry
+            # Ascending tie key = descending inverted token; then
+            # insertion order (ascending sequence = descending -seq).
+            return (-score, tuple(t.key for t in token), -neg_seq)
+
+        ordered = sorted(self._heap, key=sort_key)
+        return [(entry[0], entry[3]) for entry in ordered]
+
+    def items(self) -> List[T]:
+        """Payloads best-first."""
+        return [item for _score, item in self.ranked()]
+
+    def min_score(self) -> float:
+        """Lowest retained score; raises if empty."""
+        if not self._heap:
+            raise SearchError("queue is empty")
+        return self._heap[0][0]

@@ -1,0 +1,31 @@
+"""Shared primitive type aliases used across the library.
+
+The knowledge graph interns every entity, entity type, and attribute type to
+a dense integer id.  All hot-path code (index construction, search) works on
+these integers; human-readable names live in the side tables kept by
+:class:`repro.kg.graph.KnowledgeGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Dense id of a node (entity or dummy text node) in the knowledge graph.
+NodeId = int
+
+#: Dense id of an entity type (``C`` in the paper, the set ``\mathcal{C}``).
+TypeId = int
+
+#: Dense id of an attribute/edge type (``A`` in the paper).
+AttrId = int
+
+#: A root-to-leaf path, stored as the tuple of node ids from the root
+#: down to the deepest node on the path (edge ids are recoverable from the
+#: graph; the index stores them alongside, see ``repro.index.entry``).
+NodePath = Tuple[NodeId, ...]
+
+#: Interned id of a path pattern inside an index.
+PatternId = int
+
+#: A keyword after normalization (lower-cased, stemmed).
+Keyword = str

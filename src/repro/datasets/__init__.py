@@ -1,0 +1,65 @@
+"""Dataset substrates: the paper's example, synthetic Wiki/IMDB, workloads."""
+
+from repro.datasets.example import (
+    BOOK_TITLE,
+    EXAMPLE_NORMALIZER,
+    EXAMPLE_QUERY,
+    example_graph,
+    example_graph_with_nodes,
+    example_kb,
+)
+from repro.datasets.imdb import IMDB_TYPES, ImdbConfig, generate_imdb_graph
+from repro.datasets.queries import (
+    WorkloadConfig,
+    filter_answerable,
+    generate_workload,
+    sample_answerable_query,
+    sample_random_query,
+    words_reachable_from,
+)
+from repro.datasets.synthetic import (
+    make_vocabulary,
+    random_word,
+    sample_phrase,
+    zipf_choice,
+    zipf_index,
+)
+from repro.datasets.wiki import (
+    WikiConfig,
+    generate_wiki_graph,
+    wiki_entity_fraction_graph,
+)
+from repro.datasets.worstcase import (
+    diamond_graph,
+    pattern_enum_adversarial_graph,
+    star_graph,
+)
+
+__all__ = [
+    "BOOK_TITLE",
+    "EXAMPLE_NORMALIZER",
+    "EXAMPLE_QUERY",
+    "IMDB_TYPES",
+    "ImdbConfig",
+    "WikiConfig",
+    "WorkloadConfig",
+    "diamond_graph",
+    "example_graph",
+    "example_graph_with_nodes",
+    "example_kb",
+    "filter_answerable",
+    "generate_imdb_graph",
+    "generate_wiki_graph",
+    "generate_workload",
+    "make_vocabulary",
+    "pattern_enum_adversarial_graph",
+    "random_word",
+    "sample_answerable_query",
+    "sample_phrase",
+    "sample_random_query",
+    "star_graph",
+    "wiki_entity_fraction_graph",
+    "words_reachable_from",
+    "zipf_choice",
+    "zipf_index",
+]

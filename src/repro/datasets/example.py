@@ -1,0 +1,80 @@
+"""The paper's running example (Figure 1) as a loadable knowledge base.
+
+Entities, attributes, and the derived knowledge graph match Figure 1(a)-(d)
+closely enough to replay every worked example: the query *"database
+software company revenue"*, subtrees T1-T3, tree patterns P1-P2
+(Figure 2), the table answer of Figure 3, and the scores of Example 2.4.
+
+Example 2.4's numbers assume no stopword removal (the book title's six
+tokens include "of" and "and") and uniform node importance 1; use
+:data:`EXAMPLE_NORMALIZER` and ``uniform_scores`` to reproduce them
+exactly, as the tests in ``tests/integration/test_paper_examples.py`` do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.types import NodeId
+from repro.kg.builder import build_graph
+from repro.kg.entity import EntityRef, TextValue
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.knowledge_base import KnowledgeBase
+from repro.kg.text import TextNormalizer
+
+#: Paper-exact text handling: stemming on (so "Softwares" matches
+#: "software"), stopwords kept (so the book title has six tokens).
+EXAMPLE_NORMALIZER = TextNormalizer(use_stemming=True, stopwords=())
+
+#: The six-token book title behind Example 2.4's 1/6 similarities.
+BOOK_TITLE = "Handbook of Database Systems and Softwares"
+
+
+def example_kb() -> KnowledgeBase:
+    """Build the Figure 1 knowledge base."""
+    kb = KnowledgeBase()
+
+    kb.add_entity("SQL Server", "Software")
+    kb.add_entity("Oracle DB", "Software")
+    kb.add_entity("Microsoft", "Company")
+    kb.add_entity("Oracle Corp", "Company")
+    kb.add_entity("Springer", "Company")
+    kb.add_entity("Relational database", "Model")
+    kb.add_entity("O-R database", "Model")
+    kb.add_entity("C++", "Programming Language")
+    kb.add_entity("Bill Gates", "Person")
+    kb.add_entity(BOOK_TITLE, "Book")
+
+    kb.set_attribute("SQL Server", "Developer", EntityRef("Microsoft"))
+    kb.set_attribute("SQL Server", "Genre", EntityRef("Relational database"))
+    kb.set_attribute("SQL Server", "Written in", EntityRef("C++"))
+    kb.set_attribute("SQL Server", "Reference", EntityRef(BOOK_TITLE))
+
+    kb.set_attribute("Oracle DB", "Developer", EntityRef("Oracle Corp"))
+    kb.set_attribute("Oracle DB", "Genre", EntityRef("O-R database"))
+    kb.set_attribute("Oracle DB", "Written in", EntityRef("C++"))
+
+    kb.set_attribute("Microsoft", "Founder", EntityRef("Bill Gates"))
+    kb.set_attribute("Microsoft", "Revenue", TextValue("US$ 77 billion"))
+
+    kb.set_attribute("Oracle Corp", "Revenue", TextValue("US$ 37 billion"))
+
+    kb.set_attribute(BOOK_TITLE, "Publisher", EntityRef("Springer"))
+    kb.set_attribute("Springer", "Revenue", TextValue("US$ 1 billion"))
+
+    return kb
+
+
+def example_graph() -> KnowledgeGraph:
+    """The Figure 1(d) knowledge graph."""
+    graph, _nodes = build_graph(example_kb())
+    return graph
+
+
+def example_graph_with_nodes() -> Tuple[KnowledgeGraph, Dict[str, NodeId]]:
+    """Graph plus the entity-name -> node-id mapping (used by tests)."""
+    return build_graph(example_kb())
+
+
+#: The paper's running query (w1..w4 of Example 2.2).
+EXAMPLE_QUERY = "database software company revenue"

@@ -1,0 +1,93 @@
+"""Dataset for the sampling experiments (Exp-V / Exp-VI, Figures 11-12).
+
+Root sampling (Algorithm 4) pays off in a specific regime — the one the
+paper's heaviest Wiki queries occupy: *many* tree patterns of comparable
+weight, each supported by *many* valid subtrees spread over *many* distinct
+candidate roots.  At laptop scale, generic synthetic graphs miss that
+regime in one of two ways: heterogeneous schemas yield near-singleton
+patterns (skipping one root kills a pattern), while tiny homogeneous
+schemas yield few fat patterns (exact re-scoring costs as much as full
+enumeration).
+
+This generator hits the regime directly with an article→topic bipartite
+shape:
+
+* every **article** contains the common keyword (all articles are
+  candidate roots);
+* each article links to ``fanout`` **topics** through attributes drawn
+  from a pool of ``num_attrs`` relation types — each relation type is one
+  path pattern, so the query has ~``num_attrs`` tree patterns;
+* a fraction of topics contain the second keyword, so each pattern's rows
+  spread over hundreds of roots.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+
+COMMON_WORD = "alpha"
+TOPIC_WORD = "zeta"
+RARE_WORD = "gamma"
+
+
+@dataclass
+class SamplingStressConfig:
+    """Knobs for :func:`sampling_stress_graph`."""
+
+    num_articles: int = 12000
+    num_topics: int = 500
+    num_attrs: int = 48
+    fanout: int = 5
+    #: One in ``topic_selectivity`` topics contains :data:`TOPIC_WORD`.
+    topic_selectivity: int = 4
+    #: One in ``rare_selectivity`` topics contains :data:`RARE_WORD`.
+    rare_selectivity: int = 25
+    seed: int = 7
+
+
+def sampling_stress_graph(
+    config: SamplingStressConfig = SamplingStressConfig(),
+) -> Tuple[KnowledgeGraph, List[str]]:
+    """Build the graph; returns (graph, benchmark queries).
+
+    The returned queries, in decreasing answer mass:
+
+    1. ``"alpha zeta"``  — every article root, dense topic keyword;
+    2. ``"alpha gamma"`` — every article root, sparse topic keyword;
+    3. ``"zeta gamma"``  — only articles reaching both topic kinds.
+    """
+    rng = random.Random(config.seed)
+    graph = KnowledgeGraph()
+
+    topics = []
+    for i in range(config.num_topics):
+        words = [f"topic{i}"]
+        if i % config.topic_selectivity == 0:
+            words.append(TOPIC_WORD)
+        if i % config.rare_selectivity == 0:
+            words.append(RARE_WORD)
+        # Vary text length so keyword similarities (1/|tokens|) differ
+        # across topics and pattern scores are not artificially tied.
+        for j in range(i % 3):
+            words.append(f"pad{i % 11}x{j}")
+        topics.append(graph.add_node("Topic", " ".join(words)))
+
+    attrs = [f"Rel{i}" for i in range(config.num_attrs)]
+    for attr in attrs:
+        graph.intern_attr(attr)
+
+    for i in range(config.num_articles):
+        article = graph.add_node("Article", f"{COMMON_WORD} doc{i}")
+        for attr in rng.sample(attrs, config.fanout):
+            graph.add_edge(article, attr, rng.choice(topics))
+
+    queries = [
+        f"{COMMON_WORD} {TOPIC_WORD}",
+        f"{COMMON_WORD} {RARE_WORD}",
+        f"{TOPIC_WORD} {RARE_WORD}",
+    ]
+    return graph, queries

@@ -1,0 +1,119 @@
+"""Shared utilities for the synthetic knowledge-base generators.
+
+The paper evaluates on Wiki (1.89M entities extracted from infoboxes) and
+IMDB (6.58M entities).  Those dumps are not available offline — and a
+pure-Python index over 35M edges would not fit this environment — so the
+generators in :mod:`repro.datasets.wiki` and :mod:`repro.datasets.imdb`
+synthesize scale-models preserving the properties the algorithms are
+sensitive to: heterogeneous schemas, zipf-like popularity, and vocabulary
+shared across entities, types, and attributes (so keyword queries aggregate
+many subtrees into patterns).  This module holds their shared primitives:
+seeded name/vocabulary generation and zipf sampling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_CONSONANTS = "bcdfglmnprstvz"
+_VOWELS = "aeiou"
+
+
+def random_word(rng: random.Random, syllables: int = 2) -> str:
+    """A pronounceable synthetic word ("belora"-style)."""
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_CONSONANTS))
+        parts.append(rng.choice(_VOWELS))
+    return "".join(parts)
+
+
+def make_vocabulary(
+    rng: random.Random, size: int, syllables: int = 3
+) -> List[str]:
+    """``size`` distinct synthetic words.
+
+    Three syllables give ~9k combinations; collisions are retried, and the
+    syllable count grows automatically if a size beyond the combinatorial
+    space is requested.
+    """
+    words: List[str] = []
+    seen = set()
+    attempts = 0
+    while len(words) < size:
+        word = random_word(rng, syllables)
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+        attempts += 1
+        if attempts > 50 * size and len(words) < size:
+            syllables += 1
+            attempts = 0
+    return words
+
+
+def zipf_index(rng: random.Random, n: int, alpha: float = 1.0) -> int:
+    """Sample an index in [0, n) with probability proportional to 1/(i+1)^alpha.
+
+    Uses inverse-CDF over the precomputable harmonic weights for small
+    ``n``; for the generator workloads n is at most tens of thousands so a
+    linear scan of cumulative weights is fine and dependency-free.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    # Cache the cumulative weights per (n, alpha) to keep repeated sampling
+    # linear only once.
+    key = (n, alpha)
+    cumulative = _ZIPF_CACHE.get(key)
+    if cumulative is None:
+        total = 0.0
+        cumulative = []
+        for i in range(n):
+            total += 1.0 / ((i + 1) ** alpha)
+            cumulative.append(total)
+        _ZIPF_CACHE[key] = cumulative
+    target = rng.random() * cumulative[-1]
+    low, high = 0, n - 1
+    while low < high:
+        mid = (low + high) // 2
+        if cumulative[mid] < target:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+_ZIPF_CACHE: dict = {}
+
+
+def zipf_choice(
+    rng: random.Random, items: Sequence[T], alpha: float = 1.0
+) -> T:
+    """Zipf-weighted choice: earlier items are exponentially more popular."""
+    return items[zipf_index(rng, len(items), alpha)]
+
+
+def sample_phrase(
+    rng: random.Random,
+    vocabulary: Sequence[str],
+    min_words: int = 1,
+    max_words: int = 3,
+    alpha: float = 1.0,
+) -> str:
+    """A short text description drawn from a shared zipf vocabulary.
+
+    Repeated draws share head words heavily — the property that makes
+    keyword queries match many entities, as real infobox text does.
+    """
+    count = rng.randint(min_words, max_words)
+    words = []
+    seen = set()
+    while len(words) < count:
+        word = zipf_choice(rng, vocabulary, alpha)
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return " ".join(words)

@@ -1,0 +1,179 @@
+"""Wiki-like synthetic knowledge graph (the paper's Wiki dataset, scaled).
+
+The paper's Wiki dataset has 1.89M entities over 3,424 infobox types with
+34.99M edges.  This generator reproduces, at laptop scale, the features
+that drive the algorithms' behaviour on it:
+
+* **many entity types** with zipf-distributed populations (a few huge
+  types, a long tail), each with its own small attribute schema;
+* **shared attribute vocabulary** across types (many infobox types have
+  "name", "country", "genre", ...), which multiplies the number of
+  distinct path patterns per keyword;
+* **zipf in-degree** (popular entities like countries are referenced by
+  many others) giving PageRank skew;
+* **free-text attribute values** materialized as dummy text nodes;
+* **vocabulary shared** between entity names, type names, and attribute
+  names so that single keywords hit all three match kinds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+from repro.datasets.synthetic import (
+    make_vocabulary,
+    sample_phrase,
+    zipf_choice,
+)
+
+
+@dataclass
+class WikiConfig:
+    """Knobs for :func:`generate_wiki_graph` (defaults are test-friendly)."""
+
+    num_entities: int = 2000
+    num_types: int = 40
+    num_attrs: int = 60
+    vocabulary_size: int = 400
+    #: (min, max) outgoing relation slots per type's schema.
+    slots_per_type: Tuple[int, int] = (2, 5)
+    #: Probability an entity fills each relation slot of its schema.
+    fill_probability: float = 0.8
+    #: Probability an entity gets each text-attribute slot of its schema.
+    text_probability: float = 0.5
+    #: Zipf exponents: type popularity, target-entity popularity, words.
+    type_alpha: float = 1.0
+    target_alpha: float = 0.8
+    word_alpha: float = 0.9
+    seed: int = 0
+    extra_text_slots: Tuple[int, int] = (1, 2)
+
+    def scaled(self, fraction: float) -> "WikiConfig":
+        """A config with ``fraction`` of the entities (Figure 10 sweeps)."""
+        from dataclasses import replace
+
+        return replace(
+            self, num_entities=max(1, int(self.num_entities * fraction))
+        )
+
+
+@dataclass
+class WikiSchema:
+    """The generated schema: per-type relation and text slots."""
+
+    type_names: List[str] = field(default_factory=list)
+    #: per type: list of (attr_name, target_type_index)
+    relation_slots: List[List[Tuple[str, int]]] = field(default_factory=list)
+    #: per type: list of text attr names
+    text_slots: List[List[str]] = field(default_factory=list)
+
+
+def generate_wiki_graph(config: WikiConfig = WikiConfig()) -> KnowledgeGraph:
+    """Generate a seeded wiki-like knowledge graph."""
+    rng = random.Random(config.seed)
+    vocabulary = make_vocabulary(rng, config.vocabulary_size)
+
+    # Type and attribute names reuse the shared vocabulary so that a
+    # keyword can match entity text, a type, and an attribute at once —
+    # exactly what produces multiple match kinds per word on Wiki.
+    type_names = []
+    seen = set()
+    while len(type_names) < config.num_types:
+        name = zipf_choice(rng, vocabulary, config.word_alpha).capitalize()
+        if name not in seen:
+            seen.add(name)
+            type_names.append(name)
+    attr_names = []
+    seen = set()
+    while len(attr_names) < config.num_attrs:
+        name = zipf_choice(rng, vocabulary, config.word_alpha).capitalize()
+        if name in seen:
+            name = f"{name} {zipf_choice(rng, vocabulary, config.word_alpha)}"
+        if name not in seen:
+            seen.add(name)
+            attr_names.append(name)
+
+    schema = WikiSchema(type_names=type_names)
+    for _tid in range(config.num_types):
+        slot_count = rng.randint(*config.slots_per_type)
+        slots = []
+        for _ in range(slot_count):
+            attr = rng.choice(attr_names)
+            target_type = rng.randrange(config.num_types)
+            slots.append((attr, target_type))
+        schema.relation_slots.append(slots)
+        text_count = rng.randint(*config.extra_text_slots)
+        schema.text_slots.append(rng.sample(attr_names, text_count))
+
+    graph = KnowledgeGraph()
+    for name in type_names:
+        graph.intern_type(name)
+    for name in attr_names:
+        graph.intern_attr(name)
+
+    # Entities: zipf type popularity, zipf-shared name vocabulary.
+    entities_by_type: List[List[int]] = [[] for _ in range(config.num_types)]
+    entity_types: List[int] = []
+    for _ in range(config.num_entities):
+        tid = _zipf_type(rng, config)
+        text = sample_phrase(
+            rng, vocabulary, min_words=1, max_words=3, alpha=config.word_alpha
+        )
+        node = graph.add_node_typed(tid, text, is_entity=True)
+        entities_by_type[tid].append(node)
+        entity_types.append(tid)
+
+    # Relations: each entity fills its type's slots with zipf-popular
+    # targets of the slot's target type; text slots become dummy nodes.
+    for node, tid in enumerate(entity_types):
+        for attr_name, target_type in schema.relation_slots[tid]:
+            if rng.random() >= config.fill_probability:
+                continue
+            targets = entities_by_type[target_type]
+            if not targets:
+                continue
+            target = zipf_choice(rng, targets, config.target_alpha)
+            if target == node or graph.has_edge(
+                node, graph.attr_id(attr_name), target
+            ):
+                continue
+            graph.add_edge(node, attr_name, target)
+        for attr_name in schema.text_slots[tid]:
+            if rng.random() >= config.text_probability:
+                continue
+            text = sample_phrase(
+                rng,
+                vocabulary,
+                min_words=1,
+                max_words=4,
+                alpha=config.word_alpha,
+            )
+            text_node = graph.add_text_node(text)
+            graph.add_edge(node, attr_name, text_node)
+    return graph
+
+
+def _zipf_type(rng: random.Random, config: WikiConfig) -> int:
+    from repro.datasets.synthetic import zipf_index
+
+    return zipf_index(rng, config.num_types, config.type_alpha)
+
+
+def wiki_entity_fraction_graph(
+    config: WikiConfig, fraction: float
+) -> KnowledgeGraph:
+    """Induced subgraph on a random ``fraction`` of nodes (Figure 10).
+
+    Matches the paper's Exp-III: "randomly select a subset of entities ...
+    and construct the induced subgraph".  Sampling is seeded by the
+    config's seed so sweeps are reproducible.
+    """
+    graph = generate_wiki_graph(config)
+    if fraction >= 1.0:
+        return graph
+    rng = random.Random(config.seed + 104729)  # stream distinct from generation
+    keep = [v for v in graph.nodes() if rng.random() < fraction]
+    return graph.induced_subgraph(keep)

@@ -1,0 +1,188 @@
+"""Index construction — Algorithm 1 of the paper.
+
+For each node ``r`` and each simple path ``p`` from ``r`` with at most
+``d`` nodes, every word contained at the path's endpoint (node text or node
+type) yields a node-matched entry, and every word contained in the path's
+final attribute type yields an edge-matched entry.  Each entry is inserted
+into both the pattern-first and the root-first index (the same
+:class:`PathEntry` object is shared between them).
+
+Score terms (path size, matched node's PageRank, keyword similarity) are
+precomputed here and stored with the entry, as Section 3 prescribes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import PathIndexError, QueryError
+from repro.core.types import Keyword
+from repro.index.entry import PathEntry
+from repro.index.interner import PatternInterner
+from repro.index.lexicon import GraphLexicon
+from repro.index.path_enum import interleaved_labels, iter_paths_from
+from repro.index.pattern_first import PatternFirstIndex
+from repro.index.root_first import RootFirstIndex
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pagerank import pagerank
+from repro.kg.synonyms import SynonymTable
+from repro.kg.text import DEFAULT_NORMALIZER, TextNormalizer
+
+DEFAULT_HEIGHT = 3
+
+
+class ResolvedQuery(tuple):
+    """A query already normalized against an index.
+
+    Normalization is not idempotent (Porter stemming re-applied corrupts
+    words: "databas" -> "databa"), so callers that re-issue subsets of an
+    already-resolved query — e.g. :mod:`repro.search.relaxation` — wrap
+    them in this marker; :meth:`PathIndexes.resolve_query` passes it
+    through untouched.
+    """
+
+    __slots__ = ()
+
+
+@dataclass
+class PathIndexes:
+    """Everything a search algorithm needs: graph, both indexes, metadata."""
+
+    graph: KnowledgeGraph
+    d: int
+    normalizer: TextNormalizer
+    lexicon: GraphLexicon
+    interner: PatternInterner
+    pattern_first: PatternFirstIndex
+    root_first: RootFirstIndex
+    pagerank_scores: List[float]
+    build_seconds: float = 0.0
+    synonyms: Optional[SynonymTable] = None
+    _notes: List[str] = field(default_factory=list)
+
+    def resolve_query(self, query) -> Tuple[Keyword, ...]:
+        """Parse and canonicalize a query against this index's vocabulary.
+
+        Words are normalized with the index's own normalizer; a word absent
+        from the index is replaced by its synonym-canonical form when that
+        form *is* present (Section 3's synonym handling).  Unknown words are
+        kept as-is — they simply retrieve nothing, which correctly yields an
+        empty answer set.  A :class:`ResolvedQuery` is returned unchanged
+        (normalization is not idempotent).
+        """
+        if isinstance(query, ResolvedQuery):
+            return tuple(query)
+        words = self.normalizer.parse_query(query)
+        if self.synonyms is None:
+            return words
+        resolved = []
+        for word in words:
+            if not self.root_first.has_word(word):
+                canonical = self.synonyms.canonical(word)
+                if self.root_first.has_word(canonical):
+                    word = canonical
+            resolved.append(word)
+        # Canonicalization may collapse two query words into one.
+        seen = set()
+        unique = [w for w in resolved if not (w in seen or seen.add(w))]
+        if not unique:
+            raise QueryError(f"query {query!r} is empty after normalization")
+        return tuple(unique)
+
+    @property
+    def num_entries(self) -> int:
+        """Stored path postings (per index; both hold the same entries)."""
+        return self.root_first.num_entries()
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self.interner)
+
+
+def build_indexes(
+    graph: KnowledgeGraph,
+    d: int = DEFAULT_HEIGHT,
+    normalizer: Optional[TextNormalizer] = None,
+    synonyms: Optional[SynonymTable] = None,
+    pagerank_scores: Optional[Sequence[float]] = None,
+    lexicon: Optional[GraphLexicon] = None,
+    roots: Optional[Sequence[int]] = None,
+) -> PathIndexes:
+    """Run Algorithm 1: build both path indexes for height threshold ``d``.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph.
+    d:
+        Height threshold: only paths with at most ``d`` nodes are stored.
+    normalizer, synonyms:
+        Text-processing configuration shared with query parsing.
+    pagerank_scores:
+        Node importance scores; computed with the paper's PageRank settings
+        when omitted.  Pass :func:`repro.kg.pagerank.uniform_scores` to
+        reproduce the paper's worked example.
+    lexicon:
+        A prebuilt :class:`GraphLexicon` (reused across d values in the
+        Figure 6 experiment); built on demand when omitted.
+    roots:
+        Restrict path enumeration to these roots (testing hook).
+    """
+    if d < 1:
+        raise PathIndexError(f"height threshold d must be >= 1, got {d}")
+    started = time.perf_counter()
+    if normalizer is None:
+        normalizer = DEFAULT_NORMALIZER
+    if lexicon is None:
+        lexicon = GraphLexicon(graph, normalizer, synonyms)
+    if pagerank_scores is None:
+        pagerank_scores = pagerank(graph)
+    elif len(pagerank_scores) != graph.num_nodes:
+        raise PathIndexError(
+            f"pagerank_scores has {len(pagerank_scores)} entries for a "
+            f"{graph.num_nodes}-node graph"
+        )
+
+    interner = PatternInterner()
+    pattern_first = PatternFirstIndex(interner)
+    root_first = RootFirstIndex(interner)
+
+    root_iter = graph.nodes() if roots is None else roots
+    for root in root_iter:
+        for nodes, attrs in iter_paths_from(graph, root, d):
+            labels = interleaved_labels(graph, nodes, attrs)
+            endpoint = nodes[-1]
+            node_word_sims = lexicon.node_matches(endpoint)
+            if node_word_sims:
+                pid = interner.intern(labels, ends_at_edge=False)
+                pr = pagerank_scores[endpoint]
+                for word, sim in node_word_sims:
+                    entry = PathEntry(nodes, attrs, False, pr, sim)
+                    pattern_first.add(word, pid, entry)
+                    root_first.add(word, pid, entry)
+            if attrs:
+                attr_word_sims = lexicon.attr_matches(attrs[-1])
+                if attr_word_sims:
+                    pid = interner.intern(labels[:-1], ends_at_edge=True)
+                    pr = pagerank_scores[nodes[-2]]
+                    for word, sim in attr_word_sims:
+                        entry = PathEntry(nodes, attrs, True, pr, sim)
+                        pattern_first.add(word, pid, entry)
+                        root_first.add(word, pid, entry)
+
+    pattern_first.finalize()
+    root_first.finalize()
+    return PathIndexes(
+        graph=graph,
+        d=d,
+        normalizer=normalizer,
+        lexicon=lexicon,
+        interner=interner,
+        pattern_first=pattern_first,
+        root_first=root_first,
+        pagerank_scores=list(pagerank_scores),
+        build_seconds=time.perf_counter() - started,
+        synonyms=synonyms,
+    )

@@ -1,0 +1,55 @@
+"""Interning of path patterns to dense integer ids.
+
+Both indexes key their middle layer by path pattern; interning the
+(labels, ends_at_edge) pairs to small integers makes pattern comparison and
+tree-pattern dictionary keys cheap tuple-of-int operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.errors import PathIndexError
+from repro.core.pattern import PathPattern
+from repro.core.types import PatternId
+
+
+class PatternInterner:
+    """Bijection between path patterns and dense ids."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[Tuple[Tuple[int, ...], bool], PatternId] = {}
+        self._patterns: List[PathPattern] = []
+
+    def intern(self, labels: Tuple[int, ...], ends_at_edge: bool) -> PatternId:
+        """Id of the pattern, creating it on first sight."""
+        key = (labels, ends_at_edge)
+        pid = self._ids.get(key)
+        if pid is None:
+            pid = len(self._patterns)
+            self._ids[key] = pid
+            self._patterns.append(PathPattern(labels, ends_at_edge))
+        return pid
+
+    def intern_pattern(self, pattern: PathPattern) -> PatternId:
+        return self.intern(pattern.labels, pattern.ends_at_edge)
+
+    def pattern(self, pid: PatternId) -> PathPattern:
+        try:
+            return self._patterns[pid]
+        except IndexError:
+            raise PathIndexError(f"unknown pattern id {pid}") from None
+
+    def lookup(self, pattern: PathPattern) -> PatternId:
+        """Id of an existing pattern; raises when never interned."""
+        key = (pattern.labels, pattern.ends_at_edge)
+        pid = self._ids.get(key)
+        if pid is None:
+            raise PathIndexError(f"pattern {pattern} was never interned")
+        return pid
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __contains__(self, pattern: PathPattern) -> bool:
+        return (pattern.labels, pattern.ends_at_edge) in self._ids

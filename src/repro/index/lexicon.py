@@ -1,0 +1,206 @@
+"""Keyword match tables for a knowledge graph.
+
+A keyword can occur in three places (Section 2.2.1): the text description
+of a node, the text of a node's *type*, or the text of an attribute type.
+The :class:`GraphLexicon` precomputes, for every node and every attribute
+type, the list of ``(word, sim)`` pairs it matches — where ``sim`` is the
+Jaccard similarity of Equation 6 — and the inverted maps used by the
+baseline's backward search.
+
+Synonyms (Section 3) are folded in at this level: each surface token is
+filed under itself *and* its canonical synonym, so a query for any group
+member retrieves the same entries.  Similarities are always computed
+against the original text's token set, never the synonym-expanded one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.types import AttrId, NodeId, TypeId
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.synonyms import EMPTY_SYNONYMS, SynonymTable
+from repro.kg.text import DEFAULT_NORMALIZER, TextNormalizer
+
+WordSims = List[Tuple[str, float]]
+
+
+class GraphLexicon:
+    """Per-node and per-attribute keyword match tables.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph to analyze.
+    normalizer:
+        Tokenization/stemming configuration; must be the same object (or an
+        equal configuration) used later to parse queries.
+    synonyms:
+        Optional synonym table; defaults to no synonyms.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        normalizer: TextNormalizer = DEFAULT_NORMALIZER,
+        synonyms: Optional[SynonymTable] = None,
+    ) -> None:
+        self.graph = graph
+        self.normalizer = normalizer
+        self.synonyms = synonyms if synonyms is not None else EMPTY_SYNONYMS
+
+        self._type_tokens: List[FrozenSet[str]] = [
+            normalizer.token_set(graph.type_text(tid))
+            for tid in graph.type_ids()
+        ]
+        self._attr_tokens: List[FrozenSet[str]] = [
+            normalizer.token_set(graph.attr_text(aid))
+            for aid in graph.attr_ids()
+        ]
+        self._node_tokens: List[FrozenSet[str]] = [
+            normalizer.token_set(graph.node_text(v)) for v in graph.nodes()
+        ]
+
+        # Per-node (word, sim) lists, combining node-text and node-type
+        # matches; when a word occurs in both, the better similarity wins.
+        self._node_word_sims: List[WordSims] = []
+        for v in graph.nodes():
+            best: Dict[str, float] = {}
+            text_tokens = self._node_tokens[v]
+            for token in text_tokens:
+                sim = 1.0 / len(text_tokens)
+                for key in self.synonyms.expansions(token):
+                    if sim > best.get(key, 0.0):
+                        best[key] = sim
+            type_tokens = self._type_tokens[graph.node_type(v)]
+            for token in type_tokens:
+                sim = 1.0 / len(type_tokens)
+                for key in self.synonyms.expansions(token):
+                    if sim > best.get(key, 0.0):
+                        best[key] = sim
+            self._node_word_sims.append(sorted(best.items()))
+
+        self._attr_word_sims: List[WordSims] = []
+        for aid in graph.attr_ids():
+            tokens = self._attr_tokens[aid]
+            best = {}
+            for token in tokens:
+                sim = 1.0 / len(tokens)
+                for key in self.synonyms.expansions(token):
+                    if sim > best.get(key, 0.0):
+                        best[key] = sim
+            self._attr_word_sims.append(sorted(best.items()))
+
+        # Inverted maps (word -> matches) for the baseline's backward search.
+        self._nodes_with_word: Dict[str, Dict[NodeId, float]] = {}
+        for v in graph.nodes():
+            for word, sim in self._node_word_sims[v]:
+                self._nodes_with_word.setdefault(word, {})[v] = sim
+        self._attrs_with_word: Dict[str, Dict[AttrId, float]] = {}
+        for aid in graph.attr_ids():
+            for word, sim in self._attr_word_sims[aid]:
+                self._attrs_with_word.setdefault(word, {})[aid] = sim
+
+    # ----------------------------------------------------------- mutation
+
+    def register_node(self, node: NodeId) -> WordSims:
+        """Extend the tables for a node added after construction.
+
+        ``node`` must be the next unseen node id (appends only); the node's
+        type must already be registered (see :meth:`register_type`).
+        Returns the new node's ``(word, sim)`` list.
+        """
+        graph = self.graph
+        if node != len(self._node_tokens):
+            raise ValueError(
+                f"nodes must be registered in id order; expected "
+                f"{len(self._node_tokens)}, got {node}"
+            )
+        while len(self._type_tokens) < graph.num_types:
+            tid = len(self._type_tokens)
+            self._type_tokens.append(
+                self.normalizer.token_set(graph.type_text(tid))
+            )
+        text_tokens = self.normalizer.token_set(graph.node_text(node))
+        self._node_tokens.append(text_tokens)
+        best: Dict[str, float] = {}
+        for token in text_tokens:
+            sim = 1.0 / len(text_tokens)
+            for key in self.synonyms.expansions(token):
+                if sim > best.get(key, 0.0):
+                    best[key] = sim
+        type_tokens = self._type_tokens[graph.node_type(node)]
+        for token in type_tokens:
+            sim = 1.0 / len(type_tokens)
+            for key in self.synonyms.expansions(token):
+                if sim > best.get(key, 0.0):
+                    best[key] = sim
+        word_sims = sorted(best.items())
+        self._node_word_sims.append(word_sims)
+        for word, sim in word_sims:
+            self._nodes_with_word.setdefault(word, {})[node] = sim
+        return word_sims
+
+    def register_attrs(self) -> None:
+        """Extend the tables for attribute types interned after construction."""
+        graph = self.graph
+        while len(self._attr_tokens) < graph.num_attrs:
+            aid = len(self._attr_tokens)
+            tokens = self.normalizer.token_set(graph.attr_text(aid))
+            self._attr_tokens.append(tokens)
+            best: Dict[str, float] = {}
+            for token in tokens:
+                sim = 1.0 / len(tokens)
+                for key in self.synonyms.expansions(token):
+                    if sim > best.get(key, 0.0):
+                        best[key] = sim
+            word_sims = sorted(best.items())
+            self._attr_word_sims.append(word_sims)
+            for word, sim in word_sims:
+                self._attrs_with_word.setdefault(word, {})[aid] = sim
+
+    # ------------------------------------------------------------- per item
+
+    def node_matches(self, node: NodeId) -> WordSims:
+        """``(word, sim)`` pairs the node matches (text + type)."""
+        return self._node_word_sims[node]
+
+    def attr_matches(self, attr: AttrId) -> WordSims:
+        """``(word, sim)`` pairs the attribute type matches."""
+        return self._attr_word_sims[attr]
+
+    def node_tokens(self, node: NodeId) -> FrozenSet[str]:
+        return self._node_tokens[node]
+
+    def type_tokens(self, tid: TypeId) -> FrozenSet[str]:
+        return self._type_tokens[tid]
+
+    def attr_tokens(self, aid: AttrId) -> FrozenSet[str]:
+        return self._attr_tokens[aid]
+
+    # ------------------------------------------------------------- inverted
+
+    def nodes_with_word(self, word: str) -> Dict[NodeId, float]:
+        """Node id -> sim for all nodes matching ``word``."""
+        return self._nodes_with_word.get(word, {})
+
+    def attrs_with_word(self, word: str) -> Dict[AttrId, float]:
+        """Attribute id -> sim for all attribute types matching ``word``."""
+        return self._attrs_with_word.get(word, {})
+
+    def node_sim(self, node: NodeId, word: str) -> float:
+        """Similarity of ``word`` at ``node`` (0.0 when not matching)."""
+        return self._nodes_with_word.get(word, {}).get(node, 0.0)
+
+    def attr_sim(self, attr: AttrId, word: str) -> float:
+        return self._attrs_with_word.get(word, {}).get(attr, 0.0)
+
+    def vocabulary(self) -> Set[str]:
+        """All index keys (normalized words plus synonym canonicals)."""
+        return set(self._nodes_with_word) | set(self._attrs_with_word)
+
+    def word_frequency(self, word: str) -> int:
+        """Number of node + attribute matches for a word (selectivity)."""
+        return len(self._nodes_with_word.get(word, {})) + len(
+            self._attrs_with_word.get(word, {})
+        )

@@ -1,0 +1,113 @@
+"""Enumeration of bounded-length simple paths (index construction, §3).
+
+Algorithm 1 materializes, for every root ``r``, all paths starting at ``r``
+with length (node count) at most ``d``.  Paths are *simple* — a subtree of
+the knowledge graph cannot visit a node twice — which also guarantees
+termination on cyclic graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.core.errors import PathIndexError
+from repro.core.types import AttrId, NodeId
+from repro.kg.graph import KnowledgeGraph
+
+Path = Tuple[Tuple[NodeId, ...], Tuple[AttrId, ...]]
+
+
+def iter_paths_from(
+    graph: KnowledgeGraph, root: NodeId, max_nodes: int
+) -> Iterator[Path]:
+    """Yield all simple paths from ``root`` with 1..max_nodes nodes.
+
+    Paths are emitted in DFS pre-order (a path before its extensions),
+    deterministically following edge insertion order; each yield is a fresh
+    ``(nodes, attrs)`` tuple pair.
+    """
+    if max_nodes < 1:
+        raise PathIndexError(f"max_nodes must be >= 1, got {max_nodes}")
+    nodes = [root]
+    attrs: list = []
+    on_path = {root}
+
+    def extend() -> Iterator[Path]:
+        yield tuple(nodes), tuple(attrs)
+        if len(nodes) >= max_nodes:
+            return
+        for attr, target in graph.out_edges(nodes[-1]):
+            if target in on_path:
+                continue
+            nodes.append(target)
+            attrs.append(attr)
+            on_path.add(target)
+            yield from extend()
+            on_path.discard(target)
+            attrs.pop()
+            nodes.pop()
+
+    return extend()
+
+
+def iter_all_paths(graph: KnowledgeGraph, max_nodes: int) -> Iterator[Path]:
+    """All bounded simple paths from every root (the index's path set P)."""
+    for root in graph.nodes():
+        yield from iter_paths_from(graph, root, max_nodes)
+
+
+def count_paths(graph: KnowledgeGraph, max_nodes: int) -> int:
+    """|P|: number of bounded simple paths (Theorem 2's cost parameter)."""
+    return sum(1 for _ in iter_all_paths(graph, max_nodes))
+
+
+def interleaved_labels(
+    graph: KnowledgeGraph,
+    nodes: Tuple[NodeId, ...],
+    attrs: Tuple[AttrId, ...],
+) -> Tuple[int, ...]:
+    """Alternate node-type and attribute ids along a path, both ends typed.
+
+    This is the label sequence of a *node-matched* pattern; an edge-matched
+    pattern is the same sequence without the final node type
+    (``labels[:-1]``).
+    """
+    labels = []
+    for i, attr in enumerate(attrs):
+        labels.append(graph.node_type(nodes[i]))
+        labels.append(attr)
+    labels.append(graph.node_type(nodes[-1]))
+    return tuple(labels)
+
+
+def iter_reverse_paths_to(
+    graph: KnowledgeGraph, leaf: NodeId, max_nodes: int
+) -> Iterator[Path]:
+    """Yield simple paths *ending* at ``leaf`` with at most ``max_nodes`` nodes.
+
+    Used by the baseline's backward search (Section 2.3): starting from a
+    keyword match, walk reverse edges to discover every possible root.
+    Yields forward-oriented ``(nodes, attrs)`` with ``nodes[-1] == leaf``.
+    """
+    if max_nodes < 1:
+        raise PathIndexError(f"max_nodes must be >= 1, got {max_nodes}")
+    rev_nodes = [leaf]  # leaf-first; reversed on yield
+    rev_attrs: list = []
+    on_path = {leaf}
+
+    def extend() -> Iterator[Path]:
+        yield tuple(reversed(rev_nodes)), tuple(reversed(rev_attrs))
+        if len(rev_nodes) >= max_nodes:
+            return
+        for attr, source in graph.in_edges(rev_nodes[-1]):
+            if source in on_path:
+                continue
+            rev_nodes.append(source)
+            rev_attrs.append(attr)
+            on_path.add(source)
+            yield from extend()
+            on_path.discard(source)
+            rev_attrs.pop()
+            rev_nodes.pop()
+
+    return extend()

@@ -1,0 +1,136 @@
+"""The pattern-first path index (Figure 4(a) / Figure 5(a)).
+
+For each word ``w``, paths ending at a node/edge containing ``w`` are
+grouped by *pattern first, then root*.  Access methods follow the paper:
+
+* ``Patterns(w)`` — all patterns reaching ``w`` from some root;
+* ``Roots(w, P)`` — roots reaching ``w`` through pattern ``P``;
+* ``Paths(w, P, r)`` — the matching paths themselves.
+
+PATTERNENUM (Algorithm 2) additionally needs patterns grouped by their root
+*type* (line 3, ``Patterns_C(w)``); that grouping is precomputed in
+:meth:`PatternFirstIndex.finalize`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.types import NodeId, PatternId, TypeId
+from repro.index.entry import PathEntry
+from repro.index.interner import PatternInterner
+
+_EMPTY_DICT: Dict = {}
+_EMPTY_LIST: List = []
+
+
+class PatternFirstIndex:
+    """word -> pattern -> root -> [PathEntry] with paper-named accessors."""
+
+    def __init__(self, interner: PatternInterner) -> None:
+        self.interner = interner
+        self._data: Dict[str, Dict[PatternId, Dict[NodeId, List[PathEntry]]]] = {}
+        self._by_root_type: Dict[str, Dict[TypeId, List[PatternId]]] = {}
+        self._finalized = False
+
+    # -------------------------------------------------------------- building
+
+    def add(self, word: str, pid: PatternId, entry: PathEntry) -> None:
+        by_pattern = self._data.get(word)
+        if by_pattern is None:
+            by_pattern = self._data[word] = {}
+        by_root = by_pattern.get(pid)
+        if by_root is None:
+            by_root = by_pattern[pid] = {}
+        entries = by_root.get(entry.nodes[0])
+        if entries is None:
+            by_root[entry.nodes[0]] = [entry]
+        else:
+            entries.append(entry)
+        self._finalized = False
+
+    def finalize(self) -> None:
+        """Sort postings and precompute the per-root-type pattern grouping.
+
+        Sorting (patterns by id, roots ascending, paths lexicographically)
+        matches the paper's "sort and store paths sequentially in memory"
+        and makes every downstream iteration order deterministic.
+        """
+        for word, by_pattern in self._data.items():
+            sorted_patterns = dict(sorted(by_pattern.items()))
+            for pid, by_root in sorted_patterns.items():
+                sorted_roots = dict(sorted(by_root.items()))
+                for entries in sorted_roots.values():
+                    entries.sort(key=lambda e: (e.nodes, e.attrs))
+                sorted_patterns[pid] = sorted_roots
+            self._data[word] = sorted_patterns
+            grouping: Dict[TypeId, List[PatternId]] = {}
+            for pid in sorted_patterns:
+                root_type = self.interner.pattern(pid).root_type
+                grouping.setdefault(root_type, []).append(pid)
+            self._by_root_type[word] = grouping
+        self._finalized = True
+
+    # ------------------------------------------------------------- accessors
+
+    def words(self) -> Iterable[str]:
+        return self._data.keys()
+
+    def has_word(self, word: str) -> bool:
+        return word in self._data
+
+    def patterns(self, word: str) -> Sequence[PatternId]:
+        """Patterns(w): all path patterns reaching ``w``."""
+        return list(self._data.get(word, _EMPTY_DICT).keys())
+
+    def roots(self, word: str, pid: PatternId) -> Dict[NodeId, List[PathEntry]]:
+        """Roots(w, P) as a root -> entries mapping (keys are the roots).
+
+        Returning the mapping rather than a key list lets callers intersect
+        root sets and fetch paths without a second lookup.
+        """
+        return self._data.get(word, _EMPTY_DICT).get(pid, _EMPTY_DICT)
+
+    def paths(self, word: str, pid: PatternId, root: NodeId) -> List[PathEntry]:
+        """Paths(w, P, r)."""
+        return (
+            self._data.get(word, _EMPTY_DICT)
+            .get(pid, _EMPTY_DICT)
+            .get(root, _EMPTY_LIST)
+        )
+
+    def patterns_rooted_at(
+        self, word: str, root_type: TypeId
+    ) -> Sequence[PatternId]:
+        """Patterns_C(w): patterns whose root has type ``root_type``."""
+        if not self._finalized:
+            self.finalize()
+        return self._by_root_type.get(word, _EMPTY_DICT).get(
+            root_type, _EMPTY_LIST
+        )
+
+    def root_types(self, word: str) -> Set[TypeId]:
+        """All root types among ``word``'s patterns."""
+        if not self._finalized:
+            self.finalize()
+        return set(self._by_root_type.get(word, _EMPTY_DICT).keys())
+
+    # ------------------------------------------------------------------ size
+
+    def num_entries(self, word: str = None) -> int:
+        """Total stored paths (optionally for one word): the S_i of Thm 3/4."""
+        words = [word] if word is not None else list(self._data)
+        total = 0
+        for w in words:
+            for by_root in self._data.get(w, _EMPTY_DICT).values():
+                for entries in by_root.values():
+                    total += len(entries)
+        return total
+
+    def iter_entries(self) -> Iterable[Tuple[str, PatternId, PathEntry]]:
+        """Every (word, pattern, entry) triple — used by stats/serialization."""
+        for word, by_pattern in self._data.items():
+            for pid, by_root in by_pattern.items():
+                for entries in by_root.values():
+                    for entry in entries:
+                        yield word, pid, entry

@@ -1,0 +1,139 @@
+"""The root-first path index (Figure 4(b) / Figure 5(b)).
+
+For each word ``w``, paths are grouped by *root first, then pattern*.
+Access methods follow the paper:
+
+* ``Roots(w)`` — all roots reaching a node/edge containing ``w``;
+* ``Patterns(w, r)`` — patterns through which root ``r`` reaches ``w``;
+* ``Paths(w, r)`` — all such paths from ``r`` (any pattern);
+* ``Paths(w, r, P)`` — restricted to one pattern.
+
+``Paths(w, r)`` counts are precomputed: Algorithm 4 (line 4) needs
+``N_R = sum_r prod_i |Paths(w_i, r)|`` *without* enumerating the paths.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.types import NodeId, PatternId
+from repro.index.entry import PathEntry
+from repro.index.interner import PatternInterner
+
+_EMPTY_DICT: Dict = {}
+_EMPTY_LIST: List = []
+
+
+class RootFirstIndex:
+    """word -> root -> pattern -> [PathEntry] with paper-named accessors."""
+
+    def __init__(self, interner: PatternInterner) -> None:
+        self.interner = interner
+        self._data: Dict[str, Dict[NodeId, Dict[PatternId, List[PathEntry]]]] = {}
+        self._counts: Dict[str, Dict[NodeId, int]] = {}
+        self._finalized = False
+
+    # -------------------------------------------------------------- building
+
+    def add(self, word: str, pid: PatternId, entry: PathEntry) -> None:
+        by_root = self._data.get(word)
+        if by_root is None:
+            by_root = self._data[word] = {}
+        root = entry.nodes[0]
+        by_pattern = by_root.get(root)
+        if by_pattern is None:
+            by_pattern = by_root[root] = {}
+        entries = by_pattern.get(pid)
+        if entries is None:
+            by_pattern[pid] = [entry]
+        else:
+            entries.append(entry)
+        self._finalized = False
+
+    def finalize(self) -> None:
+        """Sort postings and precompute |Paths(w, r)| counts."""
+        for word, by_root in self._data.items():
+            sorted_roots = dict(sorted(by_root.items()))
+            counts: Dict[NodeId, int] = {}
+            for root, by_pattern in sorted_roots.items():
+                sorted_patterns = dict(sorted(by_pattern.items()))
+                total = 0
+                for entries in sorted_patterns.values():
+                    entries.sort(key=lambda e: (e.nodes, e.attrs))
+                    total += len(entries)
+                sorted_roots[root] = sorted_patterns
+                counts[root] = total
+            self._data[word] = sorted_roots
+            self._counts[word] = counts
+        self._finalized = True
+
+    # ------------------------------------------------------------- accessors
+
+    def words(self) -> Iterable[str]:
+        return self._data.keys()
+
+    def has_word(self, word: str) -> bool:
+        return word in self._data
+
+    def roots(self, word: str) -> Dict[NodeId, Dict[PatternId, List[PathEntry]]]:
+        """Roots(w) as a root -> (pattern -> entries) mapping."""
+        return self._data.get(word, _EMPTY_DICT)
+
+    def patterns(self, word: str, root: NodeId) -> Sequence[PatternId]:
+        """Patterns(w, r)."""
+        return list(
+            self._data.get(word, _EMPTY_DICT).get(root, _EMPTY_DICT).keys()
+        )
+
+    def pattern_map(
+        self, word: str, root: NodeId
+    ) -> Dict[PatternId, List[PathEntry]]:
+        """Pattern -> entries mapping for one (word, root) pair."""
+        return self._data.get(word, _EMPTY_DICT).get(root, _EMPTY_DICT)
+
+    def paths(self, word: str, root: NodeId) -> Iterable[PathEntry]:
+        """Paths(w, r): every path from ``r`` to ``w`` (any pattern).
+
+        Implemented, as the paper notes, "by enumerating P and accessing
+        Paths(w, r, P) for each P".
+        """
+        by_pattern = self._data.get(word, _EMPTY_DICT).get(root)
+        if not by_pattern:
+            return iter(())
+        return chain.from_iterable(by_pattern.values())
+
+    def paths_with_pattern(
+        self, word: str, root: NodeId, pid: PatternId
+    ) -> List[PathEntry]:
+        """Paths(w, r, P)."""
+        return (
+            self._data.get(word, _EMPTY_DICT)
+            .get(root, _EMPTY_DICT)
+            .get(pid, _EMPTY_LIST)
+        )
+
+    def path_count(self, word: str, root: NodeId) -> int:
+        """|Paths(w, r)| in O(1) (precomputed by :meth:`finalize`)."""
+        if not self._finalized:
+            self.finalize()
+        return self._counts.get(word, _EMPTY_DICT).get(root, 0)
+
+    # ------------------------------------------------------------------ size
+
+    def num_entries(self, word: str = None) -> int:
+        """Total stored paths (optionally for one word)."""
+        words = [word] if word is not None else list(self._data)
+        total = 0
+        for w in words:
+            for by_pattern in self._data.get(w, _EMPTY_DICT).values():
+                for entries in by_pattern.values():
+                    total += len(entries)
+        return total
+
+    def iter_entries(self) -> Iterable[Tuple[str, PatternId, PathEntry]]:
+        for word, by_root in self._data.items():
+            for by_pattern in by_root.values():
+                for pid, entries in by_pattern.items():
+                    for entry in entries:
+                        yield word, pid, entry

@@ -1,0 +1,62 @@
+"""Persistence of built path indexes.
+
+Index construction dominates query time by orders of magnitude (Figure 6:
+minutes to hours on the paper's hardware), so a production deployment
+builds once and serves many queries.  We persist the whole
+:class:`PathIndexes` bundle — graph included, since entries reference node
+ids that are only meaningful against that exact graph — with pickle plus a
+small versioned envelope to fail loudly on format drift.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Union
+
+from repro.core.errors import PathIndexError
+from repro.index.builder import PathIndexes
+
+FORMAT_NAME = "repro-path-index"
+FORMAT_VERSION = 1
+
+
+def save_indexes(indexes: PathIndexes, path: Union[str, Path]) -> int:
+    """Write indexes to ``path``; returns the byte size written."""
+    envelope = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "d": indexes.d,
+        "num_entries": indexes.num_entries,
+        "payload": indexes,
+    }
+    data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_indexes(path: Union[str, Path]) -> PathIndexes:
+    """Load indexes previously written by :func:`save_indexes`."""
+    path = Path(path)
+    if not path.exists():
+        raise PathIndexError(f"no such index file: {str(path)!r}")
+    try:
+        envelope = pickle.loads(path.read_bytes())
+    except Exception as exc:
+        raise PathIndexError(f"cannot unpickle {str(path)!r}: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("format") != FORMAT_NAME:
+        raise PathIndexError(f"{str(path)!r} is not a {FORMAT_NAME} file")
+    if envelope.get("version") != FORMAT_VERSION:
+        raise PathIndexError(
+            f"{str(path)!r} has format version {envelope.get('version')}, "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    payload = envelope["payload"]
+    if not isinstance(payload, PathIndexes):
+        raise PathIndexError(f"{str(path)!r} payload is not PathIndexes")
+    if payload.num_entries != envelope.get("num_entries"):
+        raise PathIndexError(
+            f"{str(path)!r} entry count mismatch: envelope says "
+            f"{envelope.get('num_entries')}, payload has {payload.num_entries}"
+        )
+    return payload

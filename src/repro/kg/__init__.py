@@ -1,0 +1,44 @@
+"""Knowledge-base and knowledge-graph substrate (Section 2.1 of the paper)."""
+
+from repro.kg.builder import build_graph
+from repro.kg.entity import (
+    AttributeType,
+    Entity,
+    EntityRef,
+    EntityType,
+    TextValue,
+)
+from repro.kg.graph import TEXT_TYPE_NAME, Edge, KnowledgeGraph
+from repro.kg.knowledge_base import KnowledgeBase
+from repro.kg.pagerank import normalized_pagerank, pagerank, uniform_scores
+from repro.kg.similarity import jaccard, keyword_similarity
+from repro.kg.statistics import GraphStatistics, compute_statistics
+from repro.kg.stemmer import stem, stem_all
+from repro.kg.synonyms import SynonymTable
+from repro.kg.text import DEFAULT_NORMALIZER, TextNormalizer, tokenize
+
+__all__ = [
+    "AttributeType",
+    "DEFAULT_NORMALIZER",
+    "Edge",
+    "Entity",
+    "EntityRef",
+    "EntityType",
+    "GraphStatistics",
+    "KnowledgeBase",
+    "KnowledgeGraph",
+    "SynonymTable",
+    "TEXT_TYPE_NAME",
+    "TextNormalizer",
+    "TextValue",
+    "build_graph",
+    "compute_statistics",
+    "jaccard",
+    "keyword_similarity",
+    "normalized_pagerank",
+    "pagerank",
+    "stem",
+    "stem_all",
+    "tokenize",
+    "uniform_scores",
+]

@@ -1,0 +1,90 @@
+"""Conversion of a :class:`KnowledgeBase` into a :class:`KnowledgeGraph`.
+
+Follows Section 2.1: one node per entity labeled with its type; one directed
+edge per attribute value; plain-text values become dummy nodes whose text
+description equals the plain text.  Identical text values of the *same
+entity and attribute* each get their own dummy node (they are distinct
+facts); text values are not shared across entities, mirroring how infobox
+extraction produces one literal per statement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.errors import KnowledgeBaseError
+from repro.core.types import NodeId
+from repro.kg.entity import EntityRef, TextValue
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.knowledge_base import KnowledgeBase
+
+
+def build_graph(
+    kb: KnowledgeBase,
+    share_text_nodes: bool = False,
+    validate: bool = True,
+) -> Tuple[KnowledgeGraph, Dict[str, NodeId]]:
+    """Build the knowledge graph for ``kb``.
+
+    Parameters
+    ----------
+    kb:
+        The source knowledge base.
+    share_text_nodes:
+        When True, identical plain-text values anywhere in the KB map to a
+        single dummy node.  This creates join points through literals (two
+        companies with revenue "US$ 1 billion" become connected), which is
+        usually undesirable; the default keeps one dummy node per
+        (entity, attribute, occurrence).
+    validate:
+        When True (default), raise on dangling entity references instead of
+        silently dropping the edges.
+
+    Returns
+    -------
+    (graph, node_of_entity):
+        The graph plus a mapping from entity name to its node id.
+    """
+    if validate:
+        kb.validate()
+
+    graph = KnowledgeGraph()
+    # Intern declared types up front so their custom texts are preserved
+    # even for types only used by dangling data.
+    for entity_type in kb.entity_types():
+        graph.intern_type(entity_type.name, entity_type.text)
+    for attr_type in kb.attribute_types():
+        graph.intern_attr(attr_type.name, attr_type.text)
+
+    node_of_entity: Dict[str, NodeId] = {}
+    for entity in kb.entities():
+        tid = graph.intern_type(entity.type_name)
+        node_of_entity[entity.name] = graph.add_node_typed(
+            tid, entity.text, is_entity=True
+        )
+
+    shared_text: Dict[str, NodeId] = {}
+    for entity in kb.entities():
+        source = node_of_entity[entity.name]
+        for attr_name, values in entity.attributes.items():
+            attr = graph.intern_attr(attr_name)
+            for value in values:
+                if isinstance(value, EntityRef):
+                    target = node_of_entity.get(value.name)
+                    if target is None:
+                        raise KnowledgeBaseError(
+                            f"entity {entity.name!r} attribute {attr_name!r} "
+                            f"references unknown entity {value.name!r}"
+                        )
+                elif isinstance(value, TextValue):
+                    if share_text_nodes:
+                        target = shared_text.get(value.text)
+                        if target is None:
+                            target = graph.add_text_node(value.text)
+                            shared_text[value.text] = target
+                    else:
+                        target = graph.add_text_node(value.text)
+                else:  # pragma: no cover - guarded by KnowledgeBase.set_attribute
+                    raise KnowledgeBaseError(f"bad attribute value {value!r}")
+                graph.add_edge_typed(source, attr, target)
+    return graph, node_of_entity

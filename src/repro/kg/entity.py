@@ -1,0 +1,93 @@
+"""Knowledge-base value objects: entity types, attribute types, entities.
+
+This is the *pre-graph* layer (Section 2.1 of the paper): a knowledge base
+is a collection of entities ``V`` and attributes ``A``; each entity has a
+type and a set of attribute values, where a value is either a reference to
+another entity or plain text.  :mod:`repro.kg.builder` converts a
+:class:`repro.kg.knowledge_base.KnowledgeBase` of these objects into the
+directed :class:`repro.kg.graph.KnowledgeGraph` the algorithms run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+
+@dataclass(frozen=True)
+class EntityType:
+    """An entity type ``C`` with its text description ``C.text``.
+
+    ``name`` is the unique key; ``text`` defaults to the name and is what
+    keywords are matched against (e.g. type "Software" matches the keyword
+    "software").
+    """
+
+    name: str
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            object.__setattr__(self, "text", self.name)
+
+
+@dataclass(frozen=True)
+class AttributeType:
+    """An attribute (edge) type ``A`` with its text description ``A.text``."""
+
+    name: str
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            object.__setattr__(self, "text", self.name)
+
+
+@dataclass(frozen=True)
+class EntityRef:
+    """An attribute value referring to another entity by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class TextValue:
+    """An attribute value that is plain text.
+
+    The graph builder materializes each text value as a dummy node whose
+    text description equals the plain text (Section 2.1: "if v.A is plain
+    text, we can create a dummy entity with text description exactly the
+    same as the plain text").
+    """
+
+    text: str
+
+
+AttributeValue = Union[EntityRef, TextValue]
+
+
+@dataclass
+class Entity:
+    """An entity ``v`` with type ``tau(v)``, text ``v.text``, and attributes.
+
+    ``attributes`` maps an attribute-type name to the list of values; a list
+    because one attribute may refer to several entities (e.g. "Products" of
+    "Microsoft" pointing to both "Windows" and "Bing" — Example 2.1).
+    """
+
+    name: str
+    type_name: str
+    text: str = ""
+    attributes: Dict[str, List[AttributeValue]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            self.text = self.name
+
+    def add_attribute(self, attr_name: str, value: AttributeValue) -> None:
+        """Append one value to attribute ``attr_name``."""
+        self.attributes.setdefault(attr_name, []).append(value)
+
+    def attribute_names(self) -> List[str]:
+        """The subset of attributes this entity has values for (A(v))."""
+        return list(self.attributes)

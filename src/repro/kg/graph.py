@@ -1,0 +1,290 @@
+"""The knowledge graph ``G = (V, E, tau, alpha)`` (Section 2.1).
+
+Nodes are entities (plus dummy nodes materialized from plain-text attribute
+values), labeled with an entity type; directed edges are attributes, labeled
+with an attribute type.  Every node, entity type, and attribute type carries
+a text description used for keyword matching.
+
+All identifiers are interned to dense integers; the hot paths (path
+enumeration, index construction, search) never touch strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import GraphError
+from repro.core.types import AttrId, NodeId, TypeId
+
+#: Reserved type name for dummy nodes created from plain-text attribute
+#: values.  Its text description is empty so no keyword ever matches the
+#: *type* of a text node (the node's own text is still matchable).
+TEXT_TYPE_NAME = "Text"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed, attribute-labeled edge ``source --attr--> target``."""
+
+    source: NodeId
+    attr: AttrId
+    target: NodeId
+
+
+class KnowledgeGraph:
+    """Mutable directed graph with typed nodes and attribute-typed edges.
+
+    Construction is append-only: nodes and edges may be added but not
+    removed (removal is never needed by the algorithms; scalability
+    experiments use :meth:`induced_subgraph` instead).
+
+    Parallel edges with distinct attribute types are allowed (an entity can
+    both "direct" and "produce" a movie).  Exact duplicate edges (same
+    source, attribute, and target) are rejected: they would duplicate rows
+    in every table answer.
+    """
+
+    def __init__(self) -> None:
+        self._type_names: List[str] = []
+        self._type_texts: List[str] = []
+        self._type_ids: Dict[str, TypeId] = {}
+
+        self._attr_names: List[str] = []
+        self._attr_texts: List[str] = []
+        self._attr_ids: Dict[str, AttrId] = {}
+
+        self._node_types: List[TypeId] = []
+        self._node_texts: List[str] = []
+        self._node_is_entity: List[bool] = []
+
+        self._out: List[List[Tuple[AttrId, NodeId]]] = []
+        self._in: List[List[Tuple[AttrId, NodeId]]] = []
+        self._edge_set: set = set()
+        self._num_edges = 0
+
+        self._nodes_by_type: Dict[TypeId, List[NodeId]] = {}
+        self._edges_by_attr: Optional[Dict[AttrId, List[Tuple[NodeId, NodeId]]]] = None
+
+    # ------------------------------------------------------------ type layer
+
+    def intern_type(self, name: str, text: Optional[str] = None) -> TypeId:
+        """Return the id of entity type ``name``, creating it if needed."""
+        tid = self._type_ids.get(name)
+        if tid is not None:
+            return tid
+        tid = len(self._type_names)
+        self._type_ids[name] = tid
+        self._type_names.append(name)
+        self._type_texts.append(name if text is None else text)
+        return tid
+
+    def intern_attr(self, name: str, text: Optional[str] = None) -> AttrId:
+        """Return the id of attribute type ``name``, creating it if needed."""
+        aid = self._attr_ids.get(name)
+        if aid is not None:
+            return aid
+        aid = len(self._attr_names)
+        self._attr_ids[name] = aid
+        self._attr_names.append(name)
+        self._attr_texts.append(name if text is None else text)
+        return aid
+
+    def type_id(self, name: str) -> TypeId:
+        try:
+            return self._type_ids[name]
+        except KeyError:
+            raise GraphError(f"unknown entity type {name!r}") from None
+
+    def attr_id(self, name: str) -> AttrId:
+        try:
+            return self._attr_ids[name]
+        except KeyError:
+            raise GraphError(f"unknown attribute type {name!r}") from None
+
+    def type_name(self, tid: TypeId) -> str:
+        return self._type_names[tid]
+
+    def type_text(self, tid: TypeId) -> str:
+        return self._type_texts[tid]
+
+    def attr_name(self, aid: AttrId) -> str:
+        return self._attr_names[aid]
+
+    def attr_text(self, aid: AttrId) -> str:
+        return self._attr_texts[aid]
+
+    @property
+    def num_types(self) -> int:
+        return len(self._type_names)
+
+    @property
+    def num_attrs(self) -> int:
+        return len(self._attr_names)
+
+    def type_ids(self) -> range:
+        return range(len(self._type_names))
+
+    def attr_ids(self) -> range:
+        return range(len(self._attr_names))
+
+    # ------------------------------------------------------------ node layer
+
+    def add_node(
+        self, type_name: str, text: str, is_entity: bool = True
+    ) -> NodeId:
+        """Add a node of type ``type_name`` with text description ``text``."""
+        tid = self.intern_type(type_name)
+        return self.add_node_typed(tid, text, is_entity)
+
+    def add_node_typed(
+        self, tid: TypeId, text: str, is_entity: bool = True
+    ) -> NodeId:
+        """Add a node whose type is already interned (hot-path variant)."""
+        if not 0 <= tid < len(self._type_names):
+            raise GraphError(f"type id {tid} out of range")
+        node = len(self._node_types)
+        self._node_types.append(tid)
+        self._node_texts.append(text)
+        self._node_is_entity.append(is_entity)
+        self._out.append([])
+        self._in.append([])
+        self._nodes_by_type.setdefault(tid, []).append(node)
+        return node
+
+    def add_text_node(self, text: str) -> NodeId:
+        """Add a dummy node for a plain-text attribute value."""
+        tid = self.intern_type(TEXT_TYPE_NAME, text="")
+        return self.add_node_typed(tid, text, is_entity=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_types)
+
+    def nodes(self) -> range:
+        return range(len(self._node_types))
+
+    def node_type(self, node: NodeId) -> TypeId:
+        return self._node_types[node]
+
+    def node_text(self, node: NodeId) -> str:
+        return self._node_texts[node]
+
+    def node_is_entity(self, node: NodeId) -> bool:
+        return self._node_is_entity[node]
+
+    def node_type_name(self, node: NodeId) -> str:
+        return self._type_names[self._node_types[node]]
+
+    def nodes_of_type(self, tid: TypeId) -> Sequence[NodeId]:
+        return self._nodes_by_type.get(tid, ())
+
+    # ------------------------------------------------------------ edge layer
+
+    def add_edge(self, source: NodeId, attr_name: str, target: NodeId) -> None:
+        """Add edge ``source --attr_name--> target``."""
+        self.add_edge_typed(source, self.intern_attr(attr_name), target)
+
+    def add_edge_typed(
+        self, source: NodeId, attr: AttrId, target: NodeId
+    ) -> None:
+        """Add an edge whose attribute type is already interned."""
+        n = len(self._node_types)
+        if not (0 <= source < n and 0 <= target < n):
+            raise GraphError(
+                f"edge ({source}, {target}) references unknown node; "
+                f"graph has {n} nodes"
+            )
+        if not 0 <= attr < len(self._attr_names):
+            raise GraphError(f"attribute id {attr} out of range")
+        key = (source, attr, target)
+        if key in self._edge_set:
+            raise GraphError(
+                f"duplicate edge {self._attr_names[attr]!r} "
+                f"from node {source} to node {target}"
+            )
+        self._edge_set.add(key)
+        self._out[source].append((attr, target))
+        self._in[target].append((attr, source))
+        self._num_edges += 1
+        self._edges_by_attr = None  # invalidate the lazy per-attribute cache
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def out_edges(self, node: NodeId) -> Sequence[Tuple[AttrId, NodeId]]:
+        """Outgoing ``(attr_id, target)`` pairs of ``node``."""
+        return self._out[node]
+
+    def in_edges(self, node: NodeId) -> Sequence[Tuple[AttrId, NodeId]]:
+        """Incoming ``(attr_id, source)`` pairs of ``node``."""
+        return self._in[node]
+
+    def out_degree(self, node: NodeId) -> int:
+        return len(self._out[node])
+
+    def in_degree(self, node: NodeId) -> int:
+        return len(self._in[node])
+
+    def has_edge(self, source: NodeId, attr: AttrId, target: NodeId) -> bool:
+        return (source, attr, target) in self._edge_set
+
+    def edges_with_attr(self, attr: AttrId) -> Sequence[Tuple[NodeId, NodeId]]:
+        """All ``(source, target)`` pairs carrying attribute ``attr``.
+
+        Built lazily and cached; used by the baseline's backward search to
+        seed reverse walks from keyword-matched attribute types.
+        """
+        if self._edges_by_attr is None:
+            by_attr: Dict[AttrId, List[Tuple[NodeId, NodeId]]] = {}
+            for source, adjacency in enumerate(self._out):
+                for edge_attr, target in adjacency:
+                    by_attr.setdefault(edge_attr, []).append((source, target))
+            self._edges_by_attr = by_attr
+        return self._edges_by_attr.get(attr, ())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges (in insertion order per source node)."""
+        for source, adjacency in enumerate(self._out):
+            for attr, target in adjacency:
+                yield Edge(source, attr, target)
+
+    # -------------------------------------------------------------- utilities
+
+    def induced_subgraph(self, keep_nodes: Iterable[NodeId]) -> "KnowledgeGraph":
+        """Subgraph induced by ``keep_nodes`` (used by Exp-III / Figure 10).
+
+        Type and attribute tables are copied wholesale so type ids remain
+        comparable across the original and the subgraph; node ids are
+        re-interned densely.
+        """
+        keep = sorted(set(keep_nodes))
+        sub = KnowledgeGraph()
+        sub._type_names = list(self._type_names)
+        sub._type_texts = list(self._type_texts)
+        sub._type_ids = dict(self._type_ids)
+        sub._attr_names = list(self._attr_names)
+        sub._attr_texts = list(self._attr_texts)
+        sub._attr_ids = dict(self._attr_ids)
+        remap: Dict[NodeId, NodeId] = {}
+        for old in keep:
+            if not 0 <= old < self.num_nodes:
+                raise GraphError(f"node {old} not in graph")
+            remap[old] = sub.add_node_typed(
+                self._node_types[old],
+                self._node_texts[old],
+                self._node_is_entity[old],
+            )
+        for old in keep:
+            for attr, target in self._out[old]:
+                new_target = remap.get(target)
+                if new_target is not None:
+                    sub.add_edge_typed(remap[old], attr, new_target)
+        return sub
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"types={self.num_types}, attrs={self.num_attrs})"
+        )

@@ -1,0 +1,203 @@
+"""The :class:`KnowledgeBase` container.
+
+A knowledge base is the user-facing input format: named entities with typed
+attributes whose values are entity references or plain text (Figure 1(a)-(c)
+in the paper).  It validates referential integrity and is converted to a
+:class:`repro.kg.graph.KnowledgeGraph` by :mod:`repro.kg.builder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.core.errors import KnowledgeBaseError
+from repro.kg.entity import (
+    AttributeType,
+    AttributeValue,
+    Entity,
+    EntityRef,
+    EntityType,
+    TextValue,
+)
+
+
+class KnowledgeBase:
+    """A collection of entities, entity types, and attribute types.
+
+    Entities and types are keyed by name.  Types may be declared explicitly
+    (to attach a custom ``text`` description) or implicitly the first time
+    an entity or attribute uses them.
+
+    Example
+    -------
+    >>> kb = KnowledgeBase()
+    >>> kb.add_entity("SQL Server", "Software")
+    Entity(name='SQL Server', ...)
+    >>> kb.add_entity("Microsoft", "Company")
+    Entity(name='Microsoft', ...)
+    >>> kb.set_attribute("SQL Server", "Developer", EntityRef("Microsoft"))
+    >>> kb.set_attribute("Microsoft", "Revenue", TextValue("US$ 77 billion"))
+    """
+
+    def __init__(self) -> None:
+        self._entities: Dict[str, Entity] = {}
+        self._entity_types: Dict[str, EntityType] = {}
+        self._attribute_types: Dict[str, AttributeType] = {}
+
+    # ------------------------------------------------------------------ types
+
+    def declare_entity_type(self, name: str, text: str = "") -> EntityType:
+        """Register an entity type, or return the existing one.
+
+        Redeclaring with a different explicit ``text`` is an error: the
+        text feeds keyword matching, so silent changes would corrupt
+        indexes.  An empty ``text`` (the default, used by implicit
+        declarations from :meth:`add_entity`) never conflicts.
+        """
+        existing = self._entity_types.get(name)
+        if existing is not None:
+            if text and existing.text != text:
+                raise KnowledgeBaseError(
+                    f"entity type {name!r} redeclared with different text "
+                    f"({existing.text!r} vs {text!r})"
+                )
+            return existing
+        declared = EntityType(name, text)
+        self._entity_types[name] = declared
+        return declared
+
+    def declare_attribute_type(self, name: str, text: str = "") -> AttributeType:
+        """Register an attribute type, or return the existing one."""
+        existing = self._attribute_types.get(name)
+        if existing is not None:
+            if text and existing.text != text:
+                raise KnowledgeBaseError(
+                    f"attribute type {name!r} redeclared with different text "
+                    f"({existing.text!r} vs {text!r})"
+                )
+            return existing
+        declared = AttributeType(name, text)
+        self._attribute_types[name] = declared
+        return declared
+
+    # --------------------------------------------------------------- entities
+
+    def add_entity(
+        self, name: str, type_name: str, text: str = ""
+    ) -> Entity:
+        """Add a new entity; its type is declared implicitly if unknown."""
+        if name in self._entities:
+            raise KnowledgeBaseError(f"duplicate entity name {name!r}")
+        self.declare_entity_type(type_name)
+        entity = Entity(name=name, type_name=type_name, text=text)
+        self._entities[name] = entity
+        return entity
+
+    def set_attribute(
+        self, entity_name: str, attr_name: str, value: AttributeValue
+    ) -> None:
+        """Append an attribute value to an existing entity.
+
+        Accepts :class:`EntityRef` and :class:`TextValue`; a bare string is
+        treated as a :class:`TextValue` for convenience.
+        """
+        entity = self._entities.get(entity_name)
+        if entity is None:
+            raise KnowledgeBaseError(f"unknown entity {entity_name!r}")
+        if isinstance(value, str):
+            value = TextValue(value)
+        if not isinstance(value, (EntityRef, TextValue)):
+            raise KnowledgeBaseError(
+                f"attribute value must be EntityRef or TextValue, got {value!r}"
+            )
+        self.declare_attribute_type(attr_name)
+        entity.add_attribute(attr_name, value)
+
+    # ----------------------------------------------------------------- access
+
+    def entity(self, name: str) -> Entity:
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise KnowledgeBaseError(f"unknown entity {name!r}") from None
+
+    def has_entity(self, name: str) -> bool:
+        return name in self._entities
+
+    def entities(self) -> Iterator[Entity]:
+        return iter(self._entities.values())
+
+    def entity_type(self, name: str) -> EntityType:
+        try:
+            return self._entity_types[name]
+        except KeyError:
+            raise KnowledgeBaseError(f"unknown entity type {name!r}") from None
+
+    def attribute_type(self, name: str) -> AttributeType:
+        try:
+            return self._attribute_types[name]
+        except KeyError:
+            raise KnowledgeBaseError(
+                f"unknown attribute type {name!r}"
+            ) from None
+
+    def entity_types(self) -> List[EntityType]:
+        return list(self._entity_types.values())
+
+    def attribute_types(self) -> List[AttributeType]:
+        return list(self._attribute_types.values())
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entities
+
+    # ------------------------------------------------------------- validation
+
+    def dangling_references(self) -> List[str]:
+        """Names referenced by some attribute but not present as entities."""
+        missing = []
+        seen = set()
+        for entity in self._entities.values():
+            for values in entity.attributes.values():
+                for value in values:
+                    if isinstance(value, EntityRef):
+                        if value.name not in self._entities and value.name not in seen:
+                            seen.add(value.name)
+                            missing.append(value.name)
+        return missing
+
+    def validate(self) -> None:
+        """Raise :class:`KnowledgeBaseError` if any entity ref is dangling."""
+        missing = self.dangling_references()
+        if missing:
+            preview = ", ".join(repr(m) for m in missing[:5])
+            raise KnowledgeBaseError(
+                f"{len(missing)} dangling entity reference(s): {preview}"
+            )
+
+    # ------------------------------------------------------------ bulk import
+
+    def add_entities(
+        self, rows: Iterable, default_type: Optional[str] = None
+    ) -> int:
+        """Bulk-add entities from ``(name, type_name)`` or ``(name,)`` rows.
+
+        Returns the number of entities added.  Rows with one element use
+        ``default_type``.
+        """
+        count = 0
+        for row in rows:
+            if isinstance(row, str):
+                row = (row,)
+            if len(row) == 1:
+                if default_type is None:
+                    raise KnowledgeBaseError(
+                        f"row {row!r} has no type and no default_type was given"
+                    )
+                self.add_entity(row[0], default_type)
+            else:
+                self.add_entity(row[0], row[1])
+            count += 1
+        return count

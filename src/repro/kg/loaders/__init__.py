@@ -1,0 +1,20 @@
+"""Knowledge-base loaders: JSON infobox documents, CSV relations, N-Triples."""
+
+from repro.kg.loaders.csvkb import load_csv_kb, load_csv_relations
+from repro.kg.loaders.jsonkb import dump_json_kb, load_json_kb, save_json_kb
+from repro.kg.loaders.ntriples import (
+    iri_local_name,
+    load_ntriples,
+    parse_ntriples,
+)
+
+__all__ = [
+    "dump_json_kb",
+    "iri_local_name",
+    "load_csv_kb",
+    "load_csv_relations",
+    "load_json_kb",
+    "load_ntriples",
+    "parse_ntriples",
+    "save_json_kb",
+]

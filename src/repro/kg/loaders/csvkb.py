@@ -1,0 +1,93 @@
+"""CSV relation loader.
+
+Specialized knowledge bases like IMDB and DBLP ship as relational tables.
+This loader ingests two kinds of CSV files:
+
+* an **entity file** with columns ``name,type[,text]``;
+* a **relation file** with columns ``source,attribute,target[,kind]`` where
+  ``kind`` is ``ref`` (default) for entity references or ``text`` for plain
+  text values.
+
+Both accept file paths or already-open iterables of rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.errors import LoaderError
+from repro.kg.entity import EntityRef, TextValue
+from repro.kg.knowledge_base import KnowledgeBase
+
+Source = Union[str, Path, Iterable[Sequence[str]]]
+
+
+def _rows(source: Source, what: str) -> List[Sequence[str]]:
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if not path.exists():
+            raise LoaderError(f"no such {what} file: {str(source)!r}")
+        with open(path, newline="") as handle:
+            return [row for row in csv.reader(handle) if row]
+    if isinstance(source, io.TextIOBase):
+        return [row for row in csv.reader(source) if row]
+    return [list(row) for row in source if row]
+
+
+def _skip_header(rows: List[Sequence[str]], header: Sequence[str]) -> List[Sequence[str]]:
+    if rows and [cell.strip().lower() for cell in rows[0][: len(header)]] == list(header):
+        return rows[1:]
+    return rows
+
+
+def load_csv_kb(
+    entities: Source,
+    relations: Optional[Source] = None,
+    kb: Optional[KnowledgeBase] = None,
+) -> KnowledgeBase:
+    """Load entities (and optionally relations) into a knowledge base.
+
+    Pass an existing ``kb`` to merge several files.
+    """
+    kb = kb if kb is not None else KnowledgeBase()
+    rows = _skip_header(_rows(entities, "entity"), ("name", "type"))
+    for i, row in enumerate(rows):
+        if len(row) < 2:
+            raise LoaderError(f"entity row #{i} needs name,type: {row!r}")
+        name, type_name = row[0].strip(), row[1].strip()
+        text = row[2].strip() if len(row) > 2 else ""
+        if not name or not type_name:
+            raise LoaderError(f"entity row #{i} has empty name or type: {row!r}")
+        kb.add_entity(name, type_name, text)
+    if relations is not None:
+        load_csv_relations(relations, kb)
+    return kb
+
+
+def load_csv_relations(relations: Source, kb: KnowledgeBase) -> int:
+    """Add relation rows to an existing knowledge base; returns the count."""
+    rows = _skip_header(
+        _rows(relations, "relation"), ("source", "attribute", "target")
+    )
+    count = 0
+    for i, row in enumerate(rows):
+        if len(row) < 3:
+            raise LoaderError(
+                f"relation row #{i} needs source,attribute,target: {row!r}"
+            )
+        source, attribute, target = (cell.strip() for cell in row[:3])
+        kind = row[3].strip().lower() if len(row) > 3 and row[3].strip() else "ref"
+        if kind == "ref":
+            value: Union[EntityRef, TextValue] = EntityRef(target)
+        elif kind == "text":
+            value = TextValue(target)
+        else:
+            raise LoaderError(
+                f"relation row #{i}: kind must be 'ref' or 'text', got {kind!r}"
+            )
+        kb.set_attribute(source, attribute, value)
+        count += 1
+    return count

@@ -1,0 +1,168 @@
+"""JSON infobox-style knowledge-base loader.
+
+Mirrors the paper's Wikipedia-infobox framing (Figure 1(a)-(c)): each entity
+is a JSON object with a type and a mapping of attributes to values.  Values
+may be strings (plain text), ``{"ref": "Entity Name"}`` objects (entity
+references), or lists mixing both (multi-valued attributes).
+
+Document format::
+
+    {
+      "types": {"Software": "Software", "Company": "Company"},
+      "attribute_types": {"Developer": "Developer"},
+      "entities": [
+        {
+          "name": "SQL Server",
+          "type": "Software",
+          "text": "SQL Server",            // optional, defaults to name
+          "attributes": {
+            "Developer": {"ref": "Microsoft"},
+            "Written in": "C++"
+          }
+        },
+        ...
+      ]
+    }
+
+``types``/``attribute_types`` are optional and only needed to attach custom
+text descriptions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.errors import LoaderError
+from repro.kg.entity import EntityRef, TextValue
+from repro.kg.knowledge_base import KnowledgeBase
+
+
+def load_json_kb(source: Union[str, Path, Dict[str, Any]]) -> KnowledgeBase:
+    """Load a knowledge base from a JSON file path, JSON string, or dict."""
+    document = _coerce_document(source)
+    if not isinstance(document, dict):
+        raise LoaderError("JSON KB document must be an object at top level")
+
+    kb = KnowledgeBase()
+    for name, text in _mapping(document.get("types", {}), "types").items():
+        kb.declare_entity_type(name, text)
+    attr_types = _mapping(document.get("attribute_types", {}), "attribute_types")
+    for name, text in attr_types.items():
+        kb.declare_attribute_type(name, text)
+
+    entities = document.get("entities")
+    if not isinstance(entities, list):
+        raise LoaderError('JSON KB document must have an "entities" list')
+
+    # First pass declares entities so forward references resolve.
+    for i, record in enumerate(entities):
+        if not isinstance(record, dict):
+            raise LoaderError(f"entity #{i} is not an object: {record!r}")
+        name = record.get("name")
+        type_name = record.get("type")
+        if not isinstance(name, str) or not isinstance(type_name, str):
+            raise LoaderError(
+                f'entity #{i} must have string "name" and "type": {record!r}'
+            )
+        kb.add_entity(name, type_name, record.get("text", ""))
+
+    for record in entities:
+        attributes = record.get("attributes", {})
+        if not isinstance(attributes, dict):
+            raise LoaderError(
+                f"entity {record['name']!r} attributes must be an object"
+            )
+        for attr_name, raw in attributes.items():
+            for value in _coerce_values(record["name"], attr_name, raw):
+                kb.set_attribute(record["name"], attr_name, value)
+    return kb
+
+
+def dump_json_kb(kb: KnowledgeBase) -> Dict[str, Any]:
+    """Serialize a knowledge base back to the loader's document format."""
+    document: Dict[str, Any] = {
+        "types": {t.name: t.text for t in kb.entity_types()},
+        "attribute_types": {a.name: a.text for a in kb.attribute_types()},
+        "entities": [],
+    }
+    for entity in kb.entities():
+        attributes: Dict[str, Any] = {}
+        for attr_name, values in entity.attributes.items():
+            encoded: List[Any] = []
+            for value in values:
+                if isinstance(value, EntityRef):
+                    encoded.append({"ref": value.name})
+                else:
+                    encoded.append(value.text)
+            attributes[attr_name] = encoded if len(encoded) > 1 else encoded[0]
+        document["entities"].append(
+            {
+                "name": entity.name,
+                "type": entity.type_name,
+                "text": entity.text,
+                "attributes": attributes,
+            }
+        )
+    return document
+
+
+def save_json_kb(kb: KnowledgeBase, path: Union[str, Path]) -> None:
+    """Write ``kb`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(dump_json_kb(kb), indent=2))
+
+
+def _coerce_document(source: Union[str, Path, Dict[str, Any]]) -> Any:
+    if isinstance(source, dict):
+        return source
+    if isinstance(source, Path):
+        return json.loads(source.read_text())
+    if isinstance(source, str):
+        stripped = source.lstrip()
+        if stripped.startswith("{"):
+            try:
+                return json.loads(source)
+            except json.JSONDecodeError as exc:
+                raise LoaderError(f"invalid JSON document: {exc}") from exc
+        path = Path(source)
+        if not path.exists():
+            raise LoaderError(f"no such file: {source!r}")
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise LoaderError(f"invalid JSON in {source!r}: {exc}") from exc
+    raise LoaderError(f"unsupported JSON KB source: {type(source).__name__}")
+
+
+def _mapping(raw: Any, field: str) -> Dict[str, str]:
+    if not isinstance(raw, dict):
+        raise LoaderError(f'"{field}" must be an object of name -> text')
+    out = {}
+    for key, value in raw.items():
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise LoaderError(f'"{field}" entries must be strings')
+        out[key] = value
+    return out
+
+
+def _coerce_values(entity: str, attr: str, raw: Any) -> List[Any]:
+    values = raw if isinstance(raw, list) else [raw]
+    out = []
+    for value in values:
+        if isinstance(value, str):
+            out.append(TextValue(value))
+        elif isinstance(value, dict) and set(value) == {"ref"}:
+            if not isinstance(value["ref"], str):
+                raise LoaderError(
+                    f"{entity!r}.{attr!r}: ref must be a string, "
+                    f"got {value['ref']!r}"
+                )
+            out.append(EntityRef(value["ref"]))
+        elif isinstance(value, (int, float)):
+            out.append(TextValue(str(value)))
+        else:
+            raise LoaderError(
+                f"{entity!r}.{attr!r}: unsupported value {value!r}"
+            )
+    return out

@@ -1,0 +1,166 @@
+"""Minimal N-Triples loader.
+
+Public knowledge bases (DBPedia, Yago, Freebase dumps) ship as RDF
+N-Triples.  This loader parses the common subset — IRIs and plain/typed
+literals — and maps triples onto the paper's entity/attribute model:
+
+* ``<s> <rdf:type> <o>``        sets the entity type of ``s``.
+* ``<s> <rdfs:label> "text"``   sets the text description of ``s``.
+* ``<s> <p> <o>``               becomes attribute ``p`` referring to ``o``.
+* ``<s> <p> "literal"``         becomes attribute ``p`` with plain text.
+
+Entity and attribute names are derived from the IRI fragment or last path
+segment, with underscores turned into spaces (DBPedia convention, e.g.
+``.../resource/Bill_Gates`` -> "Bill Gates").
+
+This is intentionally not a full RDF stack (no prefixes/blank-node graphs —
+N-Triples has neither; no datatype semantics); it exists so the library can
+ingest real public dumps without rdflib.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.core.errors import LoaderError
+from repro.kg.entity import EntityRef, TextValue
+from repro.kg.knowledge_base import KnowledgeBase
+
+RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+RDFS_LABEL = "http://www.w3.org/2000/01/rdf-schema#label"
+
+DEFAULT_TYPE_NAME = "Thing"
+
+_IRI = r"<([^<>\s]*)>"
+_LITERAL = r'"((?:[^"\\]|\\.)*)"(?:\^\^<[^<>\s]*>|@[A-Za-z][A-Za-z0-9-]*)?'
+_BNODE = r"(_:[A-Za-z0-9]+)"
+_TRIPLE_RE = re.compile(
+    rf"^\s*{_IRI}\s+{_IRI}\s+(?:{_IRI}|{_LITERAL}|{_BNODE})\s*\.\s*$"
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+def iri_local_name(iri: str) -> str:
+    """Human-readable name of an IRI: fragment or last path segment.
+
+    >>> iri_local_name("http://dbpedia.org/resource/Bill_Gates")
+    'Bill Gates'
+    """
+    if "#" in iri:
+        local = iri.rsplit("#", 1)[1]
+    else:
+        local = iri.rstrip("/").rsplit("/", 1)[-1]
+    return local.replace("_", " ") or iri
+
+
+def _unescape(literal: str) -> str:
+    out = literal
+    for escaped, plain in _ESCAPES.items():
+        out = out.replace(escaped, plain)
+    return out
+
+
+def parse_ntriples(
+    lines: Iterable[str],
+) -> Iterable[Tuple[str, str, str, bool]]:
+    """Yield ``(subject, predicate, object, object_is_iri)`` tuples.
+
+    Blank lines and ``#`` comments are skipped.  Malformed lines raise
+    :class:`LoaderError` with the line number.  Triples with blank-node
+    subjects are not supported (knowledge bases name their entities); blank
+    objects are skipped since they carry no text to match.
+    """
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _TRIPLE_RE.match(stripped)
+        if match is None:
+            raise LoaderError(f"line {lineno}: not a valid N-Triple: {line!r}")
+        subject, predicate, obj_iri, obj_literal, obj_bnode = match.groups()
+        if obj_bnode is not None:
+            continue
+        if obj_iri is not None:
+            yield subject, predicate, obj_iri, True
+        else:
+            yield subject, predicate, _unescape(obj_literal), False
+
+
+def load_ntriples(
+    source: Union[str, Path, Iterable[str]],
+    default_type: str = DEFAULT_TYPE_NAME,
+    max_triples: Optional[int] = None,
+) -> KnowledgeBase:
+    """Load a knowledge base from N-Triples.
+
+    ``source`` may be a file path or an iterable of lines.  ``max_triples``
+    truncates large dumps (useful for laptop-scale experimentation).
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if not path.exists():
+            raise LoaderError(f"no such file: {str(source)!r}")
+        lines: Iterable[str] = path.read_text().splitlines()
+    else:
+        lines = source
+
+    kb = KnowledgeBase()
+    kb.declare_entity_type(default_type)
+    pending = []  # (subject_iri, attr_name, object_iri_or_TextValue)
+    types = {}  # subject iri -> type name
+    labels = {}  # subject iri -> label text
+    iris = []  # insertion-ordered iris needing entities (subjects first)
+    seen_iris = set()
+
+    def note_iri(iri: str) -> None:
+        if iri not in seen_iris:
+            seen_iris.add(iri)
+            iris.append(iri)
+
+    count = 0
+    for subject, predicate, obj, obj_is_iri in parse_ntriples(lines):
+        count += 1
+        if max_triples is not None and count > max_triples:
+            break
+        note_iri(subject)
+        if predicate == RDF_TYPE and obj_is_iri:
+            types[subject] = iri_local_name(obj)
+        elif predicate == RDFS_LABEL and not obj_is_iri:
+            labels[subject] = obj
+        elif obj_is_iri:
+            note_iri(obj)
+            pending.append((subject, iri_local_name(predicate), obj))
+        else:
+            pending.append((subject, iri_local_name(predicate), TextValue(obj)))
+
+    # One entity per IRI; distinct IRIs with colliding local names get a
+    # numeric suffix so both survive.
+    name_of_iri = {}
+    taken = set()
+    for iri in iris:
+        name = iri_local_name(iri)
+        candidate = name
+        suffix = 2
+        while candidate in taken:
+            candidate = f"{name} ({suffix})"
+            suffix += 1
+        taken.add(candidate)
+        name_of_iri[iri] = candidate
+        kb.add_entity(
+            candidate, types.get(iri, default_type), labels.get(iri, candidate)
+        )
+
+    for subject, attr_name, value in pending:
+        if not isinstance(value, TextValue):
+            value = EntityRef(name_of_iri[value])
+        kb.set_attribute(name_of_iri[subject], attr_name, value)
+    return kb

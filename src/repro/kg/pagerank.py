@@ -1,0 +1,133 @@
+"""PageRank over the knowledge graph (scoring component 2, Section 2.2.3).
+
+The paper specifies the classic iterative update with damping a = 0.85::
+
+    PR(v) <- (1 - a) / |V| + a * sum_{(u,v) in E} PR(u) / OutDegree(u)
+
+initialized at 1/|V| and iterated until every node changes by less than
+1e-8.  Note this variant (as written in the paper) lets the rank mass of
+dangling nodes leak rather than redistributing it; we follow the paper and
+offer redistribution as an option.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.errors import GraphError
+from repro.kg.graph import KnowledgeGraph
+
+DEFAULT_DAMPING = 0.85
+DEFAULT_TOLERANCE = 1e-8
+DEFAULT_MAX_ITERATIONS = 500
+
+
+def pagerank(
+    graph: KnowledgeGraph,
+    damping: float = DEFAULT_DAMPING,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    redistribute_dangling: bool = False,
+) -> List[float]:
+    """Compute PageRank scores for every node of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph; edge direction is followed (a link from u to v
+        transfers rank from u to v).
+    damping:
+        The damping factor ``a`` (paper: 0.85).  Must lie in (0, 1).
+    tolerance:
+        Convergence threshold on the maximum per-node change (paper: 1e-8).
+    max_iterations:
+        Safety cap; :class:`GraphError` is raised if not converged, because
+        un-converged scores would silently skew every experiment downstream.
+    redistribute_dangling:
+        When True, rank of zero-out-degree nodes is spread uniformly (the
+        textbook fix).  Default False follows the paper's formula verbatim.
+
+    Returns
+    -------
+    A list of floats indexed by node id.
+    """
+    if not 0.0 < damping < 1.0:
+        raise GraphError(f"damping must be in (0, 1), got {damping}")
+    n = graph.num_nodes
+    if n == 0:
+        return []
+
+    sources = np.empty(graph.num_edges, dtype=np.int64)
+    targets = np.empty(graph.num_edges, dtype=np.int64)
+    i = 0
+    for node in graph.nodes():
+        for _attr, target in graph.out_edges(node):
+            sources[i] = node
+            targets[i] = target
+            i += 1
+    out_degree = np.zeros(n, dtype=np.float64)
+    np.add.at(out_degree, sources, 1.0)
+    dangling_mask = out_degree == 0.0
+    safe_out = np.where(dangling_mask, 1.0, out_degree)
+
+    rank = np.full(n, 1.0 / n, dtype=np.float64)
+    base = (1.0 - damping) / n
+    for _ in range(max_iterations):
+        contribution = damping * rank / safe_out
+        new_rank = np.full(n, base, dtype=np.float64)
+        if len(sources):
+            np.add.at(new_rank, targets, contribution[sources])
+        if redistribute_dangling:
+            leaked = damping * rank[dangling_mask].sum()
+            new_rank += leaked / n
+        delta = np.abs(new_rank - rank).max()
+        rank = new_rank
+        if delta < tolerance:
+            return rank.tolist()
+    raise GraphError(
+        f"PageRank did not converge within {max_iterations} iterations "
+        f"(last delta {delta:.3e}, tolerance {tolerance:.3e})"
+    )
+
+
+def uniform_scores(graph: KnowledgeGraph, value: float = 1.0) -> List[float]:
+    """Constant importance scores.
+
+    Example 2.4 of the paper walks through scoring "assuming every node has
+    the same PageRank score 1"; tests reproducing that example use this.
+    """
+    return [value] * graph.num_nodes
+
+
+def normalized_pagerank(
+    graph: KnowledgeGraph,
+    damping: float = DEFAULT_DAMPING,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> List[float]:
+    """PageRank rescaled so the *mean* score is 1.0.
+
+    Raw PageRank values are O(1/|V|); rescaling keeps the magnitude of the
+    score2 component comparable across graph sizes, which stabilizes the
+    scalability experiments (Figure 10) where the same queries run against
+    graphs of different sizes.
+    """
+    scores = pagerank(graph, damping, tolerance, max_iterations)
+    if not scores:
+        return scores
+    mean = sum(scores) / len(scores)
+    if mean <= 0.0:  # pragma: no cover - mean is positive by construction
+        return scores
+    return [s / mean for s in scores]
+
+
+def top_ranked_nodes(
+    graph: KnowledgeGraph, scores: Optional[List[float]] = None, k: int = 10
+) -> List[int]:
+    """The ``k`` highest-PageRank node ids (ties broken by node id)."""
+    if scores is None:
+        scores = pagerank(graph)
+    order = sorted(graph.nodes(), key=lambda v: (-scores[v], v))
+    return order[:k]

@@ -1,0 +1,70 @@
+"""Keyword/text similarity measures.
+
+The paper's third scoring component (Equation 6) is the Jaccard similarity
+between a query word and the text description of the node (type) or
+attribute type it matched.  Example 2.4: "database" against the entity text
+"Relational database" scores 1/2.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set, Union
+
+TokenSet = Union[Set[str], FrozenSet[str]]
+
+
+def jaccard(a: TokenSet, b: TokenSet) -> float:
+    """Jaccard similarity |a ∩ b| / |a ∪ b| of two token sets.
+
+    Returns 0.0 when both sets are empty (the conventional choice; an empty
+    text can never have matched a keyword anyway).
+
+    >>> jaccard({"database"}, {"relational", "database"})
+    0.5
+    """
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    if union == 0:
+        return 0.0
+    return len(a & b) / union
+
+
+def keyword_similarity(word: str, text_tokens: TokenSet) -> float:
+    """Similarity of a single keyword against a text's token set.
+
+    This is ``jaccard({word}, text_tokens)`` which simplifies to
+    ``1 / |text_tokens|`` when the word occurs in the text and 0 otherwise —
+    matching the paper's worked example (1/6 for a word inside a six-token
+    book title).
+    """
+    if word in text_tokens:
+        return 1.0 / len(text_tokens)
+    return 0.0
+
+
+def dice(a: TokenSet, b: TokenSet) -> float:
+    """Dice coefficient 2|a ∩ b| / (|a| + |b|); alternative to Jaccard.
+
+    Provided because Section 2.2.3 notes the component functions "can be
+    replaced by other functions"; the scoring layer accepts any callable.
+    """
+    total = len(a) + len(b)
+    if total == 0:
+        return 0.0
+    return 2.0 * len(a & b) / total
+
+
+def overlap_coefficient(a: TokenSet, b: TokenSet) -> float:
+    """Overlap coefficient |a ∩ b| / min(|a|, |b|)."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def containment(query_tokens: Iterable[str], text_tokens: TokenSet) -> float:
+    """Fraction of ``query_tokens`` contained in ``text_tokens``."""
+    query = set(query_tokens)
+    if not query:
+        return 0.0
+    return len(query & set(text_tokens)) / len(query)

@@ -1,0 +1,260 @@
+"""Porter stemming algorithm, implemented from scratch.
+
+The paper's index handles morphological variants by storing "every word
+[with] its stemmed version ... pointing to the same path-pattern entry"
+(Section 3).  We implement the classic Porter (1980) algorithm so the
+library has no external NLP dependency.
+
+Reference: M. F. Porter, "An algorithm for suffix stripping", Program 14(3),
+1980.  The implementation follows the original five-step description,
+including the m-measure and the *o (cvc) condition.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+_VOWELS = frozenset("aeiou")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    """Return True when ``word[i]`` acts as a consonant in Porter's sense.
+
+    A letter is a consonant if it is not a-e-i-o-u, and ``y`` is a consonant
+    when preceded by a vowel-acting letter (i.e. ``y`` after a consonant is
+    itself a vowel, as in "sky").
+    """
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        if i == 0:
+            return True
+        return not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Compute Porter's measure m: the number of VC sequences in the stem.
+
+    A word has the form [C](VC)^m[V] where C and V are maximal consonant and
+    vowel runs.
+    """
+    m = 0
+    i = 0
+    n = len(stem)
+    # Skip the optional leading consonant run.
+    while i < n and _is_consonant(stem, i):
+        i += 1
+    while i < n:
+        # Vowel run.
+        while i < n and not _is_consonant(stem, i):
+            i += 1
+        if i >= n:
+            break
+        # Consonant run closes one VC block.
+        while i < n and _is_consonant(stem, i):
+            i += 1
+        m += 1
+    return m
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    if len(word) < 2:
+        return False
+    return word[-1] == word[-2] and _is_consonant(word, len(word) - 1)
+
+
+def _ends_cvc(word: str) -> bool:
+    """*o condition: stem ends consonant-vowel-consonant, last not w/x/y."""
+    if len(word) < 3:
+        return False
+    if not _is_consonant(word, len(word) - 3):
+        return False
+    if _is_consonant(word, len(word) - 2):
+        return False
+    if not _is_consonant(word, len(word) - 1):
+        return False
+    return word[-1] not in "wxy"
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str) -> str:
+    return word[: len(word) - len(suffix)] + replacement
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return _replace_suffix(word, "sses", "ss")
+    if word.endswith("ies"):
+        return _replace_suffix(word, "ies", "i")
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return word[:-1]
+        return word
+    flag = False
+    if word.endswith("ed"):
+        stem = word[:-2]
+        if _contains_vowel(stem):
+            word = stem
+            flag = True
+    elif word.endswith("ing"):
+        stem = word[:-3]
+        if _contains_vowel(stem):
+            word = stem
+            flag = True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2_SUFFIXES = (
+    ("ational", "ate"),
+    ("tional", "tion"),
+    ("enci", "ence"),
+    ("anci", "ance"),
+    ("izer", "ize"),
+    ("abli", "able"),
+    ("alli", "al"),
+    ("entli", "ent"),
+    ("eli", "e"),
+    ("ousli", "ous"),
+    ("ization", "ize"),
+    ("ation", "ate"),
+    ("ator", "ate"),
+    ("alism", "al"),
+    ("iveness", "ive"),
+    ("fulness", "ful"),
+    ("ousness", "ous"),
+    ("aliti", "al"),
+    ("iviti", "ive"),
+    ("biliti", "ble"),
+)
+
+_STEP3_SUFFIXES = (
+    ("icate", "ic"),
+    ("ative", ""),
+    ("alize", "al"),
+    ("iciti", "ic"),
+    ("ical", "ic"),
+    ("ful", ""),
+    ("ness", ""),
+)
+
+_STEP4_SUFFIXES = (
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+)
+
+
+def _step_2(word: str) -> str:
+    for suffix, replacement in _STEP2_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 0:
+                return stem + replacement
+            return word
+    return word
+
+
+def _step_3(word: str) -> str:
+    for suffix, replacement in _STEP3_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 0:
+                return stem + replacement
+            return word
+    return word
+
+
+def _step_4(word: str) -> str:
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if suffix == "ion" and not stem.endswith(("s", "t")):
+                continue
+            if _measure(stem) > 1:
+                return stem
+            return word
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if stem.endswith(("s", "t")) and _measure(stem) > 1:
+            return stem
+    return word
+
+
+def _step_5a(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1:
+            return stem
+        if m == 1 and not _ends_cvc(stem):
+            return stem
+    return word
+
+
+def _step_5b(word: str) -> str:
+    if word.endswith("ll") and _measure(word) > 1:
+        return word[:-1]
+    return word
+
+
+@lru_cache(maxsize=65536)
+def stem(word: str) -> str:
+    """Return the Porter stem of ``word``.
+
+    The input is lower-cased first.  Words of length <= 2 are returned
+    unchanged (lower-cased), following Porter's original treatment.
+
+    >>> stem("databases")
+    'databas'
+    >>> stem("relational")
+    'relat'
+    >>> stem("running")
+    'run'
+    """
+    word = word.lower()
+    if len(word) <= 2:
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    word = _step_2(word)
+    word = _step_3(word)
+    word = _step_4(word)
+    word = _step_5a(word)
+    word = _step_5b(word)
+    return word
+
+
+def stem_all(words) -> list:
+    """Stem every word in an iterable, preserving order.
+
+    >>> stem_all(["Databases", "Companies"])
+    ['databas', 'compani']
+    """
+    return [stem(w) for w in words]

@@ -1,0 +1,106 @@
+"""Synonym handling for the path index.
+
+Section 3 of the paper: "to handle synonyms, every word has its stemmed
+version and synonyms in our index pointing to the same path-pattern entry."
+
+A :class:`SynonymTable` maps surface words to a canonical word.  The index
+builder expands each indexed token to its canonical form plus itself, and
+query parsing canonicalizes query words, so "film" can retrieve entries
+indexed under "movie" without duplicating postings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set
+
+from repro.kg.stemmer import stem
+
+
+class SynonymTable:
+    """Bidirectional word -> canonical-word mapping.
+
+    Synonym groups are registered as iterables of words; the first word of a
+    group is its canonical representative.  All words are stored stemmed so
+    the table composes with the normalizer.
+
+    >>> table = SynonymTable([["movie", "film", "picture"]])
+    >>> table.canonical("films")
+    'movi'
+    """
+
+    def __init__(self, groups: Iterable[Iterable[str]] = ()) -> None:
+        self._canonical: Dict[str, str] = {}
+        self._groups: Dict[str, Set[str]] = {}
+        for group in groups:
+            self.add_group(group)
+
+    def add_group(self, words: Iterable[str]) -> None:
+        """Register a synonym group; the first word becomes canonical.
+
+        Groups sharing a word are merged into the earlier group's canonical.
+        """
+        stemmed = [stem(w) for w in words]
+        if not stemmed:
+            return
+        # If any member is already known, reuse its canonical form so that
+        # transitively-registered groups stay consistent.
+        canonical = None
+        for word in stemmed:
+            if word in self._canonical:
+                canonical = self._canonical[word]
+                break
+        if canonical is None:
+            canonical = stemmed[0]
+        members = self._groups.setdefault(canonical, {canonical})
+        for word in stemmed:
+            self._canonical[word] = canonical
+            members.add(word)
+
+    def _find_canonical(self, word: str) -> str:
+        """Lookup that never re-stems an already-stemmed token.
+
+        Registered keys are stored stemmed.  The word is tried as given
+        first — index tokens arrive pre-stemmed, and Porter is not
+        idempotent ("databas" would wrongly re-stem to "databa") — and only
+        on a miss is a stemmed retry attempted for raw surface forms.
+        """
+        canonical = self._canonical.get(word)
+        if canonical is None:
+            canonical = self._canonical.get(stem(word))
+        return word if canonical is None else canonical
+
+    def canonical(self, word: str) -> str:
+        """Canonical form of ``word``; identity if unregistered."""
+        return self._find_canonical(word)
+
+    def expansions(self, word: str) -> List[str]:
+        """All index keys a document token should be filed under.
+
+        Returns the token itself plus its canonical form (deduplicated).
+        Filing under the canonical form is what lets any synonym in a query
+        reach the entry.
+        """
+        canonical = self._find_canonical(word)
+        if canonical == word:
+            return [word]
+        return [word, canonical]
+
+    def group_of(self, word: str) -> Set[str]:
+        """The full synonym group containing ``word`` (singleton if none)."""
+        canonical = self._find_canonical(word)
+        return set(self._groups.get(canonical, {canonical}))
+
+    def __len__(self) -> int:
+        return len(self._canonical)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, str]) -> "SynonymTable":
+        """Build from a word -> canonical mapping."""
+        table = cls()
+        for word, canonical in mapping.items():
+            table.add_group([canonical, word])
+        return table
+
+
+#: Empty table used by default: synonym support is opt-in.
+EMPTY_SYNONYMS = SynonymTable()

@@ -1,0 +1,126 @@
+"""Tokenization and keyword normalization.
+
+The knowledge graph stores free text on entities, entity types, and
+attribute types (``v.text``, ``C.text``, ``A.text`` in the paper).  Both the
+index builder and query parsing normalize text through this module so that
+a query word matches the same vocabulary the index was built on.
+
+Pipeline: lower-case -> split on non-alphanumeric -> drop stopwords ->
+(optionally) Porter-stem.  Stemming is on by default, matching Section 3 of
+the paper ("every word has its stemmed version ... in our index").
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.errors import QueryError
+from repro.kg.stemmer import stem
+
+#: Tokens are alphanumeric runs; intra-word hyphens join a compound into a
+#: single token ("O-R database" has two tokens, matching the paper's
+#: Example 2.4 similarity arithmetic).
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:-[a-z0-9]+)*")
+
+#: A deliberately small stopword list: the paper's queries are short
+#: entity-ish keyword sets, so we only drop glue words that would otherwise
+#: pollute the index with huge posting lists.
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    {
+        "a", "an", "and", "are", "as", "at", "be", "by", "for", "from",
+        "in", "into", "is", "it", "of", "on", "or", "the", "to", "with",
+    }
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into lower-case alphanumeric tokens.
+
+    >>> tokenize("US$ 77 billion")
+    ['us', '77', 'billion']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+class TextNormalizer:
+    """Shared normalizer used by index construction and query parsing.
+
+    Parameters
+    ----------
+    use_stemming:
+        When True (default), tokens are Porter-stemmed.
+    stopwords:
+        Tokens dropped from both documents and queries.  Pass an empty set
+        to keep everything.
+    """
+
+    def __init__(
+        self,
+        use_stemming: bool = True,
+        stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+    ) -> None:
+        self.use_stemming = use_stemming
+        self.stopwords = frozenset(w.lower() for w in stopwords)
+
+    def normalize_token(self, token: str) -> str:
+        """Normalize one already-tokenized word."""
+        token = token.lower()
+        if self.use_stemming:
+            return stem(token)
+        return token
+
+    def tokens(self, text: str) -> List[str]:
+        """Tokenize + normalize a text description, dropping stopwords.
+
+        Duplicates are preserved (callers that need sets build them).
+        """
+        out = []
+        for token in tokenize(text):
+            if token in self.stopwords:
+                continue
+            out.append(self.normalize_token(token))
+        return out
+
+    def token_set(self, text: str) -> FrozenSet[str]:
+        """Normalized token set of a text description."""
+        return frozenset(self.tokens(text))
+
+    def parse_query(self, query) -> Tuple[str, ...]:
+        """Normalize a keyword query into a tuple of keywords.
+
+        ``query`` may be a whitespace-separated string or a sequence of
+        words.  Keywords are normalized exactly like document tokens so that
+        lookups hit the index vocabulary.  Duplicate keywords are collapsed
+        (asking twice for the same word adds no constraint) while first-seen
+        order is preserved.
+
+        Raises
+        ------
+        QueryError
+            If the query is empty after normalization, or contains
+            non-string items.
+        """
+        if isinstance(query, str):
+            raw: Sequence[str] = query.split()
+        else:
+            raw = list(query)
+        words = []
+        seen = set()
+        for item in raw:
+            if not isinstance(item, str):
+                raise QueryError(f"query words must be strings, got {item!r}")
+            for token in tokenize(item):
+                if token in self.stopwords:
+                    continue
+                normalized = self.normalize_token(token)
+                if normalized not in seen:
+                    seen.add(normalized)
+                    words.append(normalized)
+        if not words:
+            raise QueryError(f"query {query!r} is empty after normalization")
+        return tuple(words)
+
+
+#: Module-level default normalizer (stemming on, default stopwords).
+DEFAULT_NORMALIZER = TextNormalizer()

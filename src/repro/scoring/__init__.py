@@ -1,0 +1,43 @@
+"""Relevance scoring of subtrees and tree patterns (Section 2.2.3)."""
+
+from repro.scoring.aggregate import (
+    AGGREGATORS,
+    AVG,
+    COUNT,
+    MAX,
+    SUM,
+    RunningAggregate,
+    aggregate,
+    estimate_from_sample,
+)
+from repro.scoring.components import (
+    EDGE_TYPE,
+    NODE_TEXT,
+    NODE_TYPE,
+    PathComponents,
+    SubtreeComponents,
+    components_for_path,
+    sum_components,
+)
+from repro.scoring.function import COUNT_TREES, PAPER_DEFAULT, ScoringFunction
+
+__all__ = [
+    "AGGREGATORS",
+    "AVG",
+    "COUNT",
+    "COUNT_TREES",
+    "EDGE_TYPE",
+    "MAX",
+    "NODE_TEXT",
+    "NODE_TYPE",
+    "PAPER_DEFAULT",
+    "PathComponents",
+    "RunningAggregate",
+    "ScoringFunction",
+    "SubtreeComponents",
+    "SUM",
+    "aggregate",
+    "components_for_path",
+    "estimate_from_sample",
+    "sum_components",
+]

@@ -1,0 +1,129 @@
+"""Aggregation of subtree scores into pattern scores (Equation 2).
+
+The paper defines the relevance of a tree pattern as an aggregation of the
+relevance scores of its valid subtrees — "sum, average, and max of scores,
+or count of trees" — defaulting to sum.  All four are implemented, plus
+unbiased sample-based estimation for the sampling algorithm (Section 4.2.2,
+where only a rho-fraction of candidate roots is expanded).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.errors import ScoringError
+
+SUM = "sum"
+AVG = "avg"
+MAX = "max"
+COUNT = "count"
+
+AGGREGATORS = (SUM, AVG, MAX, COUNT)
+
+
+def validate_aggregator(name: str) -> str:
+    if name not in AGGREGATORS:
+        raise ScoringError(
+            f"unknown aggregator {name!r}; expected one of {AGGREGATORS}"
+        )
+    return name
+
+
+def aggregate(name: str, tree_scores: Iterable[float]) -> float:
+    """Aggregate exact subtree scores into a pattern score.
+
+    An empty score list is an error: empty tree patterns are never answers.
+    """
+    scores: List[float] = list(tree_scores)
+    if not scores:
+        raise ScoringError("cannot aggregate an empty set of subtree scores")
+    if name == SUM:
+        return sum(scores)
+    if name == AVG:
+        return sum(scores) / len(scores)
+    if name == MAX:
+        return max(scores)
+    if name == COUNT:
+        return float(len(scores))
+    raise ScoringError(f"unknown aggregator {name!r}")
+
+
+def estimate_from_sample(
+    name: str, sample_scores: Iterable[float], rate: float
+) -> float:
+    """Estimate the pattern score from a rho-sample of subtree scores.
+
+    For ``sum`` and ``count`` the Horvitz-Thompson estimator (sample value
+    divided by the inclusion probability ``rate``) is unbiased — this is the
+    ``s_hat`` of Theorem 5.  For ``avg`` the plain sample mean is used; for
+    ``max`` the sample max (a lower bound).
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ScoringError(f"sampling rate must be in (0, 1], got {rate}")
+    scores = list(sample_scores)
+    if not scores:
+        return 0.0
+    if name == SUM:
+        return sum(scores) / rate
+    if name == COUNT:
+        return len(scores) / rate
+    if name == AVG:
+        return sum(scores) / len(scores)
+    if name == MAX:
+        return max(scores)
+    raise ScoringError(f"unknown aggregator {name!r}")
+
+
+class RunningAggregate:
+    """Streaming aggregator used while subtrees are enumerated.
+
+    Avoids materializing per-pattern score lists when only the aggregate is
+    needed (the dictionaries in Algorithms 3-4 can hold millions of trees).
+    """
+
+    __slots__ = ("name", "total", "count", "best")
+
+    def __init__(self, name: str) -> None:
+        self.name = validate_aggregator(name)
+        self.total = 0.0
+        self.count = 0
+        self.best = float("-inf")
+
+    def add(self, score: float) -> None:
+        self.total += score
+        self.count += 1
+        if score > self.best:
+            self.best = score
+
+    def merge(self, other: "RunningAggregate") -> None:
+        if other.name != self.name:
+            raise ScoringError(
+                f"cannot merge {other.name!r} into {self.name!r} aggregate"
+            )
+        self.total += other.total
+        self.count += other.count
+        if other.best > self.best:
+            self.best = other.best
+
+    def value(self) -> float:
+        if self.count == 0:
+            raise ScoringError("no scores were added")
+        if self.name == SUM:
+            return self.total
+        if self.name == AVG:
+            return self.total / self.count
+        if self.name == MAX:
+            return self.best
+        return float(self.count)
+
+    def estimate(self, rate: float) -> float:
+        """Sample-scaled value (see :func:`estimate_from_sample`)."""
+        if self.count == 0:
+            return 0.0
+        if self.name == SUM:
+            return self.total / rate
+        if self.name == COUNT:
+            return self.count / rate
+        if self.name == AVG:
+            return self.total / self.count
+        return self.best

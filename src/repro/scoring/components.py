@@ -1,0 +1,81 @@
+"""Per-path score components (Equations 4-6 of the paper).
+
+For each keyword path ``T(w)`` three quantities feed the subtree score:
+
+* ``size``  — |T(w)|, the number of nodes on the path (Equation 4);
+* ``pr``    — PageRank of the matched node, or of the source node of a
+  matched edge (Equation 5);
+* ``sim``   — Jaccard similarity between the keyword and the text it
+  matched (Equation 6).
+
+These are precomputed at index-construction time and stored with every path
+entry ("the terms ... can be precomputed and stored in the path index as
+well, so that the overall score can be computed efficiently online" — §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.subtree import MatchPath
+
+#: Match kinds: where the keyword occurred.
+NODE_TEXT = "node_text"
+NODE_TYPE = "node_type"
+EDGE_TYPE = "edge_type"
+
+
+@dataclass(frozen=True)
+class PathComponents:
+    """The precomputed (size, pr, sim) triple of one keyword path."""
+
+    size: int
+    pr: float
+    sim: float
+
+
+def components_for_path(
+    path: MatchPath,
+    pagerank_scores: Sequence[float],
+    sim: float,
+) -> PathComponents:
+    """Assemble components for a path whose match similarity is known."""
+    return PathComponents(
+        size=path.num_nodes,
+        pr=pagerank_scores[path.match_node],
+        sim=sim,
+    )
+
+
+def sum_components(parts: Sequence[PathComponents]) -> "SubtreeComponents":
+    """Sum per-path components into per-subtree component totals.
+
+    The paper's score1/2/3 are each sums over the query's keywords
+    (Equations 4-6), so a subtree's raw components are the per-path sums.
+    """
+    size = 0
+    pr = 0.0
+    sim = 0.0
+    for part in parts:
+        size += part.size
+        pr += part.pr
+        sim += part.sim
+    return SubtreeComponents(size=size, pr=pr, sim=sim)
+
+
+@dataclass(frozen=True)
+class SubtreeComponents:
+    """Summed components of a whole valid subtree.
+
+    ``size``  = score1(T, q) = sum_w |T(w)|
+    ``pr``    = score2(T, q) = sum_w PR(f(w))
+    ``sim``   = score3(T, q) = sum_w sim(w, f(w))
+    """
+
+    size: int
+    pr: float
+    sim: float
+
+    def as_list(self) -> List[float]:
+        return [float(self.size), self.pr, self.sim]

@@ -1,0 +1,147 @@
+"""The enumeration-aggregation baseline (Section 2.3).
+
+Adapts backward search on database graphs (Bhalotia et al., BANKS) to our
+setting: starting from every keyword occurrence, reverse edges are walked
+to discover each root that reaches all keywords, valid subtrees are
+enumerated one by one (time linear in tree size, "the best we can expect"),
+and then — the bottleneck the paper calls out — subtrees are *grouped by
+their tree patterns* in an in-memory dictionary and ranked.
+
+The baseline deliberately does not touch the path indexes of Section 3; it
+uses only the keyword-match tables and precomputed PageRank ("proper
+preprocessing").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import SearchError
+from repro.core.topk import TopKQueue
+from repro.index.builder import PathIndexes
+from repro.index.entry import PathEntry
+from repro.index.path_enum import interleaved_labels, iter_reverse_paths_to
+from repro.scoring.aggregate import RunningAggregate
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.expand import combo_score, expand_root
+from repro.search.result import (
+    PatternAnswer,
+    SearchResult,
+    SearchStats,
+    Stopwatch,
+    order_answers,
+    pattern_from_labels,
+)
+
+#: Baseline pattern key: per-keyword (labels, ends_at_edge) pairs.
+RawKey = Tuple[Tuple[Tuple[int, ...], bool], ...]
+
+
+def _backward_root_maps(
+    indexes: PathIndexes, word: str, d: int
+) -> Dict[int, Dict[object, List[PathEntry]]]:
+    """All root-to-``word`` paths found by reverse walks, grouped by root.
+
+    Returns ``root -> ((labels, flag) -> [PathEntry])``, the same shape the
+    root-first index would give, but computed online per query.
+    """
+    graph = indexes.graph
+    lexicon = indexes.lexicon
+    ranks = indexes.pagerank_scores
+    out: Dict[int, Dict[object, List[PathEntry]]] = {}
+
+    for node, sim in lexicon.nodes_with_word(word).items():
+        pr = ranks[node]
+        for nodes, attrs in iter_reverse_paths_to(graph, node, d):
+            entry = PathEntry(nodes, attrs, False, pr, sim)
+            key = (interleaved_labels(graph, nodes, attrs), False)
+            out.setdefault(nodes[0], {}).setdefault(key, []).append(entry)
+
+    if d >= 2:
+        for attr, sim in lexicon.attrs_with_word(word).items():
+            for source, target in graph.edges_with_attr(attr):
+                pr = ranks[source]
+                for nodes, attrs in iter_reverse_paths_to(graph, source, d - 1):
+                    if target in nodes:
+                        continue  # keep the whole path simple
+                    full_nodes = nodes + (target,)
+                    full_attrs = attrs + (attr,)
+                    entry = PathEntry(full_nodes, full_attrs, True, pr, sim)
+                    key = (
+                        interleaved_labels(graph, nodes, attrs) + (attr,),
+                        True,
+                    )
+                    out.setdefault(nodes[0], {}).setdefault(key, []).append(
+                        entry
+                    )
+    return out
+
+
+def baseline_search(
+    indexes: PathIndexes,
+    query,
+    k: int = 100,
+    scoring: ScoringFunction = PAPER_DEFAULT,
+    keep_subtrees: bool = True,
+    d: Optional[int] = None,
+) -> SearchResult:
+    """Enumerate all valid subtrees, group by pattern, rank, return top-k.
+
+    ``d`` defaults to the index's height threshold so results are
+    comparable with the index-based algorithms; a smaller ``d`` may be
+    passed (a larger one cannot be checked against the index and is
+    allowed — the baseline does not read the index).
+    """
+    watch = Stopwatch()
+    stats = SearchStats(algorithm="baseline")
+    if d is None:
+        d = indexes.d
+    if d < 1:
+        raise SearchError(f"height threshold d must be >= 1, got {d}")
+    words = indexes.resolve_query(query)
+
+    per_word = [_backward_root_maps(indexes, w, d) for w in words]
+
+    candidates = set(per_word[0])
+    for root_map in per_word[1:]:
+        candidates &= set(root_map)
+    stats.candidate_roots = len(candidates)
+
+    tree_dict: Dict[RawKey, Tuple[RunningAggregate, List]] = {}
+
+    def sink(key_combo, entry_combo) -> None:
+        slot = tree_dict.get(key_combo)
+        if slot is None:
+            slot = tree_dict[key_combo] = (scoring.running(), [])
+        slot[0].add(combo_score(scoring, entry_combo))
+        if keep_subtrees:
+            slot[1].append(entry_combo)
+
+    for root in sorted(candidates):
+        stats.roots_expanded += 1
+        expand_root([root_map[root] for root_map in per_word], sink, stats)
+
+    stats.nonempty_patterns = len(tree_dict)
+    queue: TopKQueue = TopKQueue(k)
+    for key in sorted(tree_dict):
+        aggregate, trees = tree_dict[key]
+        queue.push(
+            aggregate.value(), (key, aggregate.count, trees), tie_key=key
+        )
+
+    answers = []
+    for score, (key, count, trees) in queue.ranked():
+        answers.append(
+            PatternAnswer(
+                pattern_key=key,
+                pattern=pattern_from_labels(key),
+                score=score,
+                num_subtrees=count,
+                subtrees=trees,
+            )
+        )
+    order_answers(answers)
+    stats.elapsed_seconds = watch.elapsed()
+    return SearchResult(
+        query=words, k=k, d=d, answers=answers, stats=stats
+    )

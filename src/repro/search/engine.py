@@ -1,0 +1,216 @@
+"""High-level facade: build once, query many times.
+
+:class:`TableAnswerEngine` wires together the whole pipeline — graph,
+lexicon, PageRank, both path indexes, and the four search algorithms — and
+is the entry point the examples and benchmarks use.
+
+>>> from repro.datasets.example import example_graph
+>>> engine = TableAnswerEngine(example_graph(), d=3)
+>>> result = engine.search("database software company revenue", k=5)
+>>> print(result.answers[0].to_table(engine.graph).to_ascii())
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import SearchError
+from repro.core.table import TableAnswer
+from repro.index.builder import PathIndexes, build_indexes
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.knowledge_base import KnowledgeBase
+from repro.kg.synonyms import SynonymTable
+from repro.kg.text import TextNormalizer
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.baseline import baseline_search
+from repro.search.individual import (
+    CoverageMetrics,
+    IndividualResult,
+    coverage_metrics,
+    individual_topk,
+)
+from repro.search.linear_enum import count_answers, linear_enum_search
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+from repro.search.result import SearchResult
+
+#: Algorithm names accepted by :meth:`TableAnswerEngine.search`, with the
+#: paper's experiment labels as aliases.
+ALGORITHMS = (
+    "pattern_enum",
+    "petopk",
+    "linear",
+    "letopk",
+    "linear_topk",
+    "baseline",
+)
+
+
+class TableAnswerEngine:
+    """Keyword search over a knowledge graph returning table answers."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        d: int = 3,
+        scoring: ScoringFunction = PAPER_DEFAULT,
+        normalizer: Optional[TextNormalizer] = None,
+        synonyms: Optional[SynonymTable] = None,
+        pagerank_scores: Optional[Sequence[float]] = None,
+        indexes: Optional[PathIndexes] = None,
+    ) -> None:
+        """Build (or adopt) the path indexes for ``graph``.
+
+        Pass a prebuilt/deserialized ``indexes`` to skip construction; its
+        graph and height threshold then override ``graph`` and ``d``.
+        """
+        if indexes is not None:
+            if indexes.graph is not graph:
+                raise SearchError(
+                    "prebuilt indexes were constructed for a different graph"
+                )
+            self.indexes = indexes
+        else:
+            self.indexes = build_indexes(
+                graph,
+                d=d,
+                normalizer=normalizer,
+                synonyms=synonyms,
+                pagerank_scores=pagerank_scores,
+            )
+        self.scoring = scoring
+
+    @classmethod
+    def from_knowledge_base(
+        cls, kb: KnowledgeBase, **kwargs
+    ) -> "TableAnswerEngine":
+        """Convenience constructor straight from a :class:`KnowledgeBase`."""
+        from repro.kg.builder import build_graph
+
+        graph, _node_of_entity = build_graph(kb)
+        return cls(graph, **kwargs)
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        return self.indexes.graph
+
+    @property
+    def d(self) -> int:
+        return self.indexes.d
+
+    # ------------------------------------------------------------ searching
+
+    def search(
+        self,
+        query,
+        k: int = 100,
+        algorithm: str = "pattern_enum",
+        scoring: Optional[ScoringFunction] = None,
+        **params,
+    ) -> SearchResult:
+        """Top-k tree patterns for a keyword query.
+
+        ``algorithm`` is one of :data:`ALGORITHMS`:
+
+        * ``pattern_enum`` / ``petopk`` — Algorithm 2 (default; fastest in
+          practice on typical queries);
+        * ``linear`` — exact LINEARENUM-TOPK without sampling (Λ=inf, ρ=1);
+        * ``letopk`` / ``linear_topk`` — Algorithm 4; pass
+          ``sampling_threshold`` and ``sampling_rate``;
+        * ``baseline`` — Section 2.3's enumeration-aggregation.
+
+        Extra keyword ``params`` are forwarded to the algorithm (e.g.
+        ``keep_subtrees=False``, ``seed=...``).
+        """
+        scoring = scoring if scoring is not None else self.scoring
+        runner = self._runner(algorithm)
+        return runner(self.indexes, query, k=k, scoring=scoring, **params)
+
+    def _runner(self, algorithm: str) -> Callable[..., SearchResult]:
+        name = algorithm.lower()
+        if name in ("pattern_enum", "petopk"):
+            return pattern_enum_search
+        if name == "linear":
+            def exact_linear(indexes, query, **kwargs):
+                kwargs.setdefault("sampling_threshold", math.inf)
+                kwargs.setdefault("sampling_rate", 1.0)
+                return linear_topk_search(indexes, query, **kwargs)
+            return exact_linear
+        if name in ("letopk", "linear_topk"):
+            return linear_topk_search
+        if name == "linear_full":
+            return linear_enum_search
+        if name == "baseline":
+            return baseline_search
+        raise SearchError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+
+    def tables(
+        self,
+        query,
+        k: int = 10,
+        algorithm: str = "pattern_enum",
+        max_rows: Optional[int] = None,
+        **params,
+    ) -> List[TableAnswer]:
+        """Top-k answers rendered as tables, best first."""
+        result = self.search(query, k=k, algorithm=algorithm, **params)
+        return result.tables(self.graph, max_rows=max_rows)
+
+    def individual(self, query, k: int = 100) -> IndividualResult:
+        """Top-k *individual* valid subtrees (the Section 5.3 comparison)."""
+        return individual_topk(self.indexes, query, k=k, scoring=self.scoring)
+
+    def search_relaxed(self, query, k: int = 10, **params):
+        """Search, dropping keywords if the full query has no answers.
+
+        Returns a :class:`repro.search.relaxation.RelaxedResult` whose
+        ``dropped_keywords`` records any relaxation applied.
+        """
+        from repro.search.relaxation import relaxed_search
+
+        return relaxed_search(
+            self.indexes, query, k=k, scoring=self.scoring, **params
+        )
+
+    def search_mixed(self, query, k: int = 10, pattern_weight: float = 1.0):
+        """Universal ranking mixing tables and individual subtrees.
+
+        Implements the Section 5.3 open problem; see
+        :mod:`repro.search.mixed` for the merge semantics.
+        """
+        from repro.search.mixed import mixed_search
+
+        return mixed_search(
+            self.indexes,
+            query,
+            k=k,
+            scoring=self.scoring,
+            pattern_weight=pattern_weight,
+        )
+
+    def coverage(self, query, k: int = 100) -> CoverageMetrics:
+        """Figure 13 metrics for one query at one k."""
+        individual = self.individual(query, k=k)
+        patterns = self.search(query, k=k, algorithm="pattern_enum")
+        return coverage_metrics(individual, patterns)
+
+    def count_answers(self, query) -> Tuple[int, int]:
+        """(#tree patterns, #valid subtrees) for a query — full enumeration."""
+        return count_answers(self.indexes, query)
+
+    def explain(self, query) -> Dict[str, object]:
+        """Diagnostic summary: resolved keywords and per-word index reach."""
+        words = self.indexes.resolve_query(query)
+        report: Dict[str, object] = {"keywords": words}
+        per_word = {}
+        for word in words:
+            per_word[word] = {
+                "postings": self.indexes.root_first.num_entries(word),
+                "roots": len(self.indexes.root_first.roots(word)),
+                "patterns": len(self.indexes.pattern_first.patterns(word)),
+            }
+        report["per_word"] = per_word
+        return report

@@ -1,0 +1,133 @@
+"""Shared subtree-expansion loop (EXPANDROOT of Algorithm 3).
+
+Given, for a fixed candidate root, the per-keyword ``pattern -> paths``
+maps, enumerate the *pattern product* and, inside each tree pattern, the
+*path product*; every path combination passing the tree-validity check is
+one valid subtree.  Both LINEARENUM variants and the baseline drive this
+loop; PATTERNENUM inlines a pattern-major variant of it.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.index.entry import (
+    PathEntry,
+    combination_score_terms,
+    entries_form_tree,
+)
+from repro.scoring.components import SubtreeComponents
+from repro.scoring.function import ScoringFunction
+from repro.search.result import SearchStats
+
+
+def combo_score(
+    scoring: ScoringFunction, combo: Sequence[PathEntry]
+) -> float:
+    """score(T, q) of a subtree given as an entry combination."""
+    size, pr, sim = combination_score_terms(combo)
+    return scoring.subtree_score(SubtreeComponents(size, pr, sim))
+
+#: Per-keyword map from a pattern key to that keyword's paths at this root.
+#: Keys are interned PatternIds for index-backed callers and raw
+#: (labels, flag) tuples for the baseline; the loop is agnostic.
+PatternMap = Dict[object, List[PathEntry]]
+
+#: sink(pattern_key_combo, entry_combo) -> None
+Sink = Callable[[Tuple[object, ...], Tuple[PathEntry, ...]], None]
+
+
+def expand_root(
+    pattern_maps: Sequence[PatternMap],
+    sink: Sink,
+    stats: SearchStats,
+) -> None:
+    """Enumerate all valid subtrees under one root into ``sink``.
+
+    ``pattern_maps[i]`` is keyword i's ``pattern -> entries`` map at the
+    root.  Every emitted combination is a tree (the check that the paper's
+    pseudo-code leaves implicit); rejected combinations are counted in
+    ``stats.tree_check_rejections``.
+    """
+    if any(not pattern_map for pattern_map in pattern_maps):
+        return
+    key_lists = [list(pattern_map.keys()) for pattern_map in pattern_maps]
+    for key_combo in product(*key_lists):
+        stats.patterns_checked += 1
+        entry_lists = [
+            pattern_maps[i][key] for i, key in enumerate(key_combo)
+        ]
+        emitted = False
+        for entry_combo in product(*entry_lists):
+            stats.subtrees_enumerated += 1
+            if entries_form_tree(entry_combo):
+                sink(key_combo, entry_combo)
+                emitted = True
+            else:
+                stats.tree_check_rejections += 1
+        if not emitted:
+            # Possible only through tree-check rejections: by construction
+            # every pattern product at a shared root joins at least one
+            # path combination (Section 4.2's non-emptiness argument).
+            stats.empty_patterns += 1
+
+
+def join_pattern_roots(
+    root_maps: Sequence[Dict[int, List[PathEntry]]],
+    scoring: ScoringFunction,
+    keep_subtrees: bool,
+    stats: SearchStats,
+):
+    """Evaluate one candidate tree pattern by joining paths at shared roots.
+
+    ``root_maps[i]`` maps roots to keyword i's paths *with this pattern's
+    i-th path pattern* (i.e. ``Roots(w_i, P_i)`` from the pattern-first
+    index).  Returns ``(aggregate, trees, roots)`` where ``aggregate`` is
+    ``None`` when the pattern is empty.  This is the inner join of
+    Algorithm 2 (lines 5-8), also reused by LINEARENUM-TOPK's exact
+    re-scoring step.
+    """
+    from itertools import product as _product
+
+    smallest = min(root_maps, key=len)
+    roots = [
+        root
+        for root in smallest
+        if all(root in root_map for root_map in root_maps)
+    ]
+    if not roots:
+        stats.empty_patterns += 1
+        return None, [], []
+    aggregate = scoring.running()
+    trees: List[Tuple[PathEntry, ...]] = []
+    for root in sorted(roots):
+        entry_lists = [root_map[root] for root_map in root_maps]
+        for entry_combo in _product(*entry_lists):
+            stats.subtrees_enumerated += 1
+            if not entries_form_tree(entry_combo):
+                stats.tree_check_rejections += 1
+                continue
+            aggregate.add(combo_score(scoring, entry_combo))
+            if keep_subtrees:
+                trees.append(entry_combo)
+    if aggregate.count == 0:
+        stats.empty_patterns += 1
+        return None, [], roots
+    return aggregate, trees, roots
+
+
+def count_root_subtrees(pattern_maps: Sequence[PatternMap]) -> int:
+    """Upper bound on subtrees under one root: the path-count product.
+
+    This is the paper's N_R contribution (Algorithm 4, line 4) — computed
+    from counts alone, so combinations later rejected by the tree-validity
+    check are included, exactly as in the paper.
+    """
+    total = 1
+    for pattern_map in pattern_maps:
+        count = sum(len(entries) for entries in pattern_map.values())
+        if count == 0:
+            return 0
+        total *= count
+    return total

@@ -1,0 +1,153 @@
+"""Individual top-k valid subtrees and coverage metrics (Section 5.3).
+
+The paper contrasts its tree-pattern answers with the classic "rank
+individual subtrees" output: this module computes the top-k individual
+valid subtrees by Equation 3, and the two Figure 13 metrics —
+
+* **coverage**: the fraction of the individual top-k subtrees that appear
+  as rows of some top-k tree pattern;
+* **new patterns**: the fraction of top-k tree patterns none of whose
+  subtrees made the individual top-k (interpretations a subtree ranker
+  would never surface contiguously).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.core.topk import TopKQueue
+from repro.index.builder import PathIndexes
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.expand import combo_score, expand_root
+from repro.search.result import (
+    EntryCombo,
+    SearchResult,
+    SearchStats,
+    Stopwatch,
+    pattern_from_key,
+)
+
+
+@dataclass
+class IndividualResult:
+    """Top-k individual valid subtrees (each with its pattern key)."""
+
+    query: Tuple[str, ...]
+    k: int
+    ranked: List[Tuple[float, Tuple[int, ...], EntryCombo]]
+    stats: SearchStats
+
+    def combos(self) -> List[EntryCombo]:
+        return [combo for _score, _key, combo in self.ranked]
+
+    def scores(self) -> List[float]:
+        return [score for score, _key, _combo in self.ranked]
+
+    def format(self, indexes: PathIndexes, max_rows: int = 5) -> str:
+        """Render each individual subtree as a one-row table (Figure 14)."""
+        from repro.core.table import compose_table
+        from repro.index.entry import subtree_from_entries
+
+        lines = []
+        for rank, (score, key, combo) in enumerate(
+            self.ranked[:max_rows], start=1
+        ):
+            tree = subtree_from_entries(combo)
+            pattern = pattern_from_key(indexes, key)
+            table = compose_table(pattern, [tree], indexes.graph, score)
+            lines.append(f"Top-{rank} (score {score:.4f})")
+            lines.append(table.to_ascii(max_rows=1))
+        return "\n".join(lines)
+
+
+def individual_topk(
+    indexes: PathIndexes,
+    query,
+    k: int = 100,
+    scoring: ScoringFunction = PAPER_DEFAULT,
+) -> IndividualResult:
+    """Rank individual valid subtrees by their tree score (Equation 3)."""
+    watch = Stopwatch()
+    stats = SearchStats(algorithm="individual")
+    words = indexes.resolve_query(query)
+    root_first = indexes.root_first
+
+    root_maps = [root_first.roots(word) for word in words]
+    smallest = min(root_maps, key=len)
+    candidates = sorted(
+        root
+        for root in smallest
+        if all(root in root_map for root_map in root_maps)
+    )
+    stats.candidate_roots = len(candidates)
+
+    queue: TopKQueue = TopKQueue(k)
+
+    def sink(key_combo, entry_combo) -> None:
+        queue.push(combo_score(scoring, entry_combo), (key_combo, entry_combo))
+
+    for root in candidates:
+        stats.roots_expanded += 1
+        expand_root(
+            [root_first.pattern_map(word, root) for word in words],
+            sink,
+            stats,
+        )
+
+    ranked = [
+        (score, key, combo) for score, (key, combo) in queue.ranked()
+    ]
+    stats.elapsed_seconds = watch.elapsed()
+    return IndividualResult(query=words, k=k, ranked=ranked, stats=stats)
+
+
+@dataclass
+class CoverageMetrics:
+    """The two Figure 13 series for one query and one k."""
+
+    k: int
+    num_individual: int
+    num_patterns: int
+    covered_individual: int
+    new_patterns: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of individual top-k found inside top-k patterns."""
+        if self.num_individual == 0:
+            return 0.0
+        return self.covered_individual / self.num_individual
+
+    @property
+    def new_pattern_fraction(self) -> float:
+        """Fraction of top-k patterns with no individual-top-k subtree."""
+        if self.num_patterns == 0:
+            return 0.0
+        return self.new_patterns / self.num_patterns
+
+
+def coverage_metrics(
+    individual: IndividualResult, patterns: SearchResult
+) -> CoverageMetrics:
+    """Compare individual top-k subtrees against top-k tree patterns.
+
+    ``patterns`` must have been produced with ``keep_subtrees=True`` —
+    coverage is defined over the actual rows of the pattern answers.
+    """
+    individual_set: Set[EntryCombo] = set(individual.combos())
+    pattern_rows: Set[EntryCombo] = set()
+    new_patterns = 0
+    for answer in patterns.answers:
+        rows = set(answer.subtrees)
+        pattern_rows |= rows
+        if not rows & individual_set:
+            new_patterns += 1
+    covered = sum(1 for combo in individual_set if combo in pattern_rows)
+    return CoverageMetrics(
+        k=patterns.k,
+        num_individual=len(individual.ranked),
+        num_patterns=len(patterns.answers),
+        covered_individual=covered,
+        new_patterns=new_patterns,
+    )

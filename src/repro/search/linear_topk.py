@@ -1,0 +1,200 @@
+"""LINEARENUM-TOPK — Algorithm 4 of the paper.
+
+Extends LINEARENUM with two ideas from Sections 4.2.1-4.2.2:
+
+* **Partitioning by types**: candidate roots are processed one root type at
+  a time, so the ``TreeDict`` dictionary holds only one type's subtrees at
+  any moment (the paper's memory-footprint fix).
+* **Root sampling**: for a root type whose estimated subtree count ``N_R``
+  (computed from ``|Paths(w_i, r)|`` counts, no enumeration) reaches the
+  threshold ``Lambda``, only a ``rho``-fraction of candidate roots is
+  expanded.  Pattern scores are estimated with the Horvitz-Thompson
+  scale-up ``s_hat = (1/rho) * sum(sampled)``, the per-type top-k by
+  estimate are re-scored *exactly* via the pattern-first index, and the
+  global queue ranks exact scores — exactly the paper's pipeline.
+
+With ``sampling_threshold=inf`` (or ``sampling_rate=1``) the output is the
+exact top-k (Theorem 4's correctness case); with sampling, Theorem 5 bounds
+the probability of inverting any two patterns.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import SearchError
+from repro.core.topk import TopKQueue
+from repro.core.types import PatternId
+from repro.index.builder import PathIndexes
+from repro.scoring.aggregate import RunningAggregate
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.expand import combo_score, expand_root, join_pattern_roots
+from repro.search.result import (
+    EntryCombo,
+    PatternAnswer,
+    SearchResult,
+    SearchStats,
+    Stopwatch,
+    order_answers,
+    pattern_from_key,
+)
+
+PatternKey = Tuple[PatternId, ...]
+
+
+def linear_topk_search(
+    indexes: PathIndexes,
+    query,
+    k: int = 100,
+    scoring: ScoringFunction = PAPER_DEFAULT,
+    sampling_threshold: float = math.inf,
+    sampling_rate: float = 1.0,
+    seed: Optional[int] = 0,
+    keep_subtrees: bool = True,
+) -> SearchResult:
+    """Find the top-k d-height tree patterns (LINEARENUM-TOPK(Λ, ρ)).
+
+    Parameters
+    ----------
+    sampling_threshold:
+        The paper's Λ: sampling activates for a root type only when its
+        subtree count ``N_R`` is at least this.  ``inf`` (default) never
+        samples; ``0`` always samples.
+    sampling_rate:
+        The paper's ρ: probability that a candidate root is expanded when
+        sampling is active.  Must be in (0, 1].
+    seed:
+        Seed for the sampling RNG; pass ``None`` for nondeterministic
+        sampling.
+    """
+    if not 0.0 < sampling_rate <= 1.0:
+        raise SearchError(
+            f"sampling rate must be in (0, 1], got {sampling_rate}"
+        )
+    if sampling_threshold < 0:
+        raise SearchError(
+            f"sampling threshold must be >= 0, got {sampling_threshold}"
+        )
+    watch = Stopwatch()
+    stats = SearchStats(algorithm="linear_topk")
+    rng = random.Random(seed)
+    words = indexes.resolve_query(query)
+    root_first = indexes.root_first
+    graph = indexes.graph
+
+    root_maps = [root_first.roots(word) for word in words]
+    smallest = min(root_maps, key=len)
+    candidates = [
+        root
+        for root in smallest
+        if all(root in root_map for root_map in root_maps)
+    ]
+    stats.candidate_roots = len(candidates)
+
+    by_type: Dict[int, List[int]] = {}
+    for root in candidates:
+        by_type.setdefault(graph.node_type(root), []).append(root)
+
+    queue: TopKQueue = TopKQueue(k)
+    for root_type in sorted(by_type):
+        roots = sorted(by_type[root_type])
+
+        subtree_count = 0
+        for root in roots:
+            per_root = 1
+            for word in words:
+                per_root *= root_first.path_count(word, root)
+            subtree_count += per_root
+        if subtree_count >= sampling_threshold:
+            rate = sampling_rate
+        else:
+            rate = 1.0
+        if rate < 1.0:
+            stats.sampled_types += 1
+
+        aggregates: Dict[PatternKey, RunningAggregate] = {}
+        trees_by_pattern: Dict[PatternKey, List[EntryCombo]] = {}
+        store_trees = keep_subtrees and rate >= 1.0
+
+        def sink(key_combo, entry_combo) -> None:
+            aggregate = aggregates.get(key_combo)
+            if aggregate is None:
+                aggregate = aggregates[key_combo] = scoring.running()
+                if store_trees:
+                    trees_by_pattern[key_combo] = []
+            aggregate.add(combo_score(scoring, entry_combo))
+            if store_trees:
+                trees_by_pattern[key_combo].append(entry_combo)
+
+        for root in roots:
+            if rate < 1.0 and rng.random() >= rate:
+                continue
+            stats.roots_expanded += 1
+            expand_root(
+                [root_first.pattern_map(word, root) for word in words],
+                sink,
+                stats,
+            )
+        if not aggregates:
+            continue
+        stats.nonempty_patterns += len(aggregates)
+
+        estimated = heapq.nlargest(
+            min(k, len(aggregates)),
+            ((agg.estimate(rate), key) for key, agg in aggregates.items()),
+        )
+        for estimate, key in estimated:
+            if rate >= 1.0:
+                aggregate = aggregates[key]
+                exact = aggregate.value()
+                count = aggregate.count
+                trees = trees_by_pattern.get(key, [])
+            else:
+                # Exact re-scoring through the pattern-first index
+                # (Algorithm 4, line 11).  A sampled estimate can name a
+                # pattern whose exact evaluation is non-empty by
+                # construction, so aggregate is never None here.
+                stats.rescored_patterns += 1
+                pattern_roots = [
+                    indexes.pattern_first.roots(word, pid)
+                    for word, pid in zip(words, key)
+                ]
+                aggregate, trees, _roots = join_pattern_roots(
+                    pattern_roots, scoring, keep_subtrees, stats
+                )
+                if aggregate is None:  # pragma: no cover - see comment above
+                    continue
+                exact = aggregate.value()
+                count = aggregate.count
+            if queue.would_accept(exact):
+                canonical = tuple(
+                    (indexes.interner.pattern(pid).labels,
+                     indexes.interner.pattern(pid).ends_at_edge)
+                    for pid in key
+                )
+                queue.push(
+                    exact,
+                    (key, count, trees, estimate if rate < 1.0 else None),
+                    tie_key=canonical,
+                )
+
+    answers = []
+    for score, (key, count, trees, estimate) in queue.ranked():
+        answers.append(
+            PatternAnswer(
+                pattern_key=key,
+                pattern=pattern_from_key(indexes, key),
+                score=score,
+                num_subtrees=count,
+                subtrees=trees,
+                estimated_score=estimate,
+            )
+        )
+    order_answers(answers)
+    stats.elapsed_seconds = watch.elapsed()
+    return SearchResult(
+        query=words, k=k, d=indexes.d, answers=answers, stats=stats
+    )

@@ -1,0 +1,157 @@
+"""Universal ranking of tree patterns and individual subtrees (extension).
+
+Section 5.3 leaves open "how to mix individual valid subtrees with tree
+patterns to provide a universal ranking".  This module implements a simple,
+well-specified solution so downstream users can serve one result list:
+
+1. Compute the top-k tree patterns and the top-k individual subtrees.
+2. Normalize both score scales to their respective maxima (pattern scores
+   are aggregates over many subtrees; raw comparison would drown singular
+   answers exactly as Figure 14/15 illustrates).
+3. Merge by normalized score with a redundancy rule: an individual subtree
+   already present as a row of an already-ranked pattern is skipped — the
+   table subsumes it — while "singular" subtrees (the paper's term for
+   subtrees whose pattern has no other support) surface as 1-row answers.
+
+The ``pattern_weight`` dial biases the interleave: 1.0 ranks patterns at
+full strength (tables first, paper's table-intent scenario), 0.0 reduces to
+individual ranking with de-duplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.errors import SearchError
+from repro.index.builder import PathIndexes
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.individual import individual_topk
+from repro.search.pattern_enum import pattern_enum_search
+from repro.search.result import EntryCombo, PatternAnswer, pattern_from_key
+
+
+@dataclass
+class MixedAnswer:
+    """One entry of the universal ranking."""
+
+    kind: str  # "pattern" | "subtree"
+    normalized_score: float
+    raw_score: float
+    pattern_answer: Optional[PatternAnswer] = None
+    subtree_combo: Optional[EntryCombo] = None
+
+    @property
+    def num_rows(self) -> int:
+        if self.kind == "pattern":
+            return self.pattern_answer.num_subtrees
+        return 1
+
+
+@dataclass
+class MixedResult:
+    """The merged ranking plus provenance counts."""
+
+    query: Tuple[str, ...]
+    k: int
+    answers: List[MixedAnswer]
+    num_patterns_ranked: int
+    num_subtrees_ranked: int
+    num_subtrees_subsumed: int
+
+    def kinds(self) -> List[str]:
+        return [answer.kind for answer in self.answers]
+
+
+def mixed_search(
+    indexes: PathIndexes,
+    query,
+    k: int = 10,
+    scoring: ScoringFunction = PAPER_DEFAULT,
+    pattern_weight: float = 1.0,
+) -> MixedResult:
+    """Produce a universal ranking of tables and individual subtrees.
+
+    ``pattern_weight`` in [0, 1] scales the patterns' normalized scores.
+    """
+    if not 0.0 <= pattern_weight <= 1.0:
+        raise SearchError(
+            f"pattern_weight must be in [0, 1], got {pattern_weight}"
+        )
+    patterns = pattern_enum_search(
+        indexes, query, k=k, scoring=scoring, keep_subtrees=True
+    )
+    individual = individual_topk(indexes, query, k=k, scoring=scoring)
+
+    best_pattern = max((a.score for a in patterns.answers), default=0.0)
+    best_subtree = max((s for s, _key, _c in individual.ranked), default=0.0)
+
+    candidates: List[MixedAnswer] = []
+    for answer in patterns.answers:
+        normalized = (
+            answer.score / best_pattern if best_pattern > 0 else 0.0
+        ) * pattern_weight
+        candidates.append(
+            MixedAnswer(
+                kind="pattern",
+                normalized_score=normalized,
+                raw_score=answer.score,
+                pattern_answer=answer,
+            )
+        )
+    for score, key, combo in individual.ranked:
+        normalized = score / best_subtree if best_subtree > 0 else 0.0
+        candidates.append(
+            MixedAnswer(
+                kind="subtree",
+                normalized_score=normalized,
+                raw_score=score,
+                subtree_combo=combo,
+                pattern_answer=PatternAnswer(
+                    pattern_key=key,
+                    pattern=pattern_from_key(indexes, key),
+                    score=score,
+                    num_subtrees=1,
+                    subtrees=[combo],
+                ),
+            )
+        )
+    # Stable order: normalized score desc, patterns before subtrees on
+    # ties (a table is the richer answer), then raw score.
+    candidates.sort(
+        key=lambda a: (
+            -a.normalized_score,
+            0 if a.kind == "pattern" else 1,
+            -a.raw_score,
+        )
+    )
+
+    ranked: List[MixedAnswer] = []
+    covered_rows: Set[EntryCombo] = set()
+    subsumed = 0
+    for candidate in candidates:
+        if len(ranked) >= k:
+            break
+        if candidate.kind == "pattern":
+            rows = candidate.pattern_answer.subtrees
+            # A pattern adding no new rows (e.g. a 1-row pattern whose
+            # subtree already ranked individually) is redundant.
+            if rows and all(row in covered_rows for row in rows):
+                subsumed += 1
+                continue
+            ranked.append(candidate)
+            covered_rows.update(rows)
+        else:
+            if candidate.subtree_combo in covered_rows:
+                subsumed += 1
+                continue
+            ranked.append(candidate)
+            covered_rows.add(candidate.subtree_combo)
+    return MixedResult(
+        query=patterns.query,
+        k=k,
+        answers=ranked,
+        num_patterns_ranked=sum(1 for a in ranked if a.kind == "pattern"),
+        num_subtrees_ranked=sum(1 for a in ranked if a.kind == "subtree"),
+        num_subtrees_subsumed=subsumed,
+    )

@@ -1,0 +1,161 @@
+"""PATTERNENUM / PETopK — Algorithm 2 of the paper.
+
+Enumerates candidate tree patterns as combinations of per-keyword path
+patterns from the *pattern-first* index: for each root type ``C``, take the
+cross product of ``Patterns_C(w_i)``; for every combination intersect the
+pattern's root sets (``Roots(w_i, P_i)``) to test emptiness; for non-empty
+patterns, join the paths at each shared root to produce the valid subtrees,
+score, and maintain a size-k queue.
+
+Engineering refinement over the pseudo-code: the cross product is walked
+depth-first with *incremental* root-set intersection, so combinations
+sharing a pattern prefix share the prefix's intersection work and a dead
+prefix prunes its whole subtree (counted as checked-and-empty, keeping the
+statistics comparable).  Worst-case behaviour is unchanged — the Section
+4.1 adversarial graph still forces Theta(p^m) emptiness checks, which the
+tests assert — it is the constant factor that drops.
+
+Fast in practice (no online aggregation dictionary; subtrees of a pattern
+are produced all at once) but worst-case exponential, unlike LINEARENUM.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Sequence
+
+from repro.core.topk import TopKQueue
+from repro.index.builder import PathIndexes
+from repro.index.entry import PathEntry, entries_form_tree
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.expand import combo_score
+from repro.search.result import (
+    PatternAnswer,
+    SearchResult,
+    SearchStats,
+    Stopwatch,
+    order_answers,
+    pattern_from_key,
+)
+
+
+def pattern_enum_search(
+    indexes: PathIndexes,
+    query,
+    k: int = 100,
+    scoring: ScoringFunction = PAPER_DEFAULT,
+    keep_subtrees: bool = True,
+) -> SearchResult:
+    """Find the top-k d-height tree patterns by pattern enumeration."""
+    watch = Stopwatch()
+    stats = SearchStats(algorithm="pattern_enum")
+    words = indexes.resolve_query(query)
+    pattern_first = indexes.pattern_first
+    m = len(words)
+
+    # Root types viable for *all* keywords; equivalent to the paper's loop
+    # over every type (types missing for some keyword yield no patterns).
+    viable_types = None
+    for word in words:
+        types = pattern_first.root_types(word)
+        viable_types = types if viable_types is None else viable_types & types
+        if not viable_types:
+            break
+
+    queue: TopKQueue = TopKQueue(k)
+    seen_roots = set()
+
+    # Number of full combinations below a pruned prefix: suffix products of
+    # the per-word pattern counts, recomputed per root type.
+    def evaluate_leaf(
+        pid_combo: Sequence[int],
+        root_maps: Sequence[Dict[int, List[PathEntry]]],
+        roots: Sequence[int],
+    ) -> None:
+        stats.patterns_checked += 1
+        seen_roots.update(roots)
+        aggregate = scoring.running()
+        trees = [] if keep_subtrees else None
+        for root in sorted(roots):
+            entry_lists = [root_map[root] for root_map in root_maps]
+            for entry_combo in product(*entry_lists):
+                stats.subtrees_enumerated += 1
+                if not entries_form_tree(entry_combo):
+                    stats.tree_check_rejections += 1
+                    continue
+                aggregate.add(combo_score(scoring, entry_combo))
+                if trees is not None:
+                    trees.append(entry_combo)
+        if aggregate.count == 0:
+            # All path combinations failed the tree-validity check.
+            stats.empty_patterns += 1
+            return
+        stats.nonempty_patterns += 1
+        key = tuple(pid_combo)
+        canonical = tuple(
+            (indexes.interner.pattern(pid).labels,
+             indexes.interner.pattern(pid).ends_at_edge)
+            for pid in key
+        )
+        queue.push(
+            aggregate.value(),
+            (key, aggregate.count, trees if trees is not None else []),
+            tie_key=canonical,
+        )
+
+    for root_type in sorted(viable_types or ()):
+        per_word_patterns = [
+            pattern_first.patterns_rooted_at(word, root_type)
+            for word in words
+        ]
+        if any(not patterns for patterns in per_word_patterns):
+            continue
+        suffix_combos = [1] * (m + 1)
+        for i in range(m - 1, -1, -1):
+            suffix_combos[i] = suffix_combos[i + 1] * len(per_word_patterns[i])
+
+        pid_combo: List[int] = [0] * m
+        root_maps: List[Dict[int, List[PathEntry]]] = [{}] * m
+
+        def descend(depth: int, roots) -> None:
+            if depth == m:
+                evaluate_leaf(pid_combo, root_maps, roots)
+                return
+            word = words[depth]
+            for pid in per_word_patterns[depth]:
+                root_map = pattern_first.roots(word, pid)
+                if depth == 0:
+                    new_roots = list(root_map)
+                else:
+                    new_roots = [r for r in roots if r in root_map]
+                if not new_roots:
+                    # Every completion of this prefix is an empty pattern;
+                    # account for them all to stay comparable with the
+                    # paper's "p^m combinations checked".
+                    skipped = suffix_combos[depth + 1]
+                    stats.patterns_checked += skipped
+                    stats.empty_patterns += skipped
+                    continue
+                pid_combo[depth] = pid
+                root_maps[depth] = root_map
+                descend(depth + 1, new_roots)
+
+        descend(0, None)
+
+    stats.candidate_roots = len(seen_roots)
+    answers = []
+    for score, (pid_combo_key, count, trees) in queue.ranked():
+        answers.append(
+            PatternAnswer(
+                pattern_key=pid_combo_key,
+                pattern=pattern_from_key(indexes, pid_combo_key),
+                score=score,
+                num_subtrees=count,
+                subtrees=trees,
+            )
+        )
+    order_answers(answers)
+    stats.elapsed_seconds = watch.elapsed()
+    return SearchResult(
+        query=words, k=k, d=indexes.d, answers=answers, stats=stats
+    )

@@ -1,0 +1,103 @@
+"""Query relaxation: recover answers for over-constrained queries.
+
+Keyword queries against a knowledge base frequently come back empty — a
+single off-vocabulary or over-specific word makes the candidate-root
+intersection empty.  The paper returns nothing in that case; this extension
+(in the spirit of its "query refinement" related work, [41]) retries with
+keyword subsets, preferring relaxations that (1) drop fewer keywords and
+(2) drop the *least selective* keyword first, so the surviving query keeps
+the user's most specific terms.
+
+The search stays cheap: candidate subsets are screened with root-set
+intersections (index lookups only) before any engine runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from repro.index.builder import PathIndexes, ResolvedQuery
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.pattern_enum import pattern_enum_search
+from repro.search.result import SearchResult
+
+
+@dataclass
+class RelaxedResult:
+    """A search result annotated with the relaxation that produced it."""
+
+    result: SearchResult
+    kept_keywords: Tuple[str, ...]
+    dropped_keywords: Tuple[str, ...]
+
+    @property
+    def was_relaxed(self) -> bool:
+        return bool(self.dropped_keywords)
+
+
+def _has_candidate_roots(indexes: PathIndexes, words: Tuple[str, ...]) -> bool:
+    roots = None
+    for word in words:
+        word_roots = indexes.root_first.roots(word)
+        if not word_roots:
+            return False
+        keys = set(word_roots)
+        roots = keys if roots is None else roots & keys
+        if not roots:
+            return False
+    return bool(roots)
+
+
+def relaxed_search(
+    indexes: PathIndexes,
+    query,
+    k: int = 10,
+    scoring: ScoringFunction = PAPER_DEFAULT,
+    max_dropped: Optional[int] = None,
+    **params,
+) -> RelaxedResult:
+    """Search; on empty results retry with keyword subsets.
+
+    Subsets are tried in order of (fewest drops, lowest dropped
+    selectivity); within one relaxation level the first subset with a
+    non-empty candidate-root set wins.  ``max_dropped`` caps how many
+    keywords may be removed (default: all but one).
+
+    Raises :class:`QueryError` only if the original query normalizes to
+    nothing; an unanswerable query (even fully relaxed) returns the empty
+    result for the original keywords, flagged unrelaxed.
+    """
+    words = indexes.resolve_query(query)
+    result = pattern_enum_search(
+        indexes, ResolvedQuery(words), k=k, scoring=scoring, **params
+    )
+    if result.num_answers or len(words) == 1:
+        return RelaxedResult(result, words, ())
+
+    if max_dropped is None:
+        max_dropped = len(words) - 1
+    max_dropped = min(max_dropped, len(words) - 1)
+
+    # Selectivity: postings per keyword; common words are dropped first.
+    frequency = {
+        word: indexes.root_first.num_entries(word) for word in words
+    }
+    for num_dropped in range(1, max_dropped + 1):
+        candidates: List[Tuple[float, Tuple[str, ...]]] = []
+        for kept in combinations(words, len(words) - num_dropped):
+            dropped = tuple(w for w in words if w not in kept)
+            dropped_frequency = sum(frequency[w] for w in dropped)
+            candidates.append((-dropped_frequency, kept))
+        candidates.sort()
+        for _priority, kept in candidates:
+            if not _has_candidate_roots(indexes, kept):
+                continue
+            relaxed = pattern_enum_search(
+                indexes, ResolvedQuery(kept), k=k, scoring=scoring, **params
+            )
+            if relaxed.num_answers:
+                dropped = tuple(w for w in words if w not in kept)
+                return RelaxedResult(relaxed, kept, dropped)
+    return RelaxedResult(result, words, ())

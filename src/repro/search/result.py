@@ -1,0 +1,193 @@
+"""Search result containers and instrumentation counters.
+
+Every algorithm returns a :class:`SearchResult`: the ranked tree-pattern
+answers plus a :class:`SearchStats` block whose counters back the paper's
+performance discussions (empty patterns wasted by PATTERNENUM, roots
+expanded by LINEARENUM, subtrees enumerated, ...).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.core.pattern import PathPattern, TreePattern
+from repro.core.subtree import ValidSubtree
+from repro.core.table import TableAnswer, compose_table
+from repro.core.types import PatternId
+from repro.index.entry import PathEntry, subtree_from_entries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.index.builder import PathIndexes
+
+#: A valid subtree in its compact index form: one entry per query keyword.
+EntryCombo = Tuple[PathEntry, ...]
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation shared by all algorithms (fields unused by an
+    algorithm stay at their defaults)."""
+
+    algorithm: str
+    elapsed_seconds: float = 0.0
+    candidate_roots: int = 0
+    roots_expanded: int = 0
+    patterns_checked: int = 0
+    empty_patterns: int = 0
+    nonempty_patterns: int = 0
+    subtrees_enumerated: int = 0
+    tree_check_rejections: int = 0
+    sampled_types: int = 0
+    rescored_patterns: int = 0
+
+    def format(self) -> str:
+        parts = [f"{self.algorithm}: {self.elapsed_seconds * 1000:.1f} ms"]
+        for label, value in (
+            ("roots", self.candidate_roots),
+            ("expanded", self.roots_expanded),
+            ("patterns", self.patterns_checked),
+            ("empty", self.empty_patterns),
+            ("nonempty", self.nonempty_patterns),
+            ("subtrees", self.subtrees_enumerated),
+            ("non-tree", self.tree_check_rejections),
+            ("sampled-types", self.sampled_types),
+            ("rescored", self.rescored_patterns),
+        ):
+            if value:
+                parts.append(f"{label}={value}")
+        return " ".join(parts)
+
+
+class Stopwatch:
+    """Tiny helper so every algorithm times itself uniformly."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+
+@dataclass
+class PatternAnswer:
+    """One ranked answer: a tree pattern with its score and subtrees.
+
+    ``subtrees`` holds compact entry combos; :meth:`materialize` converts
+    them to :class:`ValidSubtree` objects and :meth:`to_table` renders the
+    paper's table answer.  When a search ran with ``keep_subtrees=False``
+    the combos are absent but ``num_subtrees`` and ``score`` remain exact.
+    """
+
+    pattern_key: Tuple[PatternId, ...]
+    pattern: TreePattern
+    score: float
+    num_subtrees: int
+    subtrees: List[EntryCombo] = field(default_factory=list)
+    estimated_score: Optional[float] = None
+
+    def materialize(self) -> List[ValidSubtree]:
+        trees = []
+        for combo in self.subtrees:
+            tree = subtree_from_entries(combo)
+            if tree is not None:
+                trees.append(tree)
+        return trees
+
+    def to_table(self, graph, max_rows: Optional[int] = None) -> TableAnswer:
+        subtrees = self.materialize()
+        if max_rows is not None:
+            subtrees = subtrees[:max_rows]
+        return compose_table(self.pattern, subtrees, graph, score=self.score)
+
+
+@dataclass
+class SearchResult:
+    """Ranked tree-pattern answers for one query."""
+
+    query: Tuple[str, ...]
+    k: int
+    d: int
+    answers: List[PatternAnswer]
+    stats: SearchStats
+
+    @property
+    def num_answers(self) -> int:
+        return len(self.answers)
+
+    def scores(self) -> List[float]:
+        return [answer.score for answer in self.answers]
+
+    def pattern_keys(self) -> List[Tuple[PatternId, ...]]:
+        return [answer.pattern_key for answer in self.answers]
+
+    def tables(self, graph, max_rows: Optional[int] = None) -> List[TableAnswer]:
+        return [answer.to_table(graph, max_rows) for answer in self.answers]
+
+    def format(self, graph, max_tables: int = 3, max_rows: int = 5) -> str:
+        """Readable digest: per-answer pattern, score, and a table preview."""
+        lines = [
+            f"query={' '.join(self.query)!r} k={self.k} d={self.d} "
+            f"answers={self.num_answers}",
+            self.stats.format(),
+        ]
+        for rank, answer in enumerate(self.answers[:max_tables], start=1):
+            lines.append(
+                f"#{rank} score={answer.score:.4f} "
+                f"rows={answer.num_subtrees}"
+            )
+            lines.append(answer.pattern.format(graph, self.query))
+            if answer.subtrees:
+                lines.append(answer.to_table(graph, max_rows).to_ascii(max_rows))
+        return "\n".join(lines)
+
+
+def pattern_from_key(
+    indexes: "PathIndexes", key: Tuple[PatternId, ...]
+) -> TreePattern:
+    """Reconstruct a :class:`TreePattern` from interned pattern ids."""
+    return TreePattern(
+        tuple(indexes.interner.pattern(pid) for pid in key)
+    )
+
+
+def canonical_pattern_key(pattern: TreePattern) -> Tuple:
+    """Engine-independent sort key for a tree pattern (raw labels)."""
+    return tuple((p.labels, p.ends_at_edge) for p in pattern.paths)
+
+
+def _quantize(score: float) -> float:
+    """Collapse last-ulp noise: 12 significant digits.
+
+    The engines compute identical scores through different summation
+    orders; quantizing before ordering keeps near-identical scores from
+    ranking differently across engines.
+    """
+    return float(f"{score:.12g}")
+
+
+def order_answers(answers: List[PatternAnswer]) -> List[PatternAnswer]:
+    """Final deterministic ranking: score desc, canonical pattern key asc.
+
+    Every engine applies this to its retained top-k so that (near-)tied
+    patterns — isomorphic answers are common — rank identically regardless
+    of each algorithm's enumeration order.
+    """
+    answers.sort(
+        key=lambda a: (-_quantize(a.score), canonical_pattern_key(a.pattern))
+    )
+    return answers
+
+
+def pattern_from_labels(
+    labels_key: Tuple[Tuple[Tuple[int, ...], bool], ...]
+) -> TreePattern:
+    """Reconstruct a :class:`TreePattern` from raw (labels, flag) pairs.
+
+    The baseline has no interner; it keys its dictionary by raw label
+    tuples.
+    """
+    return TreePattern(
+        tuple(PathPattern(labels, flag) for labels, flag in labels_key)
+    )

@@ -1,0 +1,26 @@
+"""Executable theory: Theorem 1's reduction and Theorem 5's bound."""
+
+from repro.theory.hoeffding import (
+    bound_vs_simulation,
+    minimum_rate_for_error,
+    pairwise_error_bound,
+    simulate_error_rate,
+)
+from repro.theory.reduction import (
+    build_reduction_instance,
+    count_st_paths,
+    count_tree_patterns,
+    verify_reduction,
+)
+
+__all__ = [
+    "bound_vs_simulation",
+    "build_reduction_instance",
+    "count_st_paths",
+    "count_tree_patterns",
+    "count_st_paths",
+    "minimum_rate_for_error",
+    "pairwise_error_bound",
+    "simulate_error_rate",
+    "verify_reduction",
+]

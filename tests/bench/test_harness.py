@@ -1,0 +1,98 @@
+"""Bench harness: caching, timing, query selection, experiment registry."""
+
+import pytest
+
+from repro.bench import harness
+from repro.bench.experiments import ALL_EXPERIMENTS, run_experiments
+from repro.datasets.wiki import WikiConfig
+
+SMALL = WikiConfig(num_entities=120, num_types=8, num_attrs=12,
+                   vocabulary_size=60, seed=41)
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    harness.clear_cache()
+    yield
+    harness.clear_cache()
+
+
+class TestCaching:
+    def test_wiki_indexes_cached(self):
+        first = harness.wiki_indexes(d=2, config=SMALL)
+        second = harness.wiki_indexes(d=2, config=SMALL)
+        assert first is second
+
+    def test_different_d_different_index(self):
+        assert harness.wiki_indexes(d=2, config=SMALL) is not harness.wiki_indexes(
+            d=3, config=SMALL
+        )
+
+    def test_workload_cached(self):
+        indexes = harness.wiki_indexes(d=2, config=SMALL)
+        assert harness.workload(indexes) is harness.workload(indexes)
+
+    def test_profiles_cached(self):
+        indexes = harness.wiki_indexes(d=2, config=SMALL)
+        queries = harness.workload(indexes)[:4]
+        first = harness.profile_workload(indexes, queries)
+        second = harness.profile_workload(indexes, queries)
+        assert first is second
+
+
+class TestTiming:
+    def test_time_run(self):
+        from repro.search.pattern_enum import pattern_enum_search
+
+        indexes = harness.wiki_indexes(d=2, config=SMALL)
+        queries = harness.workload(indexes)
+        seconds, result = harness.time_run(
+            pattern_enum_search, indexes, queries[0], k=5
+        )
+        assert seconds > 0
+        assert result.k == 5
+
+
+class TestQuerySelection:
+    def test_heavy_queries_sorted(self):
+        indexes = harness.wiki_indexes(d=2, config=SMALL)
+        queries = harness.workload(indexes)
+        heavy = harness.heavy_queries(indexes, queries, count=3)
+        counts = [profile.num_subtrees for profile in heavy]
+        assert counts == sorted(counts, reverse=True)
+        assert len(heavy) <= 3
+
+    def test_pick_query_by_subtrees_band(self):
+        indexes = harness.wiki_indexes(d=2, config=SMALL)
+        queries = harness.workload(indexes)
+        query = harness.pick_query_by_subtrees(indexes, queries, 1)
+        assert query is not None
+
+    def test_pick_query_fallback(self):
+        indexes = harness.wiki_indexes(d=2, config=SMALL)
+        queries = harness.workload(indexes)
+        # Impossible band: falls back to any answerable query.
+        query = harness.pick_query_by_subtrees(indexes, queries, 10**12)
+        from repro.search.linear_enum import count_answers
+
+        if query is not None:
+            assert count_answers(indexes, query)[1] >= 1
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig6", "fig7", "fig8", "fig9", "fig10", "exp4",
+            "fig11", "fig12", "fig13", "fig14_15", "fig16",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments(["figZZ"])
+
+    def test_case_study_runs(self):
+        (result,) = run_experiments(["fig14_15"])
+        assert result.experiment_id == "fig14_15"
+        kinds = {row[1] for row in result.rows}
+        assert kinds == {"individual", "pattern"}

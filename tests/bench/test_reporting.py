@@ -1,0 +1,90 @@
+"""Experiment reporting utilities."""
+
+import math
+
+import pytest
+
+from repro.bench.reporting import (
+    ExperimentResult,
+    decade_group,
+    geometric_mean,
+    summarize_ms,
+)
+from repro.bench.experiments import precision_at_k
+
+
+class TestExperimentResult:
+    def test_format(self):
+        result = ExperimentResult("figX", "A title", ["a", "b"])
+        result.add_row(1, 2.5)
+        result.add_row("x", 0.001234)
+        result.note("something")
+        text = result.format()
+        assert "figX" in text
+        assert "A title" in text
+        assert "2.5" in text
+        assert "note: something" in text
+
+    def test_markdown(self):
+        result = ExperimentResult("figX", "A title", ["a"])
+        result.add_row(7)
+        markdown = result.to_markdown()
+        assert markdown.startswith("### figX")
+        assert "| a |" in markdown
+        assert "| 7 |" in markdown
+
+    def test_float_formatting(self):
+        result = ExperimentResult("f", "t", ["v"])
+        result.add_row(0.0)
+        result.add_row(1234.5678)
+        result.add_row(0.000123)
+        assert result.rows[0] == ["0"]
+        assert result.rows[1] == ["1.23e+03"]
+        assert result.rows[2] == ["0.000123"]
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == 4.0
+        assert geometric_mean([]) == 0.0
+
+    def test_between_min_max(self):
+        values = [0.5, 2.0, 8.0]
+        mean = geometric_mean(values)
+        assert min(values) <= mean <= max(values)
+
+
+class TestSummarize:
+    def test_summarize_ms(self):
+        text = summarize_ms([0.001, 0.004, 0.016])
+        assert text == "1.0/4.0/16.0"
+
+    def test_empty(self):
+        assert summarize_ms([]) == "-"
+
+
+class TestDecadeGroup:
+    @pytest.mark.parametrize(
+        "count,expected",
+        [(0, 1), (1, 10), (9, 10), (10, 100), (99, 100), (100, 1000),
+         (12345, 100000)],
+    )
+    def test_groups(self, count, expected):
+        assert decade_group(count) == expected
+
+
+class TestPrecision:
+    def test_full(self):
+        assert precision_at_k([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 2, 3, 4], [1, 2, 9, 9]) == 0.5
+
+    def test_empty_exact(self):
+        assert precision_at_k([], [1]) == 1.0

@@ -1,0 +1,35 @@
+"""The run_all CLI and experiment plumbing."""
+
+import pytest
+
+from repro.bench import harness
+from repro.bench.run_all import main
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    harness.clear_cache()
+    yield
+    harness.clear_cache()
+
+
+def test_run_single_experiment(capsys):
+    code = main(["fig14_15"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig14_15" in out
+    assert "pattern" in out
+
+
+def test_markdown_output(tmp_path, capsys):
+    target = tmp_path / "results.md"
+    code = main(["fig14_15", "--markdown", str(target)])
+    assert code == 0
+    text = target.read_text()
+    assert text.startswith("### fig14_15")
+    assert "| rank | kind | answer |" in text
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["nope"])

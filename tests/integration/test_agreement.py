@@ -1,0 +1,168 @@
+"""Cross-algorithm agreement: the strongest internal consistency check.
+
+Baseline (online reverse search), PATTERNENUM (pattern-first index), and
+LINEARENUM-TOPK without sampling (root-first index) take three very
+different routes to the same answer set; on every dataset and query they
+must produce identical pattern counts, subtree counts, scores, and top-k
+pattern sets.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.queries import WorkloadConfig, generate_workload
+from repro.index.builder import build_indexes
+from repro.kg.graph import KnowledgeGraph
+from repro.search.baseline import baseline_search
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+
+
+def assert_agreement(indexes, query, k=20):
+    baseline = baseline_search(indexes, query, k=k)
+    pattern = pattern_enum_search(indexes, query, k=k)
+    linear = linear_topk_search(indexes, query, k=k)
+
+    assert baseline.num_answers == pattern.num_answers == linear.num_answers
+    assert baseline.scores() == pytest.approx(pattern.scores())
+    assert pattern.scores() == pytest.approx(linear.scores())
+    # Same patterns at unambiguous (tie-free) ranks.  Ties are detected
+    # with a relative tolerance: different summation orders across the
+    # engines can make equal-by-construction scores differ in the last
+    # few ulps, and such near-ties may legitimately be ordered differently.
+    b_scores = baseline.scores()
+
+    def near(x, y):
+        # Same tolerance as the score comparison above: near-equal scores
+        # may be computed fractionally differently per engine and are
+        # allowed to order differently.
+        return abs(x - y) <= 1e-6 * max(abs(x), abs(y), 1e-30)
+
+    for i, (b, p, l) in enumerate(
+        zip(baseline.answers, pattern.answers, linear.answers)
+    ):
+        tied = sum(1 for s in b_scores if near(s, b_scores[i])) > 1
+        if not tied:
+            assert b.pattern == p.pattern == l.pattern
+            assert b.num_subtrees == p.num_subtrees == l.num_subtrees
+    return baseline, pattern, linear
+
+
+class TestOnFixtures:
+    def test_example(self, example_indexes, example_query):
+        assert_agreement(example_indexes, example_query)
+
+    def test_wiki_workload(self, wiki_indexes):
+        queries = generate_workload(
+            wiki_indexes,
+            WorkloadConfig(queries_per_size=2, max_keywords=4, seed=3),
+        )
+        assert queries
+        for query in queries:
+            assert_agreement(wiki_indexes, query, k=10)
+
+    def test_imdb_workload(self, imdb_indexes):
+        queries = generate_workload(
+            imdb_indexes,
+            WorkloadConfig(queries_per_size=2, max_keywords=4, seed=4),
+        )
+        assert queries
+        for query in queries:
+            assert_agreement(imdb_indexes, query, k=10)
+
+    def test_single_rare_word(self, wiki_indexes):
+        # The least frequent word exercises tiny posting lists.
+        word = min(
+            wiki_indexes.root_first.words(),
+            key=lambda w: wiki_indexes.root_first.num_entries(w),
+        )
+        assert_agreement(wiki_indexes, (word,), k=5)
+
+
+# ---------------------------------------------------------------- hypothesis
+
+WORDS = ["apple", "berry", "cedar", "delta"]
+TYPES = ["T0", "T1", "T2"]
+ATTRS = ["a0", "a1"]
+
+
+@st.composite
+def random_graph_and_query(draw):
+    """A small random typed digraph plus a 1-3 word query."""
+    num_nodes = draw(st.integers(min_value=2, max_value=7))
+    node_types = [
+        draw(st.sampled_from(TYPES)) for _ in range(num_nodes)
+    ]
+    node_texts = [
+        " ".join(
+            draw(
+                st.lists(
+                    st.sampled_from(WORDS), min_size=1, max_size=2, unique=True
+                )
+            )
+        )
+        for _ in range(num_nodes)
+    ]
+    possible_edges = [
+        (u, v, a)
+        for u in range(num_nodes)
+        for v in range(num_nodes)
+        if u != v
+        for a in ATTRS
+    ]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible_edges),
+            max_size=min(12, len(possible_edges)),
+            unique=True,
+        )
+    )
+    query = draw(
+        st.lists(st.sampled_from(WORDS), min_size=1, max_size=3, unique=True)
+    )
+    graph = KnowledgeGraph()
+    for node_type, text in zip(node_types, node_texts):
+        graph.add_node(node_type, text)
+    for u, v, a in edges:
+        graph.add_edge(u, a, v)
+    return graph, tuple(query)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_graph_and_query(), st.integers(min_value=1, max_value=3))
+def test_agreement_on_random_graphs(graph_and_query, d):
+    """All three engines agree on arbitrary cyclic typed digraphs."""
+    graph, query = graph_and_query
+    indexes = build_indexes(graph, d=d)
+    assert_agreement(indexes, query, k=15)
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_graph_and_query())
+def test_answers_respect_definitions(graph_and_query):
+    """Every answer's subtrees: correct height, valid trees, keywords hit."""
+    from repro.index.entry import entries_form_tree
+
+    graph, query = graph_and_query
+    indexes = build_indexes(graph, d=3)
+    result = pattern_enum_search(indexes, query, k=50)
+    words = indexes.resolve_query(query)
+    for answer in result.answers:
+        assert answer.pattern.height <= 3
+        assert answer.pattern.num_keywords == len(words)
+        for combo in answer.subtrees:
+            assert entries_form_tree(combo)
+            for word, entry in zip(words, combo):
+                if entry.matched_on_edge:
+                    tokens = indexes.lexicon.attr_tokens(entry.attrs[-1])
+                else:
+                    node = entry.nodes[-1]
+                    tokens = indexes.lexicon.node_tokens(node) | (
+                        indexes.lexicon.type_tokens(graph.node_type(node))
+                    )
+                assert word in tokens

@@ -1,0 +1,75 @@
+"""The Figures 14-15 case study dataset and its qualitative outcome."""
+
+import pytest
+
+from repro.datasets.case_study import (
+    CASE_STUDY_D,
+    XBOX_GAMES,
+    xbox_case_study_graph,
+)
+from repro.index.builder import build_indexes
+from repro.search.individual import individual_topk
+from repro.search.pattern_enum import pattern_enum_search
+
+
+@pytest.fixture(scope="module")
+def case():
+    graph, query = xbox_case_study_graph()
+    return graph, query, build_indexes(graph, d=CASE_STUDY_D)
+
+
+class TestIndividualRanking:
+    def test_top1_is_popular_xbox_entity(self, case):
+        """Figure 14 top-1: the Xbox entity wins on PageRank."""
+        graph, query, indexes = case
+        result = individual_topk(indexes, query, k=3)
+        top_combo = result.ranked[0][2]
+        assert graph.node_text(top_combo[0].nodes[0]) == "Xbox"
+
+    def test_xbox_outranks_any_game_subtree(self, case):
+        graph, query, indexes = case
+        result = individual_topk(indexes, query, k=10)
+        game_scores = [
+            score
+            for score, _key, combo in result.ranked
+            if graph.node_type_name(combo[0].nodes[0]) == "Video Game"
+        ]
+        xbox_scores = [
+            score
+            for score, _key, combo in result.ranked
+            if graph.node_text(combo[0].nodes[0]) == "Xbox"
+        ]
+        assert xbox_scores
+        assert max(xbox_scores) > max(game_scores)
+
+
+class TestPatternRanking:
+    def test_top1_pattern_is_games_table(self, case):
+        """Figure 15: the top pattern lists the Xbox games."""
+        graph, query, indexes = case
+        result = pattern_enum_search(indexes, query, k=1)
+        top = result.answers[0]
+        assert top.num_subtrees == len(XBOX_GAMES)
+        table = top.to_table(graph)
+        titles = {row[0] for row in table.rows}
+        assert titles == set(XBOX_GAMES)
+
+    def test_games_pattern_beats_singular_patterns(self, case):
+        _graph, query, indexes = case
+        result = pattern_enum_search(indexes, query, k=5)
+        assert result.answers[0].num_subtrees > max(
+            answer.num_subtrees for answer in result.answers[1:]
+        )
+
+
+class TestCoverageStory:
+    def test_top_individual_missing_from_top_pattern(self, case):
+        """The paper's point: the best individual subtree (Xbox) is not a
+        row of the best pattern (the games table)."""
+        from repro.search.individual import coverage_metrics
+
+        _graph, query, indexes = case
+        individual = individual_topk(indexes, query, k=1)
+        patterns = pattern_enum_search(indexes, query, k=1)
+        metrics = coverage_metrics(individual, patterns)
+        assert metrics.coverage == 0.0

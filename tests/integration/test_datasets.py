@@ -1,0 +1,168 @@
+"""Dataset generators and query workloads."""
+
+import pytest
+
+from repro.datasets.imdb import IMDB_TYPES, ImdbConfig, generate_imdb_graph
+from repro.datasets.queries import (
+    WorkloadConfig,
+    filter_answerable,
+    generate_workload,
+    sample_answerable_query,
+    words_reachable_from,
+)
+from repro.datasets.synthetic import (
+    make_vocabulary,
+    sample_phrase,
+    zipf_choice,
+    zipf_index,
+)
+from repro.datasets.wiki import (
+    WikiConfig,
+    generate_wiki_graph,
+    wiki_entity_fraction_graph,
+)
+from repro.kg.statistics import compute_statistics, longest_path_length
+
+
+class TestSynthetic:
+    def test_vocabulary_distinct(self):
+        import random
+
+        words = make_vocabulary(random.Random(0), 200)
+        assert len(words) == len(set(words)) == 200
+
+    def test_vocabulary_seeded(self):
+        import random
+
+        assert make_vocabulary(random.Random(5), 50) == make_vocabulary(
+            random.Random(5), 50
+        )
+
+    def test_zipf_head_heavier(self):
+        import random
+
+        rng = random.Random(0)
+        draws = [zipf_index(rng, 100, 1.0) for _ in range(3000)]
+        head = sum(1 for draw in draws if draw < 10)
+        tail = sum(1 for draw in draws if draw >= 90)
+        assert head > 5 * max(tail, 1)
+
+    def test_zipf_bounds(self):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0 <= zipf_index(rng, 7, 0.8) < 7
+        with pytest.raises(ValueError):
+            zipf_index(rng, 0)
+
+    def test_zipf_choice(self):
+        import random
+
+        assert zipf_choice(random.Random(0), ["only"]) == "only"
+
+    def test_sample_phrase_distinct_words(self):
+        import random
+
+        rng = random.Random(0)
+        vocabulary = make_vocabulary(rng, 50)
+        for _ in range(50):
+            words = sample_phrase(rng, vocabulary, 2, 4).split()
+            assert len(words) == len(set(words))
+
+
+class TestWikiGenerator:
+    def test_seeded_determinism(self):
+        config = WikiConfig(num_entities=150, seed=3)
+        a = generate_wiki_graph(config)
+        b = generate_wiki_graph(config)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_edges == b.num_edges
+        assert [a.node_text(v) for v in a.nodes()] == [
+            b.node_text(v) for v in b.nodes()
+        ]
+
+    def test_shape(self):
+        graph = generate_wiki_graph(WikiConfig(num_entities=300, num_types=15))
+        stats = compute_statistics(graph)
+        assert stats.num_entity_nodes == 300
+        assert stats.num_text_nodes > 0
+        assert stats.num_edges > 300
+        # Zipf type popularity: the largest type dominates the smallest.
+        sizes = sorted(stats.type_histogram.values(), reverse=True)
+        assert sizes[0] >= 5 * sizes[-1]
+
+    def test_fraction_graph(self):
+        config = WikiConfig(num_entities=300, seed=2)
+        half = wiki_entity_fraction_graph(config, 0.5)
+        full = wiki_entity_fraction_graph(config, 1.0)
+        assert 0 < half.num_nodes < full.num_nodes
+        assert half.num_edges < full.num_edges
+
+
+class TestImdbGenerator:
+    def test_exactly_seven_types_plus_text(self):
+        graph = generate_imdb_graph(ImdbConfig(num_movies=50))
+        names = {graph.type_name(t) for t in graph.type_ids()}
+        assert set(IMDB_TYPES) <= names
+        assert names - set(IMDB_TYPES) <= {"Text"}
+
+    def test_paths_bounded_by_three(self):
+        """The paper's key IMDB property: directed paths have <= 3 nodes."""
+        graph = generate_imdb_graph(ImdbConfig(num_movies=80))
+        assert longest_path_length(graph) <= 3
+
+    def test_seeded_determinism(self):
+        config = ImdbConfig(num_movies=40, seed=9)
+        a = generate_imdb_graph(config)
+        b = generate_imdb_graph(config)
+        assert a.num_edges == b.num_edges
+
+
+class TestWorkload:
+    def test_sizes_and_counts(self, wiki_indexes):
+        config = WorkloadConfig(queries_per_size=3, min_keywords=1, max_keywords=4)
+        queries = generate_workload(wiki_indexes, config)
+        assert len(queries) == 12
+        by_size = {}
+        for query in queries:
+            by_size.setdefault(len(query), 0)
+            by_size[len(query)] += 1
+        assert by_size == {1: 3, 2: 3, 3: 3, 4: 3}
+
+    def test_seeded(self, wiki_indexes):
+        config = WorkloadConfig(queries_per_size=2, max_keywords=3, seed=11)
+        assert generate_workload(wiki_indexes, config) == generate_workload(
+            wiki_indexes, config
+        )
+
+    def test_answerable_queries_have_answers(self, wiki_indexes):
+        import random
+
+        from repro.search.linear_enum import count_answers
+
+        rng = random.Random(0)
+        for size in (1, 2, 3):
+            query = sample_answerable_query(wiki_indexes, size, rng)
+            assert query is not None
+            patterns, subtrees = count_answers(wiki_indexes, query)
+            assert patterns >= 1
+            assert subtrees >= 1
+
+    def test_words_reachable_from(self, wiki_indexes):
+        words = words_reachable_from(wiki_indexes, 0)
+        for word in words:
+            assert wiki_indexes.root_first.path_count(word, 0) > 0
+
+    def test_filter_answerable(self, wiki_indexes):
+        queries = [("zzzzz",), tuple(words_reachable_from(wiki_indexes, 0)[:1])]
+        kept = filter_answerable(wiki_indexes, queries)
+        assert ("zzzzz",) not in kept
+
+    def test_bad_config_rejected(self, wiki_indexes):
+        from repro.core.errors import QueryError
+
+        with pytest.raises(QueryError):
+            generate_workload(
+                wiki_indexes, WorkloadConfig(min_keywords=3, max_keywords=2)
+            )

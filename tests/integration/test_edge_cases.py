@@ -1,0 +1,119 @@
+"""Edge cases and failure injection across the whole stack."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.index.builder import build_indexes
+from repro.kg.graph import KnowledgeGraph
+from repro.search.baseline import baseline_search
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+
+ALL_ENGINES = (baseline_search, linear_topk_search, pattern_enum_search)
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph(self):
+        indexes = build_indexes(KnowledgeGraph(), d=3, pagerank_scores=[])
+        for engine in ALL_ENGINES:
+            assert engine(indexes, "anything", k=5).num_answers == 0
+
+    def test_single_node_graph(self):
+        graph = KnowledgeGraph()
+        graph.add_node("Thing", "lonely widget")
+        indexes = build_indexes(graph, d=3)
+        for engine in ALL_ENGINES:
+            result = engine(indexes, "widget", k=5)
+            assert result.num_answers == 1
+            assert result.answers[0].pattern.height == 1
+
+    def test_edgeless_graph_multiword(self):
+        graph = KnowledgeGraph()
+        graph.add_node("A", "alpha beta")
+        graph.add_node("B", "alpha")
+        indexes = build_indexes(graph, d=3)
+        for engine in ALL_ENGINES:
+            # Both words only co-occur at node 0.
+            result = engine(indexes, "alpha beta", k=5)
+            assert result.num_answers == 1
+            assert result.answers[0].num_subtrees == 1
+
+    def test_self_loop_rejected_paths(self):
+        """Self-loops exist in real KBs; simple paths must skip them."""
+        graph = KnowledgeGraph()
+        node = graph.add_node("T", "selfref")
+        other = graph.add_node("T", "target word")
+        graph.add_edge(node, "rel", other)
+        graph.add_edge(other, "rel", node)  # 2-cycle
+        indexes = build_indexes(graph, d=4)
+        for _word, _pid, entry in indexes.root_first.iter_entries():
+            assert len(set(entry.nodes)) == len(entry.nodes)
+
+    def test_text_only_everything(self):
+        """A graph whose values are all text nodes still answers."""
+        graph = KnowledgeGraph()
+        root = graph.add_node("Report", "annual report")
+        graph.add_edge(root, "Total", graph.add_text_node("42 million"))
+        indexes = build_indexes(graph, d=2)
+        result = pattern_enum_search(indexes, "report million", k=5)
+        assert result.num_answers == 1
+
+
+class TestQueries:
+    def test_whitespace_only_query(self, example_indexes):
+        with pytest.raises(QueryError):
+            pattern_enum_search(example_indexes, "   ", k=5)
+
+    def test_ten_keyword_query(self, wiki_indexes):
+        from repro.datasets.queries import sample_answerable_query
+        import random
+
+        query = sample_answerable_query(
+            wiki_indexes, 10, random.Random(0)
+        )
+        if query is None:
+            pytest.skip("no 10-word answerable query in small fixture")
+        for engine in ALL_ENGINES:
+            result = engine(wiki_indexes, query, k=5)
+            assert result.num_answers >= 1
+            assert all(
+                a.pattern.num_keywords == 10 for a in result.answers
+            )
+
+    def test_repeated_word_collapses(self, example_indexes):
+        single = pattern_enum_search(example_indexes, "microsoft", k=5)
+        doubled = pattern_enum_search(
+            example_indexes, "microsoft microsoft", k=5
+        )
+        assert single.scores() == doubled.scores()
+
+    def test_unicode_text(self):
+        graph = KnowledgeGraph()
+        graph.add_node("Ville", "Zürich café")
+        indexes = build_indexes(graph, d=2)
+        # Non-ASCII letters are token separators under the ASCII tokenizer;
+        # the ASCII fragments remain searchable and nothing crashes.
+        result = pattern_enum_search(indexes, "caf", k=5)
+        assert result.num_answers in (0, 1)
+
+    def test_numeric_keywords(self, example_bundle):
+        _graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, "77 billion", k=5)
+        assert result.num_answers >= 1
+
+
+class TestKExtremes:
+    def test_k_one(self, example_indexes, example_query):
+        result = pattern_enum_search(example_indexes, example_query, k=1)
+        assert result.num_answers == 1
+        assert result.answers[0].score == pytest.approx(3.5)
+
+    def test_k_huge(self, example_indexes, example_query):
+        result = pattern_enum_search(example_indexes, example_query, k=10**6)
+        assert 0 < result.num_answers < 1000
+
+    def test_k_zero_rejected(self, example_indexes, example_query):
+        from repro.core.errors import SearchError
+
+        with pytest.raises(SearchError):
+            pattern_enum_search(example_indexes, example_query, k=0)

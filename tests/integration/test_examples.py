@@ -1,0 +1,67 @@
+"""The shipped examples must run and print their headline answers.
+
+Each example's ``main()`` is imported and executed with stdout captured —
+a broken public API surfaces here before it surfaces for a user.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "score=3.5000" in out
+    assert "SQL Server | Relational database | Microsoft   | US$ 77 billion" in out
+    assert "Oracle DB" in out
+
+
+def test_movie_tables(capsys):
+    out = run_example("movie_tables", capsys)
+    assert "mel gibson movie" in out
+    # The headline table: all five Mel Gibson movies as rows.
+    for title in ("Braveheart", "Mad Max", "Lethal Weapon", "The Patriot",
+                  "Ransom"):
+        assert title in out
+
+
+def test_city_population(capsys):
+    out = run_example("city_population", capsys)
+    assert "Seattle" in out
+    assert "737,015" in out
+    # Oregon cities must not leak into the Washington table section.
+    washington_section = out.split('=== query: "oregon')[0]
+    assert "Portland" not in washington_section
+
+
+def test_persist_and_reload(capsys):
+    out = run_example("persist_and_reload", capsys)
+    assert "persisted" in out
+    assert "Mad Max" in out
+    # The synonym query resolves "film" -> "movi" and finds the same rows.
+    assert out.count("Lethal Weapon") >= 2
+
+
+@pytest.mark.slow
+def test_sampling_tradeoff(capsys):
+    out = run_example("sampling_tradeoff", capsys)
+    assert "rho" in out
+    assert "1.0" in out

@@ -1,0 +1,239 @@
+"""End-to-end replay of the paper's worked examples (Sections 1-2).
+
+These tests pin the reproduction to the paper: Example 2.2's valid
+subtrees, Example 2.3's tree patterns (Figure 2), Example 2.4's scores,
+Figure 3's table, and Example 3.1's index lookups.
+"""
+
+import pytest
+
+from repro.core.pattern import PathPattern, TreePattern
+from repro.kg.stemmer import stem
+from repro.search.linear_enum import linear_enum
+from repro.search.pattern_enum import pattern_enum_search
+
+W_DATABASE = stem("database")
+W_SOFTWARE = stem("software")
+W_COMPANY = stem("company")
+W_REVENUE = stem("revenue")
+
+
+def tid(graph, name):
+    return graph.type_id(name)
+
+
+def aid(graph, name):
+    return graph.attr_id(name)
+
+
+def p1_pattern(graph):
+    """Figure 2(a): the tree pattern of T1 and T2."""
+    return TreePattern(
+        (
+            PathPattern(
+                (tid(graph, "Software"), aid(graph, "Genre"), tid(graph, "Model")),
+                False,
+            ),
+            PathPattern((tid(graph, "Software"),), False),
+            PathPattern(
+                (
+                    tid(graph, "Software"),
+                    aid(graph, "Developer"),
+                    tid(graph, "Company"),
+                ),
+                False,
+            ),
+            PathPattern(
+                (
+                    tid(graph, "Software"),
+                    aid(graph, "Developer"),
+                    tid(graph, "Company"),
+                    aid(graph, "Revenue"),
+                ),
+                True,
+            ),
+        )
+    )
+
+
+def p2_pattern(graph):
+    """Figure 2(b): the tree pattern of T3 (book root)."""
+    return TreePattern(
+        (
+            PathPattern((tid(graph, "Book"),), False),
+            PathPattern((tid(graph, "Book"),), False),
+            PathPattern(
+                (tid(graph, "Book"), aid(graph, "Publisher"), tid(graph, "Company")),
+                False,
+            ),
+            PathPattern(
+                (
+                    tid(graph, "Book"),
+                    aid(graph, "Publisher"),
+                    tid(graph, "Company"),
+                    aid(graph, "Revenue"),
+                ),
+                True,
+            ),
+        )
+    )
+
+
+class TestExample22ValidSubtrees:
+    def test_t1_t2_t3_enumerated(self, example_bundle, example_query):
+        graph, nodes, indexes = example_bundle
+        enumeration = linear_enum(indexes, example_query)
+        roots = {
+            combo[0].nodes[0]
+            for combos in enumeration.trees_by_pattern.values()
+            for combo in combos
+        }
+        # T1 rooted at SQL Server, T2 at Oracle DB, T3 at the book.
+        assert nodes["SQL Server"] in roots
+        assert nodes["Oracle DB"] in roots
+        assert any(graph.node_type_name(r) == "Book" for r in roots)
+
+
+class TestExample23TreePatterns:
+    def test_p1_groups_t1_and_t2(self, example_bundle, example_query):
+        graph, nodes, indexes = example_bundle
+        enumeration = linear_enum(indexes, example_query)
+        key = tuple(
+            indexes.interner.lookup(path) for path in p1_pattern(graph).paths
+        )
+        assert key in enumeration.trees_by_pattern
+        combos = enumeration.trees_by_pattern[key]
+        assert {combo[0].nodes[0] for combo in combos} == {
+            nodes["SQL Server"],
+            nodes["Oracle DB"],
+        }
+
+    def test_p2_groups_t3(self, example_bundle, example_query):
+        graph, nodes, indexes = example_bundle
+        enumeration = linear_enum(indexes, example_query)
+        key = tuple(
+            indexes.interner.lookup(path) for path in p2_pattern(graph).paths
+        )
+        assert key in enumeration.trees_by_pattern
+        assert len(enumeration.trees_by_pattern[key]) == 1
+
+
+class TestExample24Scores:
+    def test_p1_score_is_3_5(self, example_bundle, example_query):
+        _graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, example_query, k=1)
+        assert result.answers[0].score == pytest.approx(3.5)
+
+    def test_p2_score_is_4_over_3(self, example_bundle, example_query):
+        graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, example_query, k=100)
+        target = p2_pattern(graph)
+        scores = {
+            answer.pattern: answer.score for answer in result.answers
+        }
+        assert target in scores
+        # score(T3) = (1/7) * 4 * (1/6 + 1/6 + 1 + 1) = 4/3
+        assert scores[target] == pytest.approx(4.0 / 3.0)
+
+    def test_p1_ranks_above_p2(self, example_bundle, example_query):
+        graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, example_query, k=100)
+        ranks = {answer.pattern: i for i, answer in enumerate(result.answers)}
+        assert ranks[p1_pattern(graph)] < ranks[p2_pattern(graph)]
+
+
+class TestFigure3Table:
+    def test_table_contents(self, example_bundle, example_query):
+        graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, example_query, k=1)
+        table = result.answers[0].to_table(graph)
+        assert table.headers() == ["Software", "Model", "Company", "Revenue"]
+        assert ["SQL Server", "Relational database", "Microsoft", "US$ 77 billion"] in table.rows
+        assert ["Oracle DB", "O-R database", "Oracle Corp", "US$ 37 billion"] in table.rows
+
+
+class TestExample31IndexLookups:
+    def test_patterns_for_database(self, example_bundle):
+        """Example 3.1: Patterns(database) has (at least) the three shown."""
+        graph, _nodes, indexes = example_bundle
+        pids = indexes.pattern_first.patterns(W_DATABASE)
+        patterns = {indexes.interner.pattern(pid) for pid in pids}
+        shown = {
+            PathPattern(
+                (tid(graph, "Software"), aid(graph, "Genre"), tid(graph, "Model")),
+                False,
+            ),
+            PathPattern(
+                (
+                    tid(graph, "Software"),
+                    aid(graph, "Reference"),
+                    tid(graph, "Book"),
+                ),
+                False,
+            ),
+            PathPattern((tid(graph, "Book"),), False),
+        }
+        assert shown <= patterns
+
+    def test_roots_via_reference_book(self, example_bundle):
+        """Roots(database, (Software)(Reference)(Book)) == {SQL Server}."""
+        graph, nodes, indexes = example_bundle
+        pattern = PathPattern(
+            (tid(graph, "Software"), aid(graph, "Reference"), tid(graph, "Book")),
+            False,
+        )
+        pid = indexes.interner.lookup(pattern)
+        roots = indexes.pattern_first.roots(W_DATABASE, pid)
+        assert set(roots) == {nodes["SQL Server"]}
+
+    def test_root_first_lookups(self, example_bundle):
+        """Roots(database) contains v1, v7, v12 equivalents."""
+        graph, nodes, indexes = example_bundle
+        roots = set(indexes.root_first.roots(W_DATABASE))
+        assert nodes["SQL Server"] in roots
+        assert nodes["Oracle DB"] in roots
+        # Patterns(database, SQL Server) includes both Genre and Reference.
+        pids = indexes.root_first.patterns(W_DATABASE, nodes["SQL Server"])
+        rendered = {
+            indexes.interner.pattern(pid).format(graph) for pid in pids
+        }
+        assert "(Software) (Genre) (Model)" in rendered
+        assert "(Software) (Reference) (Book)" in rendered
+
+    def test_paths_with_pattern(self, example_bundle):
+        graph, nodes, indexes = example_bundle
+        pattern = PathPattern(
+            (tid(graph, "Software"), aid(graph, "Genre"), tid(graph, "Model")),
+            False,
+        )
+        pid = indexes.interner.lookup(pattern)
+        paths = indexes.root_first.paths_with_pattern(
+            W_DATABASE, nodes["SQL Server"], pid
+        )
+        assert len(paths) == 1
+        assert paths[0].nodes == (
+            nodes["SQL Server"],
+            nodes["Relational database"],
+        )
+
+
+class TestScoreComponents:
+    def test_t1_component_sums(self, example_bundle, example_query):
+        """Example 2.4's raw sums: size 8, PR 4, sim 3.5 for T1."""
+        from repro.index.entry import combination_score_terms
+
+        graph, nodes, indexes = example_bundle
+        enumeration = linear_enum(indexes, example_query)
+        key = tuple(
+            indexes.interner.lookup(path) for path in p1_pattern(graph).paths
+        )
+        t1 = [
+            combo
+            for combo in enumeration.trees_by_pattern[key]
+            if combo[0].nodes[0] == nodes["SQL Server"]
+        ]
+        assert len(t1) == 1
+        size, pr, sim = combination_score_terms(t1[0])
+        assert size == 8
+        assert pr == pytest.approx(4.0)
+        assert sim == pytest.approx(3.5)

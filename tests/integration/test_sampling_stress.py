@@ -1,0 +1,80 @@
+"""The sampling-stress dataset has the regime Figures 11-12 need."""
+
+import pytest
+
+from repro.datasets.sampling_stress import (
+    COMMON_WORD,
+    SamplingStressConfig,
+    TOPIC_WORD,
+    sampling_stress_graph,
+)
+from repro.index.builder import build_indexes
+from repro.search.linear_enum import count_answers
+from repro.search.linear_topk import linear_topk_search
+
+SMALL = SamplingStressConfig(
+    num_articles=600, num_topics=80, num_attrs=16, fanout=3, seed=3
+)
+
+
+@pytest.fixture(scope="module")
+def stress():
+    graph, queries = sampling_stress_graph(SMALL)
+    return build_indexes(graph, d=2), queries
+
+
+class TestShape:
+    def test_queries_answerable(self, stress):
+        indexes, queries = stress
+        for query in queries:
+            patterns, subtrees = count_answers(indexes, query)
+            assert patterns >= 1
+            assert subtrees >= patterns
+
+    def test_many_rows_per_pattern(self, stress):
+        """The defining property: patterns aggregate many subtrees."""
+        indexes, queries = stress
+        patterns, subtrees = count_answers(indexes, queries[0])
+        assert subtrees / patterns > 5
+
+    def test_patterns_spread_over_many_roots(self, stress):
+        indexes, queries = stress
+        result = linear_topk_search(indexes, queries[0], k=5)
+        top = result.answers[0]
+        roots = {combo[0].nodes[0] for combo in top.subtrees}
+        assert len(roots) > 10
+
+    def test_deterministic(self):
+        a_graph, _q = sampling_stress_graph(SMALL)
+        b_graph, _q = sampling_stress_graph(SMALL)
+        assert a_graph.num_edges == b_graph.num_edges
+
+
+class TestSamplingBehaviour:
+    def test_sampling_reduces_expansion(self, stress):
+        indexes, queries = stress
+        exact = linear_topk_search(indexes, queries[0], k=10,
+                                   keep_subtrees=False)
+        sampled = linear_topk_search(
+            indexes, queries[0], k=10, keep_subtrees=False,
+            sampling_threshold=0, sampling_rate=0.2, seed=5,
+        )
+        assert sampled.stats.roots_expanded < exact.stats.roots_expanded / 2
+
+    def test_precision_improves_with_rate(self, stress):
+        from repro.bench.experiments import precision_by_score
+
+        indexes, queries = stress
+        exact = linear_topk_search(indexes, queries[0], k=10,
+                                   keep_subtrees=False)
+        precisions = []
+        for rate in (0.1, 0.5, 1.0):
+            sampled = linear_topk_search(
+                indexes, queries[0], k=10, keep_subtrees=False,
+                sampling_threshold=0, sampling_rate=rate, seed=5,
+            )
+            precisions.append(
+                precision_by_score(exact.scores(), sampled.scores())
+            )
+        assert precisions[-1] == 1.0
+        assert precisions[0] <= precisions[-1]

@@ -1,0 +1,115 @@
+"""Property tests: the path indexes are sound and complete.
+
+Soundness: every stored entry is a real simple path of the graph whose
+endpoint (or final attribute) contains the indexed word, with correct
+precomputed score terms.  Completeness: every bounded simple path from any
+root to any keyword occurrence appears in both indexes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index.builder import build_indexes
+from repro.index.path_enum import interleaved_labels, iter_paths_from
+from repro.kg.graph import KnowledgeGraph
+
+WORDS = ["ruby", "topaz", "opal"]
+TYPES = ["TA", "TB"]
+ATTRS = ["ra", "rb"]
+
+
+@st.composite
+def graphs(draw):
+    num_nodes = draw(st.integers(min_value=1, max_value=6))
+    graph = KnowledgeGraph()
+    for _ in range(num_nodes):
+        node_type = draw(st.sampled_from(TYPES))
+        text = " ".join(
+            draw(st.lists(st.sampled_from(WORDS), min_size=1, max_size=2,
+                          unique=True))
+        )
+        graph.add_node(node_type, text)
+    possible = [
+        (u, v, a)
+        for u in range(num_nodes)
+        for v in range(num_nodes)
+        if u != v
+        for a in ATTRS
+    ]
+    for u, v, a in draw(
+        st.lists(st.sampled_from(possible), max_size=10, unique=True)
+    ) if possible else []:
+        graph.add_edge(u, a, v)
+    return graph
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graphs(), st.integers(min_value=1, max_value=3))
+def test_soundness(graph, d):
+    """Every entry is a real path matching its word, with correct terms."""
+    indexes = build_indexes(graph, d=d)
+    lexicon = indexes.lexicon
+    for word, pid, entry in indexes.root_first.iter_entries():
+        # Path is a real chain of edges.
+        for i, attr in enumerate(entry.attrs):
+            assert graph.has_edge(entry.nodes[i], attr, entry.nodes[i + 1])
+        # Simple and bounded.
+        assert len(set(entry.nodes)) == len(entry.nodes)
+        assert len(entry.nodes) <= d
+        # The word occurs where claimed, with the lexicon's similarity.
+        if entry.matched_on_edge:
+            assert lexicon.attr_sim(entry.attrs[-1], word) == entry.sim
+            assert entry.pr == indexes.pagerank_scores[entry.nodes[-2]]
+        else:
+            assert lexicon.node_sim(entry.nodes[-1], word) == entry.sim
+            assert entry.pr == indexes.pagerank_scores[entry.nodes[-1]]
+        # The interned pattern matches the path's labels.
+        pattern = indexes.interner.pattern(pid)
+        full = interleaved_labels(graph, entry.nodes, entry.attrs)
+        if entry.matched_on_edge:
+            assert pattern.labels == full[:-1]
+            assert pattern.ends_at_edge
+        else:
+            assert pattern.labels == full
+            assert not pattern.ends_at_edge
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graphs(), st.integers(min_value=1, max_value=3))
+def test_completeness(graph, d):
+    """Every bounded path to a keyword occurrence is indexed (both ways)."""
+    indexes = build_indexes(graph, d=d)
+    lexicon = indexes.lexicon
+    expected = set()  # (word, nodes, attrs, matched_on_edge)
+    for root in graph.nodes():
+        for nodes, attrs in iter_paths_from(graph, root, d):
+            for word, _sim in lexicon.node_matches(nodes[-1]):
+                expected.add((word, nodes, attrs, False))
+            if attrs:
+                for word, _sim in lexicon.attr_matches(attrs[-1]):
+                    expected.add((word, nodes, attrs, True))
+    stored_rf = {
+        (word, entry.nodes, entry.attrs, entry.matched_on_edge)
+        for word, _pid, entry in indexes.root_first.iter_entries()
+    }
+    stored_pf = {
+        (word, entry.nodes, entry.attrs, entry.matched_on_edge)
+        for word, _pid, entry in indexes.pattern_first.iter_entries()
+    }
+    assert stored_rf == expected
+    assert stored_pf == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(graphs())
+def test_path_counts_consistent(graph):
+    """|Paths(w, r)| equals the number of stored (w, r) entries."""
+    indexes = build_indexes(graph, d=3)
+    root_first = indexes.root_first
+    for word in list(root_first.words()):
+        for root in list(root_first.roots(word)):
+            assert root_first.path_count(word, root) == sum(
+                1 for _ in root_first.paths(word, root)
+            )

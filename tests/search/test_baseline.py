@@ -1,0 +1,80 @@
+"""Enumeration-aggregation baseline (Section 2.3)."""
+
+import pytest
+
+from repro.core.errors import SearchError
+from repro.datasets.worstcase import diamond_graph, star_graph
+from repro.index.builder import build_indexes
+from repro.search.baseline import baseline_search
+from repro.search.pattern_enum import pattern_enum_search
+
+
+class TestCorrectness:
+    def test_matches_index_algorithms(self, example_indexes, example_query):
+        """Reverse-walk enumeration agrees with the forward-built index."""
+        baseline = baseline_search(example_indexes, example_query, k=100)
+        pattern = pattern_enum_search(example_indexes, example_query, k=100)
+        assert [round(s, 9) for s in baseline.scores()] == [
+            round(s, 9) for s in pattern.scores()
+        ]
+        # Patterns agree structurally (baseline uses raw label keys).
+        assert [a.pattern for a in baseline.answers] == [
+            a.pattern for a in pattern.answers
+        ]
+
+    def test_subtree_counts_agree(self, example_indexes, example_query):
+        baseline = baseline_search(example_indexes, example_query, k=100)
+        pattern = pattern_enum_search(example_indexes, example_query, k=100)
+        assert [a.num_subtrees for a in baseline.answers] == [
+            a.num_subtrees for a in pattern.answers
+        ]
+
+    def test_star(self):
+        graph, query = star_graph(9)
+        indexes = build_indexes(graph, d=2)
+        result = baseline_search(indexes, query, k=5)
+        assert result.num_answers == 1
+        assert result.answers[0].num_subtrees == 9
+
+    def test_diamond_tree_check(self):
+        graph, query = diamond_graph()
+        indexes = build_indexes(graph, d=3)
+        result = baseline_search(indexes, query, k=10)
+        assert result.stats.tree_check_rejections > 0
+        assert result.num_answers >= 1
+
+    def test_edge_keyword_from_reverse_walk(self, example_indexes):
+        """'revenue' only matches attribute types: exercises the reverse
+        walk seeded from edges."""
+        result = baseline_search(example_indexes, "microsoft revenue", k=10)
+        assert result.num_answers >= 1
+        top = result.answers[0]
+        assert any(p.ends_at_edge for p in top.pattern.paths)
+
+
+class TestParameters:
+    def test_smaller_d_allowed(self, example_indexes, example_query):
+        shallow = baseline_search(example_indexes, example_query, k=100, d=2)
+        deep = baseline_search(example_indexes, example_query, k=100, d=3)
+        assert shallow.num_answers <= deep.num_answers
+        for answer in shallow.answers:
+            assert answer.pattern.height <= 2
+
+    def test_bad_d_rejected(self, example_indexes, example_query):
+        with pytest.raises(SearchError):
+            baseline_search(example_indexes, example_query, d=0)
+
+    def test_keep_subtrees_false(self, example_indexes, example_query):
+        result = baseline_search(
+            example_indexes, example_query, k=5, keep_subtrees=False
+        )
+        assert result.answers[0].subtrees == []
+        assert result.answers[0].num_subtrees > 0
+
+    def test_unknown_word_empty(self, example_indexes):
+        assert baseline_search(example_indexes, "qqq", k=5).num_answers == 0
+
+    def test_d1_single_node_answers(self, example_indexes):
+        result = baseline_search(example_indexes, "microsoft company", k=5, d=1)
+        assert result.num_answers == 1
+        assert result.answers[0].pattern.height == 1

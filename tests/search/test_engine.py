@@ -1,0 +1,113 @@
+"""TableAnswerEngine facade."""
+
+import pytest
+
+from repro.core.errors import SearchError
+from repro.datasets.example import EXAMPLE_NORMALIZER, example_kb
+from repro.kg.pagerank import uniform_scores
+from repro.search.engine import TableAnswerEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    kb = example_kb()
+    from repro.kg.builder import build_graph
+
+    graph, _nodes = build_graph(kb)
+    return TableAnswerEngine(
+        graph,
+        d=3,
+        normalizer=EXAMPLE_NORMALIZER,
+        pagerank_scores=uniform_scores(graph),
+    )
+
+
+class TestConstruction:
+    def test_from_knowledge_base(self):
+        engine = TableAnswerEngine.from_knowledge_base(example_kb(), d=2)
+        assert engine.d == 2
+        assert engine.graph.num_nodes == 13
+
+    def test_prebuilt_indexes_adopted(self, engine):
+        again = TableAnswerEngine(engine.graph, indexes=engine.indexes)
+        assert again.indexes is engine.indexes
+
+    def test_prebuilt_indexes_graph_mismatch(self, engine):
+        from repro.kg.graph import KnowledgeGraph
+
+        with pytest.raises(SearchError):
+            TableAnswerEngine(KnowledgeGraph(), indexes=engine.indexes)
+
+
+class TestSearch:
+    @pytest.mark.parametrize(
+        "algorithm", ["pattern_enum", "petopk", "linear", "letopk", "baseline"]
+    )
+    def test_all_algorithms_agree_on_top1(self, engine, algorithm):
+        result = engine.search(
+            "database software company revenue", k=1, algorithm=algorithm
+        )
+        assert result.num_answers == 1
+        assert result.answers[0].score == pytest.approx(3.5)
+
+    def test_unknown_algorithm(self, engine):
+        with pytest.raises(SearchError):
+            engine.search("software", algorithm="quantum")
+
+    def test_letopk_params_forwarded(self, engine):
+        result = engine.search(
+            "software company",
+            k=3,
+            algorithm="letopk",
+            sampling_threshold=0,
+            sampling_rate=0.9,
+            seed=5,
+        )
+        assert result.stats.algorithm == "linear_topk"
+
+    def test_scoring_override(self, engine):
+        from repro.scoring.function import COUNT_TREES
+
+        result = engine.search(
+            "database software company revenue", k=1, scoring=COUNT_TREES
+        )
+        assert result.answers[0].score == 2.0  # two rows in P1
+
+    def test_linear_full_alias(self, engine):
+        result = engine.search("software company", k=3, algorithm="linear_full")
+        assert result.stats.algorithm == "linear_enum"
+
+
+class TestTables:
+    def test_tables_rendered(self, engine):
+        tables = engine.tables("database software company revenue", k=2)
+        assert len(tables) == 2
+        assert tables[0].headers() == ["Software", "Model", "Company", "Revenue"]
+
+    def test_max_rows(self, engine):
+        tables = engine.tables(
+            "database software company revenue", k=1, max_rows=1
+        )
+        assert tables[0].num_rows == 1
+
+
+class TestDiagnostics:
+    def test_individual(self, engine):
+        result = engine.individual("software company", k=5)
+        assert result.scores() == sorted(result.scores(), reverse=True)
+
+    def test_coverage(self, engine):
+        metrics = engine.coverage("database software company revenue", k=5)
+        assert 0.0 <= metrics.coverage <= 1.0
+
+    def test_count_answers(self, engine):
+        patterns, subtrees = engine.count_answers(
+            "database software company revenue"
+        )
+        assert patterns >= 5
+        assert subtrees >= patterns
+
+    def test_explain(self, engine):
+        report = engine.explain("database software")
+        assert report["keywords"] == ("databas", "softwar")
+        assert report["per_word"]["databas"]["postings"] > 0

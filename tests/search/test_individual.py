@@ -1,0 +1,105 @@
+"""Individual top-k subtrees and Figure 13 coverage metrics (§5.3)."""
+
+import pytest
+
+from repro.datasets.worstcase import star_graph
+from repro.index.builder import build_indexes
+from repro.search.individual import coverage_metrics, individual_topk
+from repro.search.linear_enum import linear_enum
+from repro.search.expand import combo_score
+from repro.search.pattern_enum import pattern_enum_search
+from repro.scoring.function import PAPER_DEFAULT
+
+
+class TestIndividualTopK:
+    def test_scores_descending(self, example_indexes, example_query):
+        result = individual_topk(example_indexes, example_query, k=20)
+        scores = result.scores()
+        assert scores == sorted(scores, reverse=True)
+
+    def test_matches_full_enumeration(self, example_indexes, example_query):
+        """Top-k individual == k best subtree scores from LINEARENUM."""
+        result = individual_topk(example_indexes, example_query, k=5)
+        enumeration = linear_enum(example_indexes, example_query)
+        all_scores = sorted(
+            (
+                combo_score(PAPER_DEFAULT, combo)
+                for combos in enumeration.trees_by_pattern.values()
+                for combo in combos
+            ),
+            reverse=True,
+        )
+        assert result.scores() == pytest.approx(all_scores[:5])
+
+    def test_combo_keys_match_patterns(self, example_indexes, example_query):
+        result = individual_topk(example_indexes, example_query, k=5)
+        for _score, key, combo in result.ranked:
+            assert len(key) == len(result.query)
+            assert len(combo) == len(result.query)
+
+    def test_k_larger_than_population(self, example_indexes):
+        result = individual_topk(example_indexes, "springer", k=1000)
+        assert 0 < len(result.ranked) < 1000
+
+    def test_format_renders_tables(self, example_indexes, example_query):
+        result = individual_topk(example_indexes, example_query, k=3)
+        text = result.format(example_indexes)
+        assert "Top-1" in text
+
+
+class TestCoverage:
+    def test_star_full_coverage(self):
+        """One pattern holding every subtree: coverage 1, no new patterns."""
+        graph, query = star_graph(8)
+        indexes = build_indexes(graph, d=2)
+        individual = individual_topk(indexes, query, k=8)
+        patterns = pattern_enum_search(indexes, query, k=8)
+        metrics = coverage_metrics(individual, patterns)
+        assert metrics.coverage == 1.0
+        assert metrics.new_pattern_fraction == 0.0
+
+    def test_metrics_in_range(self, wiki_indexes):
+        from repro.datasets.queries import WorkloadConfig, generate_workload
+
+        queries = generate_workload(
+            wiki_indexes, WorkloadConfig(queries_per_size=2, max_keywords=3)
+        )
+        for query in queries[:6]:
+            individual = individual_topk(wiki_indexes, query, k=10)
+            patterns = pattern_enum_search(wiki_indexes, query, k=10)
+            metrics = coverage_metrics(individual, patterns)
+            assert 0.0 <= metrics.coverage <= 1.0
+            assert 0.0 <= metrics.new_pattern_fraction <= 1.0
+
+    def test_empty_results(self, example_indexes):
+        individual = individual_topk(example_indexes, "zzz", k=10)
+        patterns = pattern_enum_search(example_indexes, "zzz", k=10)
+        metrics = coverage_metrics(individual, patterns)
+        assert metrics.coverage == 0.0
+        assert metrics.new_pattern_fraction == 0.0
+
+    def test_singular_pattern_lost_from_pattern_topk(self):
+        """Paper's motivation: a strong individual subtree with a singular
+        pattern can vanish from the pattern top-k when k is small."""
+        from repro.kg.graph import KnowledgeGraph
+
+        graph = KnowledgeGraph()
+        # Pattern A: hub with many same-pattern subtrees — each subtree is
+        # weak (size 3, leaf sim 1/4) but the pattern's *sum* is large.
+        hub = graph.add_node("Hub", "alpha")
+        for i in range(6):
+            leaf = graph.add_node("Leaf", f"beta common filler word{i}")
+            graph.add_edge(hub, "Link", leaf)
+        # Pattern B: singular but individually strong (size 2, sim 1/2+1/2).
+        lone = graph.add_node("Lone", "alpha beta")
+        indexes = build_indexes(graph, d=2)
+        patterns = pattern_enum_search(indexes, "alpha beta", k=1)
+        individual = individual_topk(indexes, "alpha beta", k=1)
+        # Sanity: the single best subtree is the Lone node...
+        assert individual.ranked[0][2][0].nodes == (lone,)
+        # ...but the top-1 pattern is the 6-row hub pattern, so the best
+        # individual answer is invisible in the pattern top-1.
+        assert patterns.answers[0].num_subtrees == 6
+        metrics = coverage_metrics(individual, patterns)
+        assert metrics.coverage == 0.0
+        assert metrics.new_pattern_fraction == 1.0

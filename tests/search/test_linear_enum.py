@@ -1,0 +1,84 @@
+"""LINEARENUM (Algorithm 3): full enumeration and its guarantees."""
+
+import pytest
+
+from repro.datasets.worstcase import (
+    diamond_graph,
+    pattern_enum_adversarial_graph,
+    star_graph,
+)
+from repro.index.builder import build_indexes
+from repro.search.linear_enum import count_answers, linear_enum, linear_enum_search
+from repro.search.pattern_enum import pattern_enum_search
+
+
+class TestEnumeration:
+    def test_every_tried_pattern_nonempty(self, example_indexes, example_query):
+        """Theorem 3's key property: no wasted empty patterns."""
+        enumeration = linear_enum(example_indexes, example_query)
+        assert enumeration.stats.empty_patterns == 0
+        for key, aggregate in enumeration.aggregates.items():
+            assert aggregate.count >= 1
+            assert len(enumeration.trees_by_pattern[key]) == aggregate.count
+
+    def test_counts_match_pattern_enum(self, example_indexes, example_query):
+        enumeration = linear_enum(example_indexes, example_query)
+        full = pattern_enum_search(example_indexes, example_query, k=10_000)
+        assert enumeration.num_patterns == full.num_answers
+        assert enumeration.num_subtrees == sum(
+            answer.num_subtrees for answer in full.answers
+        )
+
+    def test_adversarial_graph_zero_candidates(self):
+        """LINEARENUM sees instantly there are no candidate roots."""
+        graph, query = pattern_enum_adversarial_graph(6)
+        indexes = build_indexes(graph, d=2)
+        enumeration = linear_enum(indexes, query)
+        assert enumeration.stats.candidate_roots == 0
+        assert enumeration.num_patterns == 0
+        assert enumeration.stats.patterns_checked == 0
+
+    def test_star_graph_counts(self):
+        graph, query = star_graph(fanout=7)
+        indexes = build_indexes(graph, d=2)
+        enumeration = linear_enum(indexes, query)
+        assert enumeration.num_patterns == 1
+        assert enumeration.num_subtrees == 7
+
+    def test_diamond_tree_check(self):
+        """Non-tree path unions are rejected, valid ones kept."""
+        graph, query = diamond_graph()
+        indexes = build_indexes(graph, d=3)
+        enumeration = linear_enum(indexes, query)
+        assert enumeration.stats.tree_check_rejections > 0
+        assert enumeration.num_subtrees >= 1
+        # Every kept subtree really is a tree.
+        from repro.index.entry import entries_form_tree
+
+        for combos in enumeration.trees_by_pattern.values():
+            for combo in combos:
+                assert entries_form_tree(combo)
+
+    def test_keep_subtrees_false_counts_only(self, example_indexes, example_query):
+        enumeration = linear_enum(
+            example_indexes, example_query, keep_subtrees=False
+        )
+        assert enumeration.num_patterns > 0
+        assert all(not v for v in enumeration.trees_by_pattern.values())
+        assert enumeration.num_subtrees > 0
+
+
+class TestSearchWrapper:
+    def test_matches_pattern_enum_topk(self, example_indexes, example_query):
+        linear = linear_enum_search(example_indexes, example_query, k=5)
+        pattern = pattern_enum_search(example_indexes, example_query, k=5)
+        assert [round(s, 9) for s in linear.scores()] == [
+            round(s, 9) for s in pattern.scores()
+        ]
+        assert linear.pattern_keys() == pattern.pattern_keys()
+
+    def test_count_answers(self, example_indexes, example_query):
+        patterns, subtrees = count_answers(example_indexes, example_query)
+        enumeration = linear_enum(example_indexes, example_query)
+        assert patterns == enumeration.num_patterns
+        assert subtrees == enumeration.num_subtrees

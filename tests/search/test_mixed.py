@@ -1,0 +1,83 @@
+"""Universal (mixed) ranking of patterns and individual subtrees."""
+
+import pytest
+
+from repro.core.errors import SearchError
+from repro.datasets.case_study import CASE_STUDY_D, xbox_case_study_graph
+from repro.datasets.worstcase import star_graph
+from repro.index.builder import build_indexes
+from repro.search.mixed import mixed_search
+
+
+@pytest.fixture(scope="module")
+def case_indexes():
+    graph, query = xbox_case_study_graph()
+    return build_indexes(graph, d=CASE_STUDY_D), query
+
+
+class TestMixedRanking:
+    def test_case_study_mixes_both_kinds(self, case_indexes):
+        indexes, query = case_indexes
+        result = mixed_search(indexes, query, k=5)
+        kinds = set(result.kinds())
+        assert kinds == {"pattern", "subtree"}
+        assert result.num_patterns_ranked >= 1
+        assert result.num_subtrees_ranked >= 1
+
+    def test_normalized_scores_descending_within_bound(self, case_indexes):
+        indexes, query = case_indexes
+        result = mixed_search(indexes, query, k=6)
+        scores = [answer.normalized_score for answer in result.answers]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 <= score <= 1.0 for score in scores)
+
+    def test_top_normalized_is_one(self, case_indexes):
+        indexes, query = case_indexes
+        result = mixed_search(indexes, query, k=3)
+        assert result.answers[0].normalized_score == pytest.approx(1.0)
+
+    def test_subsumption(self):
+        """On a star, every individual subtree is a row of the single
+        pattern, so the mixed ranking contains the pattern only."""
+        graph, query = star_graph(6)
+        indexes = build_indexes(graph, d=2)
+        result = mixed_search(indexes, query, k=10)
+        assert result.kinds().count("pattern") == 1
+        assert result.num_subtrees_subsumed > 0
+        # No subtree that is already a table row appears separately.
+        pattern_rows = set(result.answers[0].pattern_answer.subtrees)
+        for answer in result.answers:
+            if answer.kind == "subtree":
+                assert answer.subtree_combo not in pattern_rows
+
+    def test_pattern_weight_zero_is_individual_ranking(self, case_indexes):
+        indexes, query = case_indexes
+        result = mixed_search(indexes, query, k=4, pattern_weight=0.0)
+        # With zero pattern weight, subtrees saturate the prefix of the
+        # ranking (patterns all have normalized score 0).
+        first_pattern_rank = next(
+            (i for i, kind in enumerate(result.kinds()) if kind == "pattern"),
+            len(result.answers),
+        )
+        first_subtree_rank = next(
+            (i for i, kind in enumerate(result.kinds()) if kind == "subtree"),
+            len(result.answers),
+        )
+        assert first_subtree_rank < first_pattern_rank
+
+    def test_k_bounds_answers(self, case_indexes):
+        indexes, query = case_indexes
+        result = mixed_search(indexes, query, k=2)
+        assert len(result.answers) == 2
+
+    def test_bad_weight_rejected(self, case_indexes):
+        indexes, query = case_indexes
+        with pytest.raises(SearchError):
+            mixed_search(indexes, query, pattern_weight=1.5)
+
+    def test_every_answer_renders_as_table(self, case_indexes):
+        indexes, query = case_indexes
+        result = mixed_search(indexes, query, k=5)
+        for answer in result.answers:
+            table = answer.pattern_answer.to_table(indexes.graph)
+            assert table.num_rows == answer.num_rows or answer.kind == "pattern"

@@ -1,0 +1,88 @@
+"""PATTERNENUM (Algorithm 2): correctness and worst-case behaviour."""
+
+import pytest
+
+from repro.datasets.example import EXAMPLE_QUERY
+from repro.datasets.worstcase import pattern_enum_adversarial_graph
+from repro.index.builder import build_indexes
+from repro.search.pattern_enum import pattern_enum_search
+
+
+class TestOnExample:
+    def test_top1_is_paper_p1(self, example_bundle, example_query):
+        graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, example_query, k=5)
+        top = result.answers[0]
+        assert top.score == pytest.approx(3.5)
+        assert top.num_subtrees == 2
+        rendered = top.pattern.format(graph)
+        assert "(Software) (Genre) (Model)" in rendered
+        assert "(Software) (Developer) (Company) (Revenue)" in rendered
+
+    def test_k_limits_answers(self, example_indexes, example_query):
+        result = pattern_enum_search(example_indexes, example_query, k=2)
+        assert result.num_answers == 2
+
+    def test_scores_descending(self, example_indexes, example_query):
+        result = pattern_enum_search(example_indexes, example_query, k=100)
+        scores = result.scores()
+        assert scores == sorted(scores, reverse=True)
+
+    def test_keep_subtrees_false(self, example_indexes, example_query):
+        result = pattern_enum_search(
+            example_indexes, example_query, k=5, keep_subtrees=False
+        )
+        assert result.answers[0].subtrees == []
+        assert result.answers[0].num_subtrees == 2
+        assert result.answers[0].score == pytest.approx(3.5)
+
+    def test_unknown_word_gives_empty(self, example_indexes):
+        result = pattern_enum_search(example_indexes, "xylophone", k=5)
+        assert result.num_answers == 0
+
+    def test_single_keyword(self, example_indexes):
+        result = pattern_enum_search(example_indexes, "microsoft", k=10)
+        assert result.num_answers >= 1
+        for answer in result.answers:
+            assert answer.pattern.num_keywords == 1
+
+    def test_heights_bounded_by_d(self, example_indexes, example_query):
+        result = pattern_enum_search(example_indexes, example_query, k=100)
+        for answer in result.answers:
+            assert answer.pattern.height <= example_indexes.d
+
+
+class TestWorstCase:
+    def test_all_combined_patterns_empty(self):
+        """Section 4.1: PETopK checks p^2 combinations, all empty."""
+        p = 6
+        graph, query = pattern_enum_adversarial_graph(p)
+        indexes = build_indexes(graph, d=2)
+        result = pattern_enum_search(indexes, query, k=10)
+        assert result.num_answers == 0
+        assert result.stats.patterns_checked == p * p
+        assert result.stats.empty_patterns == p * p
+
+    def test_quadratic_growth(self):
+        checked = []
+        for p in (3, 6):
+            graph, query = pattern_enum_adversarial_graph(p)
+            indexes = build_indexes(graph, d=2)
+            result = pattern_enum_search(indexes, query, k=10)
+            checked.append(result.stats.patterns_checked)
+        assert checked[1] == 4 * checked[0]
+
+
+class TestStats:
+    def test_counters_populated(self, example_indexes, example_query):
+        result = pattern_enum_search(example_indexes, example_query, k=5)
+        stats = result.stats
+        assert stats.algorithm == "pattern_enum"
+        assert stats.elapsed_seconds > 0
+        assert stats.patterns_checked >= stats.nonempty_patterns
+        assert stats.subtrees_enumerated >= stats.nonempty_patterns
+        assert stats.candidate_roots >= 1
+
+    def test_format_smoke(self, example_indexes, example_query):
+        result = pattern_enum_search(example_indexes, example_query, k=5)
+        assert "pattern_enum" in result.stats.format()

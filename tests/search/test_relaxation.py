@@ -1,0 +1,76 @@
+"""Query relaxation: dropping keywords to recover answers."""
+
+import pytest
+
+from repro.search.relaxation import relaxed_search
+
+
+class TestNoRelaxationNeeded:
+    def test_answerable_query_untouched(self, example_indexes, example_query):
+        relaxed = relaxed_search(example_indexes, example_query, k=5)
+        assert not relaxed.was_relaxed
+        assert relaxed.result.num_answers > 0
+        assert relaxed.dropped_keywords == ()
+
+    def test_single_keyword_never_relaxed(self, example_indexes):
+        relaxed = relaxed_search(example_indexes, "xylophone", k=5)
+        assert not relaxed.was_relaxed
+        assert relaxed.result.num_answers == 0
+
+
+class TestRelaxation:
+    def test_one_bad_keyword_dropped(self, example_indexes):
+        relaxed = relaxed_search(
+            example_indexes, "microsoft revenue xylophone", k=5
+        )
+        assert relaxed.was_relaxed
+        assert relaxed.dropped_keywords == ("xylophon",)
+        assert set(relaxed.kept_keywords) == {"microsoft", "revenu"}
+        assert relaxed.result.num_answers > 0
+
+    def test_prefers_fewer_drops(self, example_indexes):
+        relaxed = relaxed_search(
+            example_indexes, "microsoft revenue qqq zzz", k=5
+        )
+        assert relaxed.was_relaxed
+        assert len(relaxed.dropped_keywords) == 2  # both unknowns must go
+        assert set(relaxed.kept_keywords) == {"microsoft", "revenu"}
+
+    def test_drops_least_selective_first(self, example_indexes):
+        """Two disconnected-but-known keywords: the more common one goes."""
+        # 'company' matches three entities, 'gates' only one; pairing each
+        # with an unknown word forces a drop: the relaxer keeps the query
+        # answerable while preferring to drop high-frequency words.
+        relaxed = relaxed_search(example_indexes, "gates company", k=5)
+        if relaxed.was_relaxed:
+            assert relaxed.dropped_keywords == ("compani",)
+
+    def test_max_dropped_respected(self, example_indexes):
+        relaxed = relaxed_search(
+            example_indexes, "microsoft qqq zzz", k=5, max_dropped=1
+        )
+        # Needs two drops but only one allowed: original empty result.
+        assert not relaxed.was_relaxed
+        assert relaxed.result.num_answers == 0
+
+    def test_totally_unanswerable(self, example_indexes):
+        relaxed = relaxed_search(example_indexes, "qqq zzz", k=5)
+        assert not relaxed.was_relaxed
+        assert relaxed.result.num_answers == 0
+
+
+class TestExports:
+    def test_table_csv_and_json(self, example_bundle, example_query):
+        graph, _nodes, indexes = example_bundle
+        from repro.search.pattern_enum import pattern_enum_search
+
+        result = pattern_enum_search(indexes, example_query, k=1)
+        table = result.answers[0].to_table(graph)
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "Software,Model,Company,Revenue"
+        assert "SQL Server,Relational database,Microsoft,US$ 77 billion" in csv_text
+        import json
+
+        records = json.loads(table.to_json_records())
+        assert len(records) == 2
+        assert records[0]["Software"] in {"SQL Server", "Oracle DB"}

@@ -1,0 +1,82 @@
+"""SearchResult / PatternAnswer / SearchStats plumbing."""
+
+import pytest
+
+from repro.search.expand import count_root_subtrees
+from repro.search.pattern_enum import pattern_enum_search
+from repro.search.result import (
+    SearchStats,
+    pattern_from_key,
+    pattern_from_labels,
+)
+
+
+class TestSearchStats:
+    def test_format_includes_nonzero_counters(self):
+        stats = SearchStats(algorithm="x", elapsed_seconds=0.5)
+        stats.candidate_roots = 3
+        text = stats.format()
+        assert "x: 500.0 ms" in text
+        assert "roots=3" in text
+        assert "empty=" not in text  # zero counters omitted
+
+
+class TestPatternAnswer:
+    def test_materialize_and_table(self, example_bundle, example_query):
+        graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, example_query, k=1)
+        answer = result.answers[0]
+        trees = answer.materialize()
+        assert len(trees) == answer.num_subtrees
+        for tree in trees:
+            assert tree.pattern(graph) == answer.pattern
+        table = answer.to_table(graph, max_rows=1)
+        assert table.num_rows == 1
+
+    def test_tables_helper(self, example_bundle, example_query):
+        graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, example_query, k=3)
+        tables = result.tables(graph)
+        assert len(tables) == 3
+        assert tables[0].score >= tables[1].score
+
+    def test_format_digest(self, example_bundle, example_query):
+        graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, example_query, k=2)
+        digest = result.format(graph, max_tables=1)
+        assert "answers=2" in digest
+        assert "#1" in digest
+        assert "#2" not in digest
+
+
+class TestPatternReconstruction:
+    def test_from_key_matches_interner(self, example_bundle, example_query):
+        _graph, _nodes, indexes = example_bundle
+        result = pattern_enum_search(indexes, example_query, k=1)
+        answer = result.answers[0]
+        assert pattern_from_key(indexes, answer.pattern_key) == answer.pattern
+
+    def test_from_labels(self):
+        key = (((0,), False), ((0, 1, 2), False))
+        pattern = pattern_from_labels(key)
+        assert pattern.num_keywords == 2
+        assert pattern.root_type == 0
+        assert pattern.paths[1].labels == (0, 1, 2)
+
+
+class TestCountRootSubtrees:
+    def test_product_of_counts(self):
+        from repro.index.entry import PathEntry
+
+        entry = PathEntry((0,), (), False, 1.0, 1.0)
+        maps = [
+            {1: [entry, entry]},
+            {2: [entry], 3: [entry, entry]},
+        ]
+        assert count_root_subtrees(maps) == 2 * 3
+
+    def test_zero_when_word_missing(self):
+        from repro.index.entry import PathEntry
+
+        entry = PathEntry((0,), (), False, 1.0, 1.0)
+        assert count_root_subtrees([{1: [entry]}, {}]) == 0

@@ -1,0 +1,147 @@
+"""Theorem 5: the sampling-error bound and its empirical validity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.hoeffding import (
+    bound_vs_simulation,
+    minimum_rate_for_error,
+    pairwise_error_bound,
+    simulate_error_rate,
+)
+
+
+class TestBound:
+    def test_formula(self):
+        # exp(-2 * ((3-1)/(3+1))^2 * 0.5^2) = exp(-0.125)
+        assert pairwise_error_bound(3.0, 1.0, 0.5) == pytest.approx(
+            math.exp(-2 * 0.25 * 0.25)
+        )
+
+    def test_monotone_in_rate(self):
+        bounds = [pairwise_error_bound(3.0, 1.0, rho) for rho in (0.1, 0.5, 1.0)]
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_monotone_in_gap(self):
+        close = pairwise_error_bound(2.0, 1.9, 0.5)
+        far = pairwise_error_bound(2.0, 0.1, 0.5)
+        assert far < close
+
+    def test_requires_s1_greater(self):
+        with pytest.raises(ValueError):
+            pairwise_error_bound(1.0, 2.0, 0.5)
+        with pytest.raises(ValueError):
+            pairwise_error_bound(1.0, 1.0, 0.5)
+
+    def test_rho_validated(self):
+        with pytest.raises(ValueError):
+            pairwise_error_bound(2.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            pairwise_error_bound(2.0, 1.0, 1.5)
+
+    @given(
+        st.floats(min_value=1.01, max_value=100),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_bound_in_unit_interval(self, ratio, s2, rho):
+        s1 = s2 * ratio
+        bound = pairwise_error_bound(s1, s2, rho)
+        assert 0.0 < bound <= 1.0
+
+
+class TestMinimumRate:
+    def test_inverts_bound(self):
+        # Wide gap (9/11) so the 0.4 target is attainable below rho = 1.
+        rho = minimum_rate_for_error(10.0, 1.0, 0.4)
+        assert rho is not None
+        assert rho <= 1.0
+        assert pairwise_error_bound(10.0, 1.0, rho) == pytest.approx(0.4)
+
+    def test_unattainable_returns_none(self):
+        # Tiny gap: even rho = 1 can't push the bound below 1e-6.
+        assert minimum_rate_for_error(1.01, 1.0, 1e-6) is None
+
+    def test_validates_error(self):
+        with pytest.raises(ValueError):
+            minimum_rate_for_error(2.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            minimum_rate_for_error(1.0, 2.0, 0.5)
+
+
+class TestSimulation:
+    def test_simulated_error_below_bound(self):
+        """The Hoeffding bound dominates the empirical error rate."""
+        s1 = [0.4] * 40  # total 16
+        s2 = [0.25] * 40  # total 10
+        for rho in (0.2, 0.5, 0.8):
+            bound, simulated = bound_vs_simulation(s1, s2, rho, trials=1500)
+            assert simulated <= bound + 0.02  # slack for Monte-Carlo noise
+
+    def test_full_rate_never_errs(self):
+        s1 = [1.0, 2.0, 3.0]
+        s2 = [0.5, 1.0, 1.5]
+        assert simulate_error_rate(s1, s2, rho=1.0, trials=200) == 0.0
+
+    def test_error_decreases_with_rate(self):
+        s1 = [0.11] * 50
+        s2 = [0.10] * 50
+        low = simulate_error_rate(s1, s2, 0.1, trials=1500, seed=1)
+        high = simulate_error_rate(s1, s2, 0.9, trials=1500, seed=1)
+        assert high <= low + 0.02
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            simulate_error_rate([1.0], [0.5, 0.2], 0.5)
+        with pytest.raises(ValueError):
+            simulate_error_rate([1.0], [2.0], 0.5)
+
+    def test_deterministic_with_seed(self):
+        s1 = [0.3] * 20
+        s2 = [0.2] * 20
+        a = simulate_error_rate(s1, s2, 0.3, trials=300, seed=9)
+        b = simulate_error_rate(s1, s2, 0.3, trials=300, seed=9)
+        assert a == b
+
+
+class TestAgainstRealAlgorithm:
+    def test_theorem5_holds_for_linear_topk(self, wiki_indexes):
+        """Run LINEARENUM-TOPK with sampling many times; the rate at which
+        two specific patterns invert must respect the bound."""
+        from repro.datasets.queries import WorkloadConfig, generate_workload
+        from repro.search.linear_topk import linear_topk_search
+
+        queries = generate_workload(
+            wiki_indexes, WorkloadConfig(queries_per_size=3, max_keywords=2)
+        )
+        # Find a query with >= 2 patterns and a clear score gap.
+        chosen = None
+        for query in queries:
+            exact = linear_topk_search(wiki_indexes, query, k=5)
+            if exact.num_answers >= 2 and exact.scores()[0] > 1.5 * exact.scores()[1]:
+                chosen = (query, exact)
+                break
+        if chosen is None:
+            pytest.skip("workload produced no query with a clear gap")
+        query, exact = chosen
+        s1, s2 = exact.scores()[0], exact.scores()[1]
+        top_key = exact.pattern_keys()[0]
+        rho = 0.5
+        trials = 60
+        inversions = 0
+        for seed in range(trials):
+            sampled = linear_topk_search(
+                wiki_indexes,
+                query,
+                k=1,
+                sampling_threshold=0,
+                sampling_rate=rho,
+                seed=seed,
+            )
+            if sampled.num_answers and sampled.pattern_keys()[0] != top_key:
+                inversions += 1
+        bound = pairwise_error_bound(s1, s2, rho)
+        assert inversions / trials <= min(1.0, bound + 0.15)

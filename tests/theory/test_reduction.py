@@ -1,0 +1,108 @@
+"""Theorem 1: the s-t PATHS -> COUNTPAT reduction, verified end to end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.reduction import (
+    build_reduction_instance,
+    count_st_paths,
+    count_tree_patterns,
+    verify_reduction,
+)
+
+
+class TestCountStPaths:
+    def test_single_edge(self):
+        assert count_st_paths({0: [1]}, 0, 1) == 1
+
+    def test_two_parallel_routes(self):
+        assert count_st_paths({0: [1, 2], 1: [3], 2: [3], 3: []}, 0, 3) == 2
+
+    def test_no_path(self):
+        assert count_st_paths({0: [1], 2: []}, 0, 2) == 0
+
+    def test_s_equals_t(self):
+        assert count_st_paths({0: []}, 0, 0) == 1
+
+    def test_cycle_only_simple_paths(self):
+        graph = {0: [1], 1: [2, 0], 2: [0, 3], 3: []}
+        assert count_st_paths(graph, 0, 3) == 1
+
+    def test_layered_counts_multiply(self):
+        """Two 2-way layers give 4 simple paths."""
+        graph = {0: [1, 2], 1: [3, 4], 2: [3, 4], 3: [5], 4: [5], 5: []}
+        assert count_st_paths(graph, 0, 5) == 4
+
+    def test_complete_dag(self):
+        # Complete DAG on 4 nodes: paths 0->3 = 1 + 2 + 1*1 (0-1-2-3, 0-1-3,
+        # 0-2-3, 0-3) = 4 simple paths? enumerate: [0,3],[0,1,3],[0,2,3],
+        # [0,1,2,3] = 4.
+        graph = {0: [1, 2, 3], 1: [2, 3], 2: [3], 3: []}
+        assert count_st_paths(graph, 0, 3) == 4
+
+
+class TestReductionConstruction:
+    def test_structure(self):
+        digraph = {0: [1], 1: []}
+        kg, query, d = build_reduction_instance(digraph, 0, 1)
+        # Two copies (2 nodes each) plus the fresh root.
+        assert kg.num_nodes == 5
+        assert kg.num_edges == 2 + 2  # copied edges + root links
+        assert d == 3
+        assert len(query.split()) == 2
+
+    def test_unique_types(self):
+        digraph = {0: [1], 1: [2], 2: []}
+        kg, _query, _d = build_reduction_instance(digraph, 0, 2)
+        types = [kg.node_type(v) for v in kg.nodes()]
+        assert len(set(types)) == len(types)
+
+    def test_unknown_endpoints_rejected(self):
+        from repro.core.errors import GraphError
+
+        with pytest.raises(GraphError):
+            build_reduction_instance({0: [1]}, 0, 99)
+
+
+class TestSquaredCorrespondence:
+    @pytest.mark.parametrize(
+        "digraph,s,t,expected_paths",
+        [
+            ({0: [1]}, 0, 1, 1),
+            ({0: [1, 2], 1: [3], 2: [3], 3: []}, 0, 3, 2),
+            ({0: [1, 2, 3], 1: [2, 3], 2: [3], 3: []}, 0, 3, 4),
+            ({0: [1], 2: []}, 0, 2, 0),
+            ({0: [1], 1: [2, 0], 2: [0, 3], 3: []}, 0, 3, 1),
+        ],
+    )
+    def test_countpat_is_n_squared(self, digraph, s, t, expected_paths):
+        n_paths, n_patterns = verify_reduction(digraph, s, t)
+        assert n_paths == expected_paths
+        assert n_patterns == n_paths**2
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=4),
+            ),
+            max_size=10,
+            unique=True,
+        )
+    )
+    def test_random_digraphs(self, edge_list):
+        digraph = {node: [] for node in range(5)}
+        for u, v in edge_list:
+            if u != v:
+                digraph[u].append(v)
+        n_paths, n_patterns = verify_reduction(digraph, 0, 4)
+        assert n_patterns == n_paths**2
+
+
+class TestCountTreePatterns:
+    def test_direct_call(self):
+        digraph = {0: [1, 2], 1: [3], 2: [3], 3: []}
+        kg, query, d = build_reduction_instance(digraph, 0, 3)
+        assert count_tree_patterns(kg, query, d) == 4

@@ -1,0 +1,105 @@
+"""The command-line interface: build, search, stats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.kg.loaders.jsonkb import dump_json_kb
+from repro.datasets.example import example_kb
+
+
+@pytest.fixture()
+def kb_file(tmp_path):
+    path = tmp_path / "kb.json"
+    path.write_text(json.dumps(dump_json_kb(example_kb())))
+    return path
+
+
+@pytest.fixture()
+def index_file(kb_file, tmp_path):
+    path = tmp_path / "kb.idx"
+    code = main(["build", str(kb_file), "-d", "3", "-o", str(path)])
+    assert code == 0
+    return path
+
+
+class TestBuild:
+    def test_build_writes_index(self, kb_file, tmp_path, capsys):
+        out_path = tmp_path / "out.idx"
+        code = main(["build", str(kb_file), "-o", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert "wrote" in out
+
+    def test_build_missing_file_errors(self, tmp_path, capsys):
+        code = main(
+            ["build", str(tmp_path / "absent.json"), "-o", str(tmp_path / "x")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_build_ntriples(self, tmp_path, capsys):
+        nt = tmp_path / "kb.nt"
+        nt.write_text(
+            '<http://e/A> <http://e/rel> <http://e/B> .\n'
+            '<http://e/A> <http://www.w3.org/2000/01/rdf-schema#label> "Apple thing" .\n'
+        )
+        out_path = tmp_path / "nt.idx"
+        code = main(
+            ["build", str(nt), "--format", "ntriples", "-o", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+
+class TestSearch:
+    def test_search_prints_table(self, index_file, capsys):
+        # The CLI builds with the default normalizer and real PageRank, so
+        # scores differ from the paper's uniform-PR walkthrough; the top
+        # pattern and its table rows are the same.
+        code = main(
+            ["search", str(index_file), "database software company revenue",
+             "-k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(Software) (Genre) (Model)" in out
+        assert "SQL Server" in out
+        assert "Oracle DB" in out
+
+    def test_search_no_answers_exit_code(self, index_file, capsys):
+        code = main(["search", str(index_file), "xylophone"])
+        assert code == 1
+        assert "no answers" in capsys.readouterr().out
+
+    def test_search_letopk_with_sampling_flags(self, index_file, capsys):
+        code = main(
+            ["search", str(index_file), "software company",
+             "--algorithm", "letopk",
+             "--sampling-rate", "0.5", "--sampling-threshold", "0"]
+        )
+        assert code == 0
+        assert "linear_topk" in capsys.readouterr().out
+
+    def test_search_baseline(self, index_file, capsys):
+        code = main(
+            ["search", str(index_file), "microsoft revenue",
+             "--algorithm", "baseline"]
+        )
+        assert code == 0
+
+
+class TestStats:
+    def test_stats(self, index_file, capsys):
+        code = main(["stats", str(index_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        assert "d=3" in out
+
+    def test_stats_missing_index(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "absent.idx")])
+        assert code == 2

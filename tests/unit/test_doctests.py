@@ -1,0 +1,30 @@
+"""Docstring examples must stay executable."""
+
+import doctest
+
+import pytest
+
+import repro.core.topk
+import repro.kg.loaders.ntriples
+import repro.kg.similarity
+import repro.kg.stemmer
+import repro.kg.synonyms
+import repro.kg.text
+
+MODULES = [
+    repro.core.topk,
+    repro.kg.loaders.ntriples,
+    repro.kg.similarity,
+    repro.kg.stemmer,
+    repro.kg.synonyms,
+    repro.kg.text,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tests = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert failures == 0
+    assert tests > 0, f"{module.__name__} lost its doctest examples"

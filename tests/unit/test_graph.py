@@ -1,0 +1,161 @@
+"""KnowledgeGraph structure: interning, adjacency, induced subgraphs."""
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.kg.graph import TEXT_TYPE_NAME, Edge, KnowledgeGraph
+
+
+@pytest.fixture
+def small_graph():
+    graph = KnowledgeGraph()
+    a = graph.add_node("Software", "SQL Server")
+    b = graph.add_node("Company", "Microsoft")
+    c = graph.add_node("Person", "Bill Gates")
+    graph.add_edge(a, "Developer", b)
+    graph.add_edge(b, "Founder", c)
+    return graph, (a, b, c)
+
+
+class TestInterning:
+    def test_type_ids_dense_and_stable(self):
+        graph = KnowledgeGraph()
+        t1 = graph.intern_type("A")
+        t2 = graph.intern_type("B")
+        assert (t1, t2) == (0, 1)
+        assert graph.intern_type("A") == t1
+        assert graph.type_name(t1) == "A"
+        assert graph.num_types == 2
+
+    def test_type_custom_text_kept_on_first_intern(self):
+        graph = KnowledgeGraph()
+        tid = graph.intern_type("A", text="alpha beta")
+        graph.intern_type("A", text="ignored later")
+        assert graph.type_text(tid) == "alpha beta"
+
+    def test_attr_interning(self):
+        graph = KnowledgeGraph()
+        aid = graph.intern_attr("Revenue")
+        assert graph.attr_name(aid) == "Revenue"
+        assert graph.attr_text(aid) == "Revenue"
+
+    def test_unknown_lookups_raise(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(GraphError):
+            graph.type_id("nope")
+        with pytest.raises(GraphError):
+            graph.attr_id("nope")
+
+
+class TestNodes:
+    def test_add_node(self, small_graph):
+        graph, (a, b, c) = small_graph
+        assert graph.num_nodes == 3
+        assert graph.node_text(a) == "SQL Server"
+        assert graph.node_type_name(b) == "Company"
+        assert graph.node_is_entity(c)
+
+    def test_text_node(self):
+        graph = KnowledgeGraph()
+        node = graph.add_text_node("US$ 77 billion")
+        assert not graph.node_is_entity(node)
+        assert graph.node_type_name(node) == TEXT_TYPE_NAME
+        assert graph.type_text(graph.node_type(node)) == ""
+
+    def test_nodes_of_type(self, small_graph):
+        graph, (a, _b, _c) = small_graph
+        tid = graph.type_id("Software")
+        assert list(graph.nodes_of_type(tid)) == [a]
+        assert list(graph.nodes_of_type(graph.intern_type("Unused"))) == []
+
+    def test_bad_type_id_rejected(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(GraphError):
+            graph.add_node_typed(5, "x")
+
+
+class TestEdges:
+    def test_adjacency(self, small_graph):
+        graph, (a, b, c) = small_graph
+        dev = graph.attr_id("Developer")
+        assert graph.out_edges(a) == [(dev, b)]
+        assert graph.in_edges(b) == [(dev, a)]
+        assert graph.out_degree(a) == 1
+        assert graph.in_degree(c) == 1
+        assert graph.num_edges == 2
+
+    def test_duplicate_edge_rejected(self, small_graph):
+        graph, (a, b, _c) = small_graph
+        with pytest.raises(GraphError):
+            graph.add_edge(a, "Developer", b)
+
+    def test_parallel_edges_distinct_attrs_ok(self, small_graph):
+        graph, (a, b, _c) = small_graph
+        graph.add_edge(a, "Vendor", b)
+        assert graph.out_degree(a) == 2
+
+    def test_edge_to_unknown_node_rejected(self, small_graph):
+        graph, (a, _b, _c) = small_graph
+        with pytest.raises(GraphError):
+            graph.add_edge_typed(a, 0, 99)
+
+    def test_bad_attr_id_rejected(self, small_graph):
+        graph, (a, b, _c) = small_graph
+        with pytest.raises(GraphError):
+            graph.add_edge_typed(a, 99, b)
+
+    def test_edges_iteration(self, small_graph):
+        graph, (a, b, c) = small_graph
+        listed = list(graph.edges())
+        assert Edge(a, graph.attr_id("Developer"), b) in listed
+        assert len(listed) == 2
+
+    def test_has_edge(self, small_graph):
+        graph, (a, b, _c) = small_graph
+        assert graph.has_edge(a, graph.attr_id("Developer"), b)
+        assert not graph.has_edge(b, graph.attr_id("Developer"), a)
+
+    def test_edges_with_attr_cache(self, small_graph):
+        graph, (a, b, c) = small_graph
+        dev = graph.attr_id("Developer")
+        assert list(graph.edges_with_attr(dev)) == [(a, b)]
+        # Cache must invalidate on mutation.
+        d = graph.add_node("Company", "Oracle")
+        graph.add_edge(d, "Developer", c)
+        assert sorted(graph.edges_with_attr(dev)) == sorted([(a, b), (d, c)])
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, small_graph):
+        graph, (a, b, c) = small_graph
+        sub = graph.induced_subgraph([a, b])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1  # Founder edge to c dropped
+        assert sub.node_text(0) == "SQL Server"
+
+    def test_type_tables_shared(self, small_graph):
+        graph, (a, _b, _c) = small_graph
+        sub = graph.induced_subgraph([a])
+        assert sub.type_id("Software") == graph.type_id("Software")
+        assert sub.num_types == graph.num_types
+
+    def test_unknown_node_rejected(self, small_graph):
+        graph, _nodes = small_graph
+        with pytest.raises(GraphError):
+            graph.induced_subgraph([0, 42])
+
+    def test_duplicate_keep_nodes_deduplicated(self, small_graph):
+        graph, (a, _b, _c) = small_graph
+        sub = graph.induced_subgraph([a, a, a])
+        assert sub.num_nodes == 1
+
+    def test_empty_subgraph(self, small_graph):
+        graph, _nodes = small_graph
+        sub = graph.induced_subgraph([])
+        assert sub.num_nodes == 0
+        assert sub.num_edges == 0
+
+
+def test_repr(small_graph):
+    graph, _nodes = small_graph
+    assert "nodes=3" in repr(graph)

@@ -1,0 +1,195 @@
+"""Algorithm 1 (index construction), statistics, and serialization."""
+
+import pytest
+
+from repro.core.errors import PathIndexError
+from repro.datasets.example import EXAMPLE_NORMALIZER
+from repro.index.builder import build_indexes
+from repro.index.serialize import load_indexes, save_indexes
+from repro.index.stats import index_statistics
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pagerank import uniform_scores
+from repro.kg.stemmer import stem
+
+
+@pytest.fixture
+def small_graph():
+    """Software --Developer--> Company --Revenue--> (text)."""
+    graph = KnowledgeGraph()
+    software = graph.add_node("Software", "SQL Server")
+    company = graph.add_node("Company", "Microsoft")
+    text = graph.add_text_node("US$ 77 billion")
+    graph.add_edge(software, "Developer", company)
+    graph.add_edge(company, "Revenue", text)
+    return graph
+
+
+class TestBuildIndexes:
+    def test_both_indexes_same_entries(self, small_graph):
+        indexes = build_indexes(small_graph, d=3)
+        assert indexes.pattern_first.num_entries() == indexes.root_first.num_entries()
+        assert indexes.num_entries > 0
+
+    def test_d1_has_only_singleton_paths(self, small_graph):
+        indexes = build_indexes(small_graph, d=1)
+        for _word, _pid, entry in indexes.root_first.iter_entries():
+            assert entry.size == 1
+            assert not entry.matched_on_edge
+
+    def test_entry_sizes_bounded_by_d(self, small_graph):
+        for d in (1, 2, 3):
+            indexes = build_indexes(small_graph, d=d)
+            for _word, _pid, entry in indexes.root_first.iter_entries():
+                assert entry.size <= d
+
+    def test_edge_match_entries_present(self, small_graph):
+        indexes = build_indexes(small_graph, d=3)
+        word = stem("revenue")
+        entries = [
+            entry
+            for _w, _pid, entry in indexes.root_first.iter_entries()
+            if _w == word and entry.matched_on_edge
+        ]
+        assert entries, "expected edge-matched postings for 'revenue'"
+        # The 3-node edge-matched path Software->Company->(Revenue text).
+        assert any(entry.size == 3 for entry in entries)
+
+    def test_edge_match_pr_is_source_node(self, small_graph):
+        ranks = [0.1, 0.7, 0.2]
+        indexes = build_indexes(small_graph, d=2, pagerank_scores=ranks)
+        word = stem("revenue")
+        for _w, _pid, entry in indexes.root_first.iter_entries():
+            if _w == word and entry.matched_on_edge and entry.size == 2:
+                # Path (company, text): matched node is company (id 1).
+                assert entry.pr == 0.7
+
+    def test_pattern_ids_shared_between_indexes(self, small_graph):
+        indexes = build_indexes(small_graph, d=3)
+        word = stem("microsoft")
+        pf_pids = set(indexes.pattern_first.patterns(word))
+        rf_pids = set()
+        for root in indexes.root_first.roots(word):
+            rf_pids.update(indexes.root_first.patterns(word, root))
+        assert pf_pids == rf_pids
+
+    def test_bad_d_rejected(self, small_graph):
+        with pytest.raises(PathIndexError):
+            build_indexes(small_graph, d=0)
+
+    def test_pagerank_length_checked(self, small_graph):
+        with pytest.raises(PathIndexError):
+            build_indexes(small_graph, d=2, pagerank_scores=[1.0])
+
+    def test_roots_restriction(self, small_graph):
+        indexes = build_indexes(small_graph, d=3, roots=[1])
+        for _word, _pid, entry in indexes.root_first.iter_entries():
+            assert entry.root == 1
+
+    def test_default_pagerank_computed(self, small_graph):
+        indexes = build_indexes(small_graph, d=2)
+        assert len(indexes.pagerank_scores) == small_graph.num_nodes
+        assert all(score > 0 for score in indexes.pagerank_scores)
+
+    def test_index_growth_with_d(self, small_graph):
+        sizes = [
+            build_indexes(small_graph, d=d).num_entries for d in (1, 2, 3)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestResolveQuery:
+    def test_normalizes(self, small_graph):
+        indexes = build_indexes(small_graph, d=2)
+        assert indexes.resolve_query("Microsoft REVENUE") == (
+            stem("microsoft"),
+            stem("revenue"),
+        )
+
+    def test_unknown_words_kept(self, small_graph):
+        indexes = build_indexes(small_graph, d=2)
+        words = indexes.resolve_query("xylophone")
+        assert words == (stem("xylophone"),)
+
+    def test_synonym_canonicalization(self):
+        from repro.kg.synonyms import SynonymTable
+
+        graph = KnowledgeGraph()
+        graph.add_node("Movie", "Alien")
+        synonyms = SynonymTable([["movie", "film"]])
+        indexes = build_indexes(graph, d=1, synonyms=synonyms)
+        assert indexes.resolve_query("film") == (stem("movie"),)
+
+
+class TestStatistics:
+    def test_counts_consistent(self, small_graph):
+        indexes = build_indexes(small_graph, d=3)
+        stats = index_statistics(indexes)
+        assert stats.num_entries == indexes.num_entries
+        assert stats.num_patterns == indexes.num_patterns
+        assert stats.total_path_nodes >= stats.num_entries
+        assert stats.estimated_bytes > 0
+        assert stats.d == 3
+
+    def test_format(self, small_graph):
+        indexes = build_indexes(small_graph, d=2)
+        text = index_statistics(indexes).format()
+        assert "entries" in text
+        assert "d=2" in text
+
+
+class TestSerialization:
+    def test_roundtrip(self, small_graph, tmp_path):
+        indexes = build_indexes(
+            small_graph,
+            d=3,
+            normalizer=EXAMPLE_NORMALIZER,
+            pagerank_scores=uniform_scores(small_graph),
+        )
+        path = tmp_path / "index.bin"
+        size = save_indexes(indexes, path)
+        assert size > 0
+        loaded = load_indexes(path)
+        assert loaded.d == indexes.d
+        assert loaded.num_entries == indexes.num_entries
+        # The loaded index answers queries identically.
+        from repro.search.pattern_enum import pattern_enum_search
+
+        before = pattern_enum_search(indexes, "microsoft revenue", k=5)
+        after = pattern_enum_search(loaded, "microsoft revenue", k=5)
+        assert before.scores() == after.scores()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PathIndexError):
+            load_indexes(tmp_path / "absent.bin")
+
+    def test_not_an_index_file(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.bin"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(PathIndexError):
+            load_indexes(path)
+
+    def test_corrupt_bytes(self, tmp_path):
+        path = tmp_path / "corrupt.bin"
+        path.write_bytes(b"\x00\x01\x02not a pickle")
+        with pytest.raises(PathIndexError):
+            load_indexes(path)
+
+    def test_version_mismatch(self, small_graph, tmp_path):
+        import pickle
+
+        from repro.index import serialize
+
+        indexes = build_indexes(small_graph, d=2)
+        envelope = {
+            "format": serialize.FORMAT_NAME,
+            "version": 999,
+            "d": 2,
+            "num_entries": indexes.num_entries,
+            "payload": indexes,
+        }
+        path = tmp_path / "future.bin"
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(PathIndexError):
+            load_indexes(path)

@@ -1,0 +1,101 @@
+"""KnowledgeBase -> KnowledgeGraph conversion."""
+
+import pytest
+
+from repro.core.errors import KnowledgeBaseError
+from repro.kg.builder import build_graph
+from repro.kg.entity import EntityRef, TextValue
+from repro.kg.graph import TEXT_TYPE_NAME
+from repro.kg.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    kb.add_entity("SQL Server", "Software")
+    kb.add_entity("Microsoft", "Company")
+    kb.set_attribute("SQL Server", "Developer", EntityRef("Microsoft"))
+    kb.set_attribute("Microsoft", "Revenue", TextValue("US$ 77 billion"))
+    return kb
+
+
+class TestBuildGraph:
+    def test_nodes_and_edges(self, kb):
+        graph, nodes = build_graph(kb)
+        assert graph.num_nodes == 3  # 2 entities + 1 text node
+        assert graph.num_edges == 2
+        assert graph.node_text(nodes["SQL Server"]) == "SQL Server"
+
+    def test_entity_ref_edge(self, kb):
+        graph, nodes = build_graph(kb)
+        dev = graph.attr_id("Developer")
+        assert graph.has_edge(nodes["SQL Server"], dev, nodes["Microsoft"])
+
+    def test_text_value_becomes_dummy_node(self, kb):
+        graph, nodes = build_graph(kb)
+        revenue_edges = graph.out_edges(nodes["Microsoft"])
+        assert len(revenue_edges) == 1
+        _attr, target = revenue_edges[0]
+        assert graph.node_text(target) == "US$ 77 billion"
+        assert not graph.node_is_entity(target)
+        assert graph.node_type_name(target) == TEXT_TYPE_NAME
+
+    def test_dangling_ref_raises_with_validation(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A", "T")
+        kb.set_attribute("A", "rel", EntityRef("missing"))
+        with pytest.raises(KnowledgeBaseError):
+            build_graph(kb)
+
+    def test_dangling_ref_raises_even_without_validation(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A", "T")
+        kb.set_attribute("A", "rel", EntityRef("missing"))
+        with pytest.raises(KnowledgeBaseError):
+            build_graph(kb, validate=False)
+
+    def test_multivalued_attribute_fans_out(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Microsoft", "Company")
+        kb.add_entity("Windows", "Software")
+        kb.add_entity("Bing", "Software")
+        kb.set_attribute("Microsoft", "Products", EntityRef("Windows"))
+        kb.set_attribute("Microsoft", "Products", EntityRef("Bing"))
+        graph, nodes = build_graph(kb)
+        assert graph.out_degree(nodes["Microsoft"]) == 2
+
+    def test_text_nodes_not_shared_by_default(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A", "Company")
+        kb.add_entity("B", "Company")
+        kb.set_attribute("A", "Revenue", TextValue("US$ 1 billion"))
+        kb.set_attribute("B", "Revenue", TextValue("US$ 1 billion"))
+        graph, _nodes = build_graph(kb)
+        assert graph.num_nodes == 4
+
+    def test_text_nodes_shared_when_requested(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A", "Company")
+        kb.add_entity("B", "Company")
+        kb.set_attribute("A", "Revenue", TextValue("US$ 1 billion"))
+        kb.set_attribute("B", "Revenue", TextValue("US$ 1 billion"))
+        graph, nodes = build_graph(kb, share_text_nodes=True)
+        assert graph.num_nodes == 3
+        (_attr_a, target_a), = graph.out_edges(nodes["A"])
+        (_attr_b, target_b), = graph.out_edges(nodes["B"])
+        assert target_a == target_b
+
+    def test_declared_type_texts_survive(self):
+        kb = KnowledgeBase()
+        kb.declare_entity_type("Software", "software application")
+        kb.declare_attribute_type("Developer", "developed by")
+        kb.add_entity("X", "Software")
+        graph, _nodes = build_graph(kb)
+        assert graph.type_text(graph.type_id("Software")) == "software application"
+        assert graph.attr_text(graph.attr_id("Developer")) == "developed by"
+
+    def test_custom_entity_text(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Q1", "Thing", text="the first quarter")
+        graph, nodes = build_graph(kb)
+        assert graph.node_text(nodes["Q1"]) == "the first quarter"

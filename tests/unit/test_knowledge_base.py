@@ -1,0 +1,133 @@
+"""KnowledgeBase container and entity value objects."""
+
+import pytest
+
+from repro.core.errors import KnowledgeBaseError
+from repro.kg.entity import AttributeType, Entity, EntityRef, EntityType, TextValue
+from repro.kg.knowledge_base import KnowledgeBase
+
+
+class TestValueObjects:
+    def test_entity_type_text_defaults_to_name(self):
+        assert EntityType("Software").text == "Software"
+        assert EntityType("Software", "software product").text == "software product"
+
+    def test_attribute_type_text_defaults_to_name(self):
+        assert AttributeType("Revenue").text == "Revenue"
+
+    def test_entity_text_defaults_to_name(self):
+        entity = Entity(name="SQL Server", type_name="Software")
+        assert entity.text == "SQL Server"
+
+    def test_add_attribute_accumulates(self):
+        entity = Entity(name="Microsoft", type_name="Company")
+        entity.add_attribute("Products", EntityRef("Windows"))
+        entity.add_attribute("Products", EntityRef("Bing"))
+        assert entity.attributes["Products"] == [
+            EntityRef("Windows"),
+            EntityRef("Bing"),
+        ]
+        assert entity.attribute_names() == ["Products"]
+
+
+class TestKnowledgeBase:
+    def test_add_and_lookup(self):
+        kb = KnowledgeBase()
+        kb.add_entity("SQL Server", "Software")
+        assert kb.has_entity("SQL Server")
+        assert "SQL Server" in kb
+        assert kb.entity("SQL Server").type_name == "Software"
+        assert len(kb) == 1
+
+    def test_duplicate_entity_rejected(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A", "T")
+        with pytest.raises(KnowledgeBaseError):
+            kb.add_entity("A", "T")
+
+    def test_unknown_entity_raises(self):
+        kb = KnowledgeBase()
+        with pytest.raises(KnowledgeBaseError):
+            kb.entity("ghost")
+        with pytest.raises(KnowledgeBaseError):
+            kb.set_attribute("ghost", "x", TextValue("y"))
+
+    def test_string_value_coerced_to_text(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Microsoft", "Company")
+        kb.set_attribute("Microsoft", "Revenue", "US$ 77 billion")
+        values = kb.entity("Microsoft").attributes["Revenue"]
+        assert values == [TextValue("US$ 77 billion")]
+
+    def test_bad_value_type_rejected(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A", "T")
+        with pytest.raises(KnowledgeBaseError):
+            kb.set_attribute("A", "x", 3.14)
+
+    def test_type_redeclaration_same_text_ok(self):
+        kb = KnowledgeBase()
+        kb.declare_entity_type("Software")
+        kb.declare_entity_type("Software")
+        assert kb.entity_type("Software").text == "Software"
+
+    def test_type_redeclaration_conflicting_text_rejected(self):
+        kb = KnowledgeBase()
+        kb.declare_entity_type("Software", "software")
+        with pytest.raises(KnowledgeBaseError):
+            kb.declare_entity_type("Software", "different text")
+
+    def test_attr_type_conflict_rejected(self):
+        kb = KnowledgeBase()
+        kb.declare_attribute_type("Revenue", "revenue")
+        with pytest.raises(KnowledgeBaseError):
+            kb.declare_attribute_type("Revenue", "income")
+
+    def test_implicit_type_declaration(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A", "NewType")
+        assert kb.entity_type("NewType").name == "NewType"
+
+    def test_unknown_type_lookup_raises(self):
+        kb = KnowledgeBase()
+        with pytest.raises(KnowledgeBaseError):
+            kb.entity_type("nope")
+        with pytest.raises(KnowledgeBaseError):
+            kb.attribute_type("nope")
+
+    def test_dangling_references_detected(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A", "T")
+        kb.set_attribute("A", "rel", EntityRef("missing"))
+        assert kb.dangling_references() == ["missing"]
+        with pytest.raises(KnowledgeBaseError):
+            kb.validate()
+
+    def test_validate_passes_when_complete(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A", "T")
+        kb.add_entity("B", "T")
+        kb.set_attribute("A", "rel", EntityRef("B"))
+        kb.validate()
+
+    def test_bulk_add(self):
+        kb = KnowledgeBase()
+        count = kb.add_entities([("A", "T1"), ("B", "T2")])
+        assert count == 2
+        assert kb.entity("B").type_name == "T2"
+
+    def test_bulk_add_default_type(self):
+        kb = KnowledgeBase()
+        kb.add_entities(["A", "B"], default_type="Thing")
+        assert kb.entity("A").type_name == "Thing"
+
+    def test_bulk_add_missing_type_raises(self):
+        kb = KnowledgeBase()
+        with pytest.raises(KnowledgeBaseError):
+            kb.add_entities(["A"])
+
+    def test_entities_iteration_order(self):
+        kb = KnowledgeBase()
+        kb.add_entity("B", "T")
+        kb.add_entity("A", "T")
+        assert [e.name for e in kb.entities()] == ["B", "A"]

@@ -1,0 +1,123 @@
+"""GraphLexicon: match tables, similarities, synonym folding."""
+
+import pytest
+
+from repro.index.lexicon import GraphLexicon
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.stemmer import stem
+from repro.kg.synonyms import SynonymTable
+from repro.kg.text import TextNormalizer
+
+
+@pytest.fixture
+def graph():
+    graph = KnowledgeGraph()
+    graph.add_node("Software", "SQL Server")  # 0
+    graph.add_node("Company", "Microsoft")  # 1
+    graph.add_node("Model", "Relational database")  # 2
+    graph.add_edge(0, "Developer", 1)
+    graph.add_edge(0, "Genre", 2)
+    return graph
+
+
+@pytest.fixture
+def lexicon(graph):
+    return GraphLexicon(graph)
+
+
+class TestNodeMatches:
+    def test_text_match_sim(self, lexicon):
+        matches = dict(lexicon.node_matches(2))
+        assert matches[stem("database")] == pytest.approx(0.5)
+        assert matches[stem("relational")] == pytest.approx(0.5)
+
+    def test_type_match_sim(self, lexicon):
+        matches = dict(lexicon.node_matches(0))
+        assert matches[stem("software")] == pytest.approx(1.0)
+
+    def test_text_and_type_take_max(self):
+        graph = KnowledgeGraph()
+        # Node text "software suite" (sim 1/2) and type "Software" (sim 1).
+        graph.add_node("Software", "software suite")
+        lexicon = GraphLexicon(graph)
+        assert dict(lexicon.node_matches(0))[stem("software")] == 1.0
+
+    def test_sorted_and_deterministic(self, lexicon):
+        matches = lexicon.node_matches(0)
+        assert matches == sorted(matches)
+
+    def test_node_sim_miss_is_zero(self, lexicon):
+        assert lexicon.node_sim(0, "nonexistent") == 0.0
+
+
+class TestAttrMatches:
+    def test_attr_match(self, lexicon, graph):
+        aid = graph.attr_id("Developer")
+        matches = dict(lexicon.attr_matches(aid))
+        assert matches[stem("developer")] == 1.0
+
+    def test_attrs_with_word(self, lexicon, graph):
+        hits = lexicon.attrs_with_word(stem("genre"))
+        assert hits == {graph.attr_id("Genre"): 1.0}
+
+
+class TestInverted:
+    def test_nodes_with_word(self, lexicon):
+        hits = lexicon.nodes_with_word(stem("database"))
+        assert set(hits) == {2}
+
+    def test_type_word_hits_all_nodes_of_type(self):
+        graph = KnowledgeGraph()
+        graph.add_node("Software", "A")
+        graph.add_node("Software", "B")
+        graph.add_node("Company", "C")
+        lexicon = GraphLexicon(graph)
+        assert set(lexicon.nodes_with_word(stem("software"))) == {0, 1}
+
+    def test_vocabulary(self, lexicon):
+        vocab = lexicon.vocabulary()
+        assert stem("microsoft") in vocab
+        assert stem("developer") in vocab
+
+    def test_word_frequency(self, lexicon):
+        assert lexicon.word_frequency(stem("microsoft")) == 1
+        assert lexicon.word_frequency("zzz") == 0
+
+
+class TestSynonyms:
+    def test_document_filed_under_canonical(self):
+        graph = KnowledgeGraph()
+        graph.add_node("Movie", "great film")
+        synonyms = SynonymTable([["movie", "film"]])
+        lexicon = GraphLexicon(graph, synonyms=synonyms)
+        # "film" appears in the text; entry also filed under canonical "movi".
+        assert 0 in lexicon.nodes_with_word(stem("movie"))
+        assert 0 in lexicon.nodes_with_word(stem("film"))
+
+    def test_sim_uses_original_token_set(self):
+        graph = KnowledgeGraph()
+        # Neutral type: only the two-token *text* matches, so the synonym
+        # key must inherit the text similarity 1/2, not 1.
+        graph.add_node("Item", "great film")
+        synonyms = SynonymTable([["movie", "film"]])
+        lexicon = GraphLexicon(graph, synonyms=synonyms)
+        assert lexicon.node_sim(0, stem("movie")) == pytest.approx(0.5)
+
+
+class TestNormalizerChoice:
+    def test_stopwords_respected(self):
+        graph = KnowledgeGraph()
+        graph.add_node("Book", "the art of war")
+        with_stop = GraphLexicon(graph)
+        assert stem("the") not in dict(with_stop.node_matches(0))
+        without_stop = GraphLexicon(
+            graph, TextNormalizer(stopwords=())
+        )
+        assert stem("the") in dict(without_stop.node_matches(0))
+
+    def test_text_type_has_no_type_tokens(self):
+        graph = KnowledgeGraph()
+        graph.add_text_node("some value")
+        lexicon = GraphLexicon(graph)
+        # "text" (the reserved type name) must not match anything.
+        assert lexicon.nodes_with_word("text") == {}

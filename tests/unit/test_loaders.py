@@ -1,0 +1,228 @@
+"""Loaders: JSON infobox documents, CSV relations, N-Triples."""
+
+import json
+
+import pytest
+
+from repro.core.errors import LoaderError
+from repro.kg.entity import EntityRef, TextValue
+from repro.kg.loaders.csvkb import load_csv_kb, load_csv_relations
+from repro.kg.loaders.jsonkb import dump_json_kb, load_json_kb, save_json_kb
+from repro.kg.loaders.ntriples import (
+    iri_local_name,
+    load_ntriples,
+    parse_ntriples,
+)
+
+JSON_DOC = {
+    "types": {"Software": "Software", "Company": "Company"},
+    "attribute_types": {"Developer": "Developer"},
+    "entities": [
+        {
+            "name": "SQL Server",
+            "type": "Software",
+            "attributes": {
+                "Developer": {"ref": "Microsoft"},
+                "Written in": "C++",
+            },
+        },
+        {
+            "name": "Microsoft",
+            "type": "Company",
+            "attributes": {"Revenue": ["US$ 77 billion", 2013]},
+        },
+    ],
+}
+
+
+class TestJsonLoader:
+    def test_load_from_dict(self):
+        kb = load_json_kb(JSON_DOC)
+        assert len(kb) == 2
+        assert kb.entity("SQL Server").attributes["Developer"] == [
+            EntityRef("Microsoft")
+        ]
+        assert TextValue("C++") in kb.entity("SQL Server").attributes["Written in"]
+
+    def test_numbers_coerced_to_text(self):
+        kb = load_json_kb(JSON_DOC)
+        assert TextValue("2013") in kb.entity("Microsoft").attributes["Revenue"]
+
+    def test_load_from_json_string(self):
+        kb = load_json_kb(json.dumps(JSON_DOC))
+        assert len(kb) == 2
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "kb.json"
+        path.write_text(json.dumps(JSON_DOC))
+        assert len(load_json_kb(path)) == 2
+        assert len(load_json_kb(str(path))) == 2
+
+    def test_roundtrip(self, tmp_path):
+        kb = load_json_kb(JSON_DOC)
+        path = tmp_path / "kb2.json"
+        save_json_kb(kb, path)
+        again = load_json_kb(path)
+        assert dump_json_kb(again) == dump_json_kb(kb)
+
+    def test_missing_file(self):
+        with pytest.raises(LoaderError):
+            load_json_kb("/nonexistent/kb.json")
+
+    def test_invalid_json_string(self):
+        with pytest.raises(LoaderError):
+            load_json_kb("{broken json")
+
+    def test_missing_entities_key(self):
+        with pytest.raises(LoaderError):
+            load_json_kb({"types": {}})
+
+    def test_entity_missing_name(self):
+        with pytest.raises(LoaderError):
+            load_json_kb({"entities": [{"type": "T"}]})
+
+    def test_bad_ref_object(self):
+        doc = {
+            "entities": [
+                {"name": "A", "type": "T", "attributes": {"x": {"ref": 7}}}
+            ]
+        }
+        with pytest.raises(LoaderError):
+            load_json_kb(doc)
+
+    def test_unsupported_value(self):
+        doc = {
+            "entities": [
+                {"name": "A", "type": "T", "attributes": {"x": {"oops": 1}}}
+            ]
+        }
+        with pytest.raises(LoaderError):
+            load_json_kb(doc)
+
+
+class TestCsvLoader:
+    def test_entities_and_relations(self, tmp_path):
+        entities = tmp_path / "entities.csv"
+        entities.write_text(
+            "name,type\nSQL Server,Software\nMicrosoft,Company\n"
+        )
+        relations = tmp_path / "relations.csv"
+        relations.write_text(
+            "source,attribute,target,kind\n"
+            "SQL Server,Developer,Microsoft,ref\n"
+            "Microsoft,Revenue,US$ 77 billion,text\n"
+        )
+        kb = load_csv_kb(entities, relations)
+        assert len(kb) == 2
+        assert kb.entity("SQL Server").attributes["Developer"] == [
+            EntityRef("Microsoft")
+        ]
+        assert kb.entity("Microsoft").attributes["Revenue"] == [
+            TextValue("US$ 77 billion")
+        ]
+
+    def test_rows_iterable(self):
+        kb = load_csv_kb([("A", "T1"), ("B", "T2")])
+        assert len(kb) == 2
+
+    def test_default_kind_is_ref(self):
+        kb = load_csv_kb([("A", "T"), ("B", "T")])
+        load_csv_relations([("A", "rel", "B")], kb)
+        assert kb.entity("A").attributes["rel"] == [EntityRef("B")]
+
+    def test_entity_text_column(self):
+        kb = load_csv_kb([("A", "T", "alpha thing")])
+        assert kb.entity("A").text == "alpha thing"
+
+    def test_bad_kind_rejected(self):
+        kb = load_csv_kb([("A", "T"), ("B", "T")])
+        with pytest.raises(LoaderError):
+            load_csv_relations([("A", "rel", "B", "banana")], kb)
+
+    def test_short_row_rejected(self):
+        with pytest.raises(LoaderError):
+            load_csv_kb([("OnlyName",)])
+
+    def test_missing_file(self):
+        with pytest.raises(LoaderError):
+            load_csv_kb("/nonexistent/entities.csv")
+
+
+NTRIPLES = """
+# a comment line
+<http://ex.org/SQL_Server> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Software> .
+<http://ex.org/SQL_Server> <http://www.w3.org/2000/01/rdf-schema#label> "SQL Server" .
+<http://ex.org/SQL_Server> <http://ex.org/developer> <http://ex.org/Microsoft> .
+<http://ex.org/Microsoft> <http://ex.org/revenue> "US$ 77 billion"@en .
+<http://ex.org/Microsoft> <http://ex.org/founded> "1975"^^<http://www.w3.org/2001/XMLSchema#integer> .
+""".strip().splitlines()
+
+
+class TestNTriples:
+    def test_iri_local_name(self):
+        assert iri_local_name("http://dbpedia.org/resource/Bill_Gates") == "Bill Gates"
+        assert iri_local_name("http://ex.org/onto#Software") == "Software"
+
+    def test_parse_triples(self):
+        triples = list(parse_ntriples(NTRIPLES))
+        assert len(triples) == 5
+        assert triples[0][3] is True  # IRI object
+        assert triples[3] == (
+            "http://ex.org/Microsoft",
+            "http://ex.org/revenue",
+            "US$ 77 billion",
+            False,
+        )
+
+    def test_malformed_line_raises_with_lineno(self):
+        with pytest.raises(LoaderError, match="line 1"):
+            list(parse_ntriples(["not a triple"]))
+
+    def test_escapes_unescaped(self):
+        line = '<http://a> <http://b> "say \\"hi\\"\\n" .'
+        (_s, _p, obj, _is_iri), = parse_ntriples([line])
+        assert obj == 'say "hi"\n'
+
+    def test_load_builds_kb(self):
+        kb = load_ntriples(NTRIPLES)
+        assert kb.entity("SQL Server").type_name == "Software"
+        assert kb.entity("SQL Server").attributes["developer"] == [
+            EntityRef("Microsoft")
+        ]
+        # literal with language tag / datatype both load as text
+        values = kb.entity("Microsoft").attributes
+        assert values["revenue"] == [TextValue("US$ 77 billion")]
+        assert values["founded"] == [TextValue("1975")]
+
+    def test_referenced_only_object_becomes_entity(self):
+        kb = load_ntriples(NTRIPLES)
+        assert kb.has_entity("Microsoft")
+
+    def test_max_triples_truncates(self):
+        kb = load_ntriples(NTRIPLES, max_triples=2)
+        assert kb.has_entity("SQL Server")
+        assert not kb.has_entity("Microsoft")
+
+    def test_local_name_collision_disambiguated(self):
+        lines = [
+            "<http://a.org/X> <http://ex.org/rel> <http://b.org/X> .",
+        ]
+        kb = load_ntriples(lines)
+        names = sorted(e.name for e in kb.entities())
+        assert names == ["X", "X (2)"]
+
+    def test_missing_file(self):
+        with pytest.raises(LoaderError):
+            load_ntriples("/nonexistent/data.nt")
+
+    def test_graph_roundtrip(self):
+        """Loaded KB builds a searchable graph end to end."""
+        from repro.kg.builder import build_graph
+        from repro.index.builder import build_indexes
+        from repro.search.pattern_enum import pattern_enum_search
+
+        kb = load_ntriples(NTRIPLES)
+        graph, _nodes = build_graph(kb)
+        indexes = build_indexes(graph, d=3)
+        result = pattern_enum_search(indexes, "software microsoft revenue", k=3)
+        assert result.num_answers >= 1

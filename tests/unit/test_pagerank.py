@@ -1,0 +1,117 @@
+"""PageRank: paper's update rule, convergence, known closed forms."""
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pagerank import (
+    normalized_pagerank,
+    pagerank,
+    top_ranked_nodes,
+    uniform_scores,
+)
+
+
+def chain_graph(n=3):
+    graph = KnowledgeGraph()
+    nodes = [graph.add_node("T", f"n{i}") for i in range(n)]
+    for i in range(n - 1):
+        graph.add_edge(nodes[i], "next", nodes[i + 1])
+    return graph, nodes
+
+
+def cycle_graph(n=4):
+    graph = KnowledgeGraph()
+    nodes = [graph.add_node("T", f"n{i}") for i in range(n)]
+    for i in range(n):
+        graph.add_edge(nodes[i], "next", nodes[(i + 1) % n])
+    return graph, nodes
+
+
+class TestPagerank:
+    def test_empty_graph(self):
+        assert pagerank(KnowledgeGraph()) == []
+
+    def test_single_node(self):
+        graph = KnowledgeGraph()
+        graph.add_node("T", "only")
+        scores = pagerank(graph)
+        # No in-edges: the node keeps only the teleport share (1-a)/n.
+        assert scores[0] == pytest.approx(0.15, abs=1e-6)
+
+    def test_cycle_is_uniform(self):
+        graph, _nodes = cycle_graph(5)
+        scores = pagerank(graph)
+        for score in scores:
+            assert score == pytest.approx(1 / 5, abs=1e-6)
+
+    def test_cycle_mass_conserved(self):
+        graph, _nodes = cycle_graph(7)
+        assert sum(pagerank(graph)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_sink_accumulates(self):
+        """A node referenced by everyone outranks the referencers."""
+        graph = KnowledgeGraph()
+        hub = graph.add_node("T", "hub")
+        for i in range(5):
+            node = graph.add_node("T", f"fan{i}")
+            graph.add_edge(node, "points", hub)
+        scores = pagerank(graph)
+        assert scores[hub] > max(scores[1:])
+
+    def test_chain_monotone(self):
+        """Rank flows downstream: later chain nodes rank higher."""
+        graph, nodes = chain_graph(4)
+        scores = pagerank(graph)
+        assert scores[nodes[0]] < scores[nodes[1]] < scores[nodes[2]]
+
+    def test_paper_update_leaks_dangling_mass(self):
+        graph, _nodes = chain_graph(3)
+        assert sum(pagerank(graph)) < 1.0
+
+    def test_redistribute_dangling_conserves_mass(self):
+        graph, _nodes = chain_graph(3)
+        scores = pagerank(graph, redistribute_dangling=True)
+        assert sum(scores) == pytest.approx(1.0, abs=1e-6)
+
+    def test_bad_damping_rejected(self):
+        graph, _nodes = chain_graph(2)
+        with pytest.raises(GraphError):
+            pagerank(graph, damping=1.0)
+        with pytest.raises(GraphError):
+            pagerank(graph, damping=0.0)
+
+    def test_non_convergence_raises(self):
+        # A chain is far from its fixed point after one iteration (a cycle
+        # would converge immediately from the uniform start).
+        graph, _nodes = chain_graph(10)
+        with pytest.raises(GraphError):
+            pagerank(graph, max_iterations=1, tolerance=1e-12)
+
+    def test_all_scores_positive(self):
+        graph, _nodes = chain_graph(5)
+        assert all(score > 0 for score in pagerank(graph))
+
+
+class TestHelpers:
+    def test_uniform_scores(self):
+        graph, _nodes = chain_graph(3)
+        assert uniform_scores(graph) == [1.0, 1.0, 1.0]
+        assert uniform_scores(graph, 2.5) == [2.5, 2.5, 2.5]
+
+    def test_normalized_mean_is_one(self):
+        graph, _nodes = cycle_graph(6)
+        scores = normalized_pagerank(graph)
+        assert sum(scores) / len(scores) == pytest.approx(1.0, abs=1e-9)
+
+    def test_top_ranked_nodes(self):
+        graph = KnowledgeGraph()
+        hub = graph.add_node("T", "hub")
+        fans = [graph.add_node("T", f"f{i}") for i in range(4)]
+        for fan in fans:
+            graph.add_edge(fan, "points", hub)
+        assert top_ranked_nodes(graph, k=1) == [hub]
+
+    def test_top_ranked_tie_breaks_by_id(self):
+        graph, _nodes = cycle_graph(4)
+        assert top_ranked_nodes(graph, k=2) == [0, 1]

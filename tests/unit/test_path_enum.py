@@ -1,0 +1,119 @@
+"""Bounded simple-path enumeration (forward and reverse)."""
+
+import pytest
+
+from repro.core.errors import PathIndexError
+from repro.index.path_enum import (
+    count_paths,
+    interleaved_labels,
+    iter_all_paths,
+    iter_paths_from,
+    iter_reverse_paths_to,
+)
+from repro.kg.graph import KnowledgeGraph
+
+
+@pytest.fixture
+def diamond():
+    """0 -> 1 -> 3, 0 -> 2 -> 3 (distinct attrs per edge)."""
+    graph = KnowledgeGraph()
+    for i in range(4):
+        graph.add_node("T", f"n{i}")
+    graph.add_edge(0, "a", 1)
+    graph.add_edge(0, "b", 2)
+    graph.add_edge(1, "c", 3)
+    graph.add_edge(2, "d", 3)
+    return graph
+
+
+@pytest.fixture
+def cycle():
+    graph = KnowledgeGraph()
+    for i in range(3):
+        graph.add_node("T", f"n{i}")
+    graph.add_edge(0, "x", 1)
+    graph.add_edge(1, "x", 2)
+    graph.add_edge(2, "x", 0)
+    return graph
+
+
+class TestForward:
+    def test_single_node_path_always_included(self, diamond):
+        paths = list(iter_paths_from(diamond, 3, max_nodes=3))
+        assert paths == [((3,), ())]
+
+    def test_depth_limit(self, diamond):
+        paths = {nodes for nodes, _attrs in iter_paths_from(diamond, 0, 2)}
+        assert paths == {(0,), (0, 1), (0, 2)}
+
+    def test_full_depth(self, diamond):
+        paths = {nodes for nodes, _attrs in iter_paths_from(diamond, 0, 3)}
+        assert paths == {(0,), (0, 1), (0, 2), (0, 1, 3), (0, 2, 3)}
+
+    def test_attrs_align_with_nodes(self, diamond):
+        for nodes, attrs in iter_paths_from(diamond, 0, 3):
+            assert len(attrs) == len(nodes) - 1
+
+    def test_simple_paths_only_on_cycle(self, cycle):
+        paths = {nodes for nodes, _attrs in iter_paths_from(cycle, 0, 10)}
+        assert paths == {(0,), (0, 1), (0, 1, 2)}  # never revisits 0
+
+    def test_bad_max_nodes(self, diamond):
+        with pytest.raises(PathIndexError):
+            list(iter_paths_from(diamond, 0, 0))
+
+    def test_iter_all_and_count(self, diamond):
+        all_paths = list(iter_all_paths(diamond, 2))
+        assert count_paths(diamond, 2) == len(all_paths)
+        assert len(all_paths) == 4 + 4  # 4 singletons + 4 edges
+
+    def test_deterministic_order(self, diamond):
+        first = list(iter_paths_from(diamond, 0, 3))
+        second = list(iter_paths_from(diamond, 0, 3))
+        assert first == second
+
+
+class TestReverse:
+    def test_reverse_orientation(self, diamond):
+        paths = {
+            nodes for nodes, _attrs in iter_reverse_paths_to(diamond, 3, 3)
+        }
+        assert paths == {(3,), (1, 3), (2, 3), (0, 1, 3), (0, 2, 3)}
+
+    def test_reverse_attrs_forward_oriented(self, diamond):
+        for nodes, attrs in iter_reverse_paths_to(diamond, 3, 3):
+            assert len(attrs) == len(nodes) - 1
+            for i, attr in enumerate(attrs):
+                assert diamond.has_edge(nodes[i], attr, nodes[i + 1])
+
+    def test_reverse_matches_forward(self, diamond):
+        """Every forward path to t appears in the reverse enumeration."""
+        forward = {
+            (nodes, attrs)
+            for root in diamond.nodes()
+            for nodes, attrs in iter_paths_from(diamond, root, 3)
+            if nodes[-1] == 3
+        }
+        reverse = set(iter_reverse_paths_to(diamond, 3, 3))
+        assert forward == reverse
+
+    def test_reverse_simple_on_cycle(self, cycle):
+        paths = {
+            nodes for nodes, _attrs in iter_reverse_paths_to(cycle, 0, 10)
+        }
+        assert paths == {(0,), (2, 0), (1, 2, 0)}
+
+    def test_bad_max_nodes(self, diamond):
+        with pytest.raises(PathIndexError):
+            list(iter_reverse_paths_to(diamond, 0, 0))
+
+
+class TestLabels:
+    def test_interleaving(self, diamond):
+        labels = interleaved_labels(diamond, (0, 1, 3), (0, 1))
+        tid = diamond.type_id("T")
+        assert labels == (tid, 0, tid, 1, tid)
+
+    def test_single_node(self, diamond):
+        labels = interleaved_labels(diamond, (2,), ())
+        assert labels == (diamond.type_id("T"),)

@@ -1,0 +1,111 @@
+"""Path patterns and tree patterns (Section 2.2.2 definitions)."""
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.pattern import PathPattern, TreePattern
+from repro.kg.graph import KnowledgeGraph
+
+
+@pytest.fixture
+def graph():
+    graph = KnowledgeGraph()
+    graph.intern_type("Software")  # tid 0
+    graph.intern_type("Company")  # tid 1
+    graph.intern_type("Model")  # tid 2
+    graph.intern_attr("Developer")  # aid 0
+    graph.intern_attr("Revenue")  # aid 1
+    graph.intern_attr("Genre")  # aid 2
+    return graph
+
+
+class TestPathPattern:
+    def test_node_match_lengths(self):
+        pattern = PathPattern((0, 0, 1), ends_at_edge=False)
+        assert pattern.length == 2
+        assert pattern.num_hops == 1
+        assert pattern.root_type == 0
+        assert pattern.node_types() == (0, 1)
+        assert pattern.attr_types() == (0,)
+
+    def test_single_node_pattern(self):
+        pattern = PathPattern((0,), ends_at_edge=False)
+        assert pattern.length == 1
+        assert pattern.num_hops == 0
+
+    def test_edge_match_counts_target(self):
+        """Example 2.4: (Software)(Developer)(Company)(Revenue) has length 3."""
+        pattern = PathPattern((0, 0, 1, 1), ends_at_edge=True)
+        assert pattern.length == 3
+        assert pattern.num_hops == 2
+        assert pattern.matched_attr == 1
+
+    def test_matched_attr_on_node_pattern_raises(self):
+        pattern = PathPattern((0,), ends_at_edge=False)
+        with pytest.raises(GraphError):
+            _ = pattern.matched_attr
+
+    def test_parity_validation(self):
+        with pytest.raises(GraphError):
+            PathPattern((0, 0), ends_at_edge=False)  # even, node match
+        with pytest.raises(GraphError):
+            PathPattern((0, 0, 1), ends_at_edge=True)  # odd, edge match
+        with pytest.raises(GraphError):
+            PathPattern((), ends_at_edge=False)
+
+    def test_format(self, graph):
+        pattern = PathPattern((0, 0, 1, 1), ends_at_edge=True)
+        assert (
+            pattern.format(graph)
+            == "(Software) (Developer) (Company) (Revenue)"
+        )
+
+    def test_hashable_and_equal(self):
+        a = PathPattern((0, 0, 1), False)
+        b = PathPattern((0, 0, 1), False)
+        c = PathPattern((0, 0, 1, 1), True)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestTreePattern:
+    def test_height_is_max_path_length(self):
+        tree = TreePattern(
+            (
+                PathPattern((0, 2, 2), False),  # length 2
+                PathPattern((0,), False),  # length 1
+                PathPattern((0, 0, 1, 1), True),  # length 3
+            )
+        )
+        assert tree.height == 3
+        assert tree.num_keywords == 3
+        assert tree.root_type == 0
+
+    def test_mismatched_roots_rejected(self):
+        with pytest.raises(GraphError):
+            TreePattern(
+                (PathPattern((0,), False), PathPattern((1,), False))
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            TreePattern(())
+
+    def test_format_includes_keywords(self, graph):
+        tree = TreePattern(
+            (PathPattern((0,), False), PathPattern((0, 2, 2), False))
+        )
+        text = tree.format(graph, ("software", "database"))
+        assert "'software': (Software)" in text
+        assert "(Genre) (Model)" in text
+
+    def test_format_without_query_labels_positions(self, graph):
+        tree = TreePattern((PathPattern((0,), False),))
+        assert tree.format(graph).startswith("w1:")
+
+    def test_equality_by_value(self):
+        a = TreePattern((PathPattern((0,), False),))
+        b = TreePattern((PathPattern((0,), False),))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,185 @@
+"""Scoring functions, components, and aggregation (Section 2.2.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ScoringError
+from repro.scoring.aggregate import (
+    AVG,
+    COUNT,
+    MAX,
+    SUM,
+    RunningAggregate,
+    aggregate,
+    estimate_from_sample,
+    validate_aggregator,
+)
+from repro.scoring.components import (
+    PathComponents,
+    SubtreeComponents,
+    sum_components,
+)
+from repro.scoring.function import COUNT_TREES, PAPER_DEFAULT, ScoringFunction
+
+positive_floats = st.floats(min_value=0.01, max_value=1e4)
+
+
+class TestAggregate:
+    def test_sum_avg_max_count(self):
+        scores = [1.0, 3.0, 2.0]
+        assert aggregate(SUM, scores) == 6.0
+        assert aggregate(AVG, scores) == 2.0
+        assert aggregate(MAX, scores) == 3.0
+        assert aggregate(COUNT, scores) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScoringError):
+            aggregate(SUM, [])
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(ScoringError):
+            validate_aggregator("median")
+        with pytest.raises(ScoringError):
+            aggregate("median", [1.0])
+
+    def test_estimate_scales_sum_and_count(self):
+        assert estimate_from_sample(SUM, [2.0, 4.0], 0.5) == 12.0
+        assert estimate_from_sample(COUNT, [2.0, 4.0], 0.5) == 4.0
+        assert estimate_from_sample(AVG, [2.0, 4.0], 0.5) == 3.0
+        assert estimate_from_sample(MAX, [2.0, 4.0], 0.5) == 4.0
+
+    def test_estimate_empty_sample_is_zero(self):
+        assert estimate_from_sample(SUM, [], 0.5) == 0.0
+
+    def test_estimate_bad_rate(self):
+        with pytest.raises(ScoringError):
+            estimate_from_sample(SUM, [1.0], 0.0)
+        with pytest.raises(ScoringError):
+            estimate_from_sample(SUM, [1.0], 1.5)
+
+
+class TestRunningAggregate:
+    @pytest.mark.parametrize("name", [SUM, AVG, MAX, COUNT])
+    def test_matches_batch(self, name):
+        scores = [1.5, 0.5, 2.5, 2.5]
+        running = RunningAggregate(name)
+        for score in scores:
+            running.add(score)
+        assert running.value() == aggregate(name, scores)
+
+    def test_value_requires_scores(self):
+        with pytest.raises(ScoringError):
+            RunningAggregate(SUM).value()
+
+    def test_merge(self):
+        a = RunningAggregate(SUM)
+        b = RunningAggregate(SUM)
+        a.add(1.0)
+        b.add(2.0)
+        a.merge(b)
+        assert a.value() == 3.0
+        assert a.count == 2
+
+    def test_merge_mismatched_rejected(self):
+        with pytest.raises(ScoringError):
+            RunningAggregate(SUM).merge(RunningAggregate(MAX))
+
+    def test_estimate_matches_function(self):
+        running = RunningAggregate(SUM)
+        running.add(2.0)
+        running.add(4.0)
+        assert running.estimate(0.5) == estimate_from_sample(SUM, [2.0, 4.0], 0.5)
+
+    def test_estimate_empty_is_zero(self):
+        assert RunningAggregate(SUM).estimate(0.5) == 0.0
+
+
+class TestComponents:
+    def test_sum_components(self):
+        total = sum_components(
+            [PathComponents(2, 1.0, 0.5), PathComponents(3, 2.0, 1.0)]
+        )
+        assert total == SubtreeComponents(size=5, pr=3.0, sim=1.5)
+
+    def test_as_list(self):
+        assert SubtreeComponents(2, 1.0, 0.5).as_list() == [2.0, 1.0, 0.5]
+
+
+class TestScoringFunction:
+    def test_paper_example_24(self):
+        """Example 2.4: score(T1) with uniform PageRank."""
+        components = SubtreeComponents(size=8, pr=4.0, sim=3.5)
+        assert PAPER_DEFAULT.subtree_score(components) == pytest.approx(
+            (1 / 8) * 4.0 * 3.5
+        )
+
+    def test_t3_score(self):
+        components = SubtreeComponents(size=7, pr=4.0, sim=1 / 6 + 1 / 6 + 2)
+        assert PAPER_DEFAULT.subtree_score(components) == pytest.approx(
+            4.0 * (7 / 3) / 7
+        )
+
+    def test_zero_weight_skips_component(self):
+        scoring = ScoringFunction(z1=0.0, z2=0.0, z3=0.0)
+        assert scoring.subtree_score(SubtreeComponents(5, 2.0, 0.1)) == 1.0
+
+    def test_nonpositive_component_raises(self):
+        with pytest.raises(ScoringError):
+            PAPER_DEFAULT.subtree_score(SubtreeComponents(0, 1.0, 1.0))
+
+    def test_bad_aggregator_rejected(self):
+        with pytest.raises(ScoringError):
+            ScoringFunction(aggregator="median")
+
+    def test_extras(self):
+        scoring = ScoringFunction(z1=0, z2=0, z3=0, extra_weights=(2.0,))
+        assert scoring.subtree_score(
+            SubtreeComponents(1, 1.0, 1.0), extras=[3.0]
+        ) == pytest.approx(9.0)
+
+    def test_extras_arity_checked(self):
+        scoring = ScoringFunction(extra_weights=(1.0,))
+        with pytest.raises(ScoringError):
+            scoring.subtree_score(SubtreeComponents(1, 1.0, 1.0), extras=[])
+
+    def test_extras_nonpositive_rejected(self):
+        scoring = ScoringFunction(z1=0, z2=0, z3=0, extra_weights=(1.0,))
+        with pytest.raises(ScoringError):
+            scoring.subtree_score(SubtreeComponents(1, 1.0, 1.0), extras=[0.0])
+
+    def test_subtree_score_from_paths(self):
+        parts = [PathComponents(2, 1.0, 0.5), PathComponents(1, 1.0, 1.0)]
+        expected = PAPER_DEFAULT.subtree_score(SubtreeComponents(3, 2.0, 1.5))
+        assert PAPER_DEFAULT.subtree_score_from_paths(parts) == pytest.approx(
+            expected
+        )
+
+    def test_count_trees_function(self):
+        assert COUNT_TREES.pattern_score([0.1, 0.2, 0.3]) == 3.0
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        positive_floats,
+        positive_floats,
+    )
+    def test_smaller_trees_score_higher(self, size, pr, sim):
+        """z1 = -1 means adding size strictly lowers the score."""
+        small = PAPER_DEFAULT.subtree_score(SubtreeComponents(size, pr, sim))
+        large = PAPER_DEFAULT.subtree_score(SubtreeComponents(size + 1, pr, sim))
+        assert small > large
+
+    @given(positive_floats, positive_floats)
+    def test_higher_similarity_scores_higher(self, pr, sim):
+        low = PAPER_DEFAULT.subtree_score(SubtreeComponents(3, pr, sim))
+        high = PAPER_DEFAULT.subtree_score(SubtreeComponents(3, pr, sim * 2))
+        assert high > low
+
+    def test_pattern_estimate_delegates(self):
+        assert PAPER_DEFAULT.pattern_estimate([1.0, 2.0], 0.5) == 6.0
+
+    def test_running_matches_aggregator(self):
+        running = ScoringFunction(aggregator=MAX).running()
+        running.add(1.0)
+        running.add(5.0)
+        assert running.value() == 5.0

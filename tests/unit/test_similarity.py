@@ -1,0 +1,81 @@
+"""Jaccard and companion similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kg.similarity import (
+    containment,
+    dice,
+    jaccard,
+    keyword_similarity,
+    overlap_coefficient,
+)
+
+token_sets = st.frozensets(
+    st.text(alphabet="abcdef", min_size=1, max_size=3), max_size=6
+)
+
+
+class TestJaccard:
+    def test_paper_example(self):
+        """Example 2.4: "database" vs "Relational database" scores 1/2."""
+        assert jaccard({"database"}, {"relational", "database"}) == 0.5
+
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 0.0
+
+    @given(token_sets, token_sets)
+    def test_range_and_symmetry(self, a, b):
+        value = jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard(b, a)
+
+    @given(token_sets)
+    def test_self_similarity(self, a):
+        assert jaccard(a, a) == (1.0 if a else 0.0)
+
+
+class TestKeywordSimilarity:
+    def test_hit_is_reciprocal_size(self):
+        """Example 2.4: a word inside a six-token title scores 1/6."""
+        tokens = frozenset(f"w{i}" for i in range(5)) | {"database"}
+        assert keyword_similarity("database", tokens) == pytest.approx(1 / 6)
+
+    def test_miss_is_zero(self):
+        assert keyword_similarity("database", {"relational"}) == 0.0
+
+    def test_exact_match_is_one(self):
+        assert keyword_similarity("software", {"software"}) == 1.0
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=2), token_sets)
+    def test_equals_jaccard_singleton(self, word, tokens):
+        assert keyword_similarity(word, tokens) == pytest.approx(
+            jaccard({word}, tokens)
+        )
+
+
+class TestAlternatives:
+    @given(token_sets, token_sets)
+    def test_dice_range_symmetry(self, a, b):
+        value = dice(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == dice(b, a)
+
+    @given(token_sets, token_sets)
+    def test_dice_dominates_jaccard(self, a, b):
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+    def test_overlap(self):
+        assert overlap_coefficient({"a", "b"}, {"a"}) == 1.0
+        assert overlap_coefficient(set(), {"a"}) == 0.0
+
+    def test_containment(self):
+        assert containment(["a", "b"], {"a", "c"}) == 0.5
+        assert containment([], {"a"}) == 0.0

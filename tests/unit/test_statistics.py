@@ -1,0 +1,73 @@
+"""Graph statistics and longest-path bound."""
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.statistics import compute_statistics, longest_path_length
+from repro.datasets.imdb import generate_imdb_graph, ImdbConfig
+
+
+class TestLongestPath:
+    def test_empty(self):
+        assert longest_path_length(KnowledgeGraph()) == 0
+
+    def test_single_node(self):
+        graph = KnowledgeGraph()
+        graph.add_node("T", "x")
+        assert longest_path_length(graph) == 1
+
+    def test_chain(self):
+        graph = KnowledgeGraph()
+        nodes = [graph.add_node("T", f"n{i}") for i in range(4)]
+        for i in range(3):
+            graph.add_edge(nodes[i], "next", nodes[i + 1])
+        assert longest_path_length(graph) == 4
+
+    def test_cycle_falls_back_to_node_count(self):
+        graph = KnowledgeGraph()
+        a = graph.add_node("T", "a")
+        b = graph.add_node("T", "b")
+        graph.add_edge(a, "next", b)
+        graph.add_edge(b, "next", a)
+        assert longest_path_length(graph) == 2
+
+    def test_diamond(self):
+        graph = KnowledgeGraph()
+        a, b, c, d = (graph.add_node("T", s) for s in "abcd")
+        graph.add_edge(a, "x", b)
+        graph.add_edge(a, "y", c)
+        graph.add_edge(b, "x", d)
+        graph.add_edge(c, "y", d)
+        assert longest_path_length(graph) == 3
+
+    def test_imdb_has_paper_property(self):
+        """Paper: IMDB's graph "contains only paths of length at most three"."""
+        graph = generate_imdb_graph(ImdbConfig(num_movies=40, num_people=50))
+        assert longest_path_length(graph) <= 3
+
+
+class TestStatistics:
+    def test_counts(self):
+        graph = KnowledgeGraph()
+        a = graph.add_node("Software", "X")
+        b = graph.add_node("Company", "Y")
+        t = graph.add_text_node("some value")
+        graph.add_edge(a, "Developer", b)
+        graph.add_edge(b, "Revenue", t)
+        stats = compute_statistics(graph)
+        assert stats.num_nodes == 3
+        assert stats.num_entity_nodes == 2
+        assert stats.num_text_nodes == 1
+        assert stats.num_edges == 2
+        assert stats.max_out_degree == 1
+        assert stats.type_histogram["Software"] == 1
+
+    def test_format_mentions_key_counts(self):
+        graph = KnowledgeGraph()
+        graph.add_node("T", "x")
+        text = compute_statistics(graph).format()
+        assert "nodes" in text
+        assert "types" in text
+
+    def test_empty_graph(self):
+        stats = compute_statistics(KnowledgeGraph())
+        assert stats.num_nodes == 0
+        assert stats.mean_out_degree == 0.0

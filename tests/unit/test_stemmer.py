@@ -1,0 +1,171 @@
+"""Porter stemmer: published vectors, step behaviour, and properties."""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kg.stemmer import (
+    _ends_cvc,
+    _ends_double_consonant,
+    _measure,
+    stem,
+    stem_all,
+)
+
+# Vectors from Porter's paper and the canonical reference implementation.
+PORTER_VECTORS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", PORTER_VECTORS)
+def test_porter_vectors(word, expected):
+    assert stem(word) == expected
+
+
+def test_domain_words_match_each_other():
+    """The pairs the paper's matching depends on stem identically."""
+    assert stem("database") == stem("databases")
+    assert stem("software") == stem("softwares")
+    assert stem("company") == stem("companies")
+    assert stem("movie") == stem("movies")
+    assert stem("city") == stem("cities")
+
+
+def test_short_words_untouched():
+    assert stem("db") == "db"
+    assert stem("a") == "a"
+    assert stem("IS") == "is"
+
+
+def test_case_insensitive():
+    assert stem("Databases") == stem("databases")
+    assert stem("RUNNING") == stem("running")
+
+
+def test_stem_all_preserves_order():
+    assert stem_all(["Databases", "Companies"]) == ["databas", "compani"]
+
+
+def test_measure():
+    assert _measure("tr") == 0
+    assert _measure("ee") == 0
+    assert _measure("tree") == 0
+    assert _measure("y") == 0
+    assert _measure("by") == 0
+    assert _measure("trouble") == 1
+    assert _measure("oats") == 1
+    assert _measure("trees") == 1
+    assert _measure("ivy") == 1
+    assert _measure("troubles") == 2
+    assert _measure("private") == 2
+    assert _measure("oaten") == 2
+
+
+def test_ends_cvc():
+    assert _ends_cvc("hop")
+    assert _ends_cvc("wil")
+    assert not _ends_cvc("snow")  # ends w
+    assert not _ends_cvc("box")  # ends x
+    assert not _ends_cvc("tray")  # ends y
+    assert not _ends_cvc("fail")  # VVC
+
+
+def test_ends_double_consonant():
+    assert _ends_double_consonant("fall")
+    assert _ends_double_consonant("hiss")
+    assert not _ends_double_consonant("see")
+    assert not _ends_double_consonant("cat")
+
+
+@given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=20))
+def test_stem_never_longer_and_lowercase(word):
+    result = stem(word)
+    assert len(result) <= len(word)
+    assert result == result.lower()
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=20))
+def test_stem_deterministic(word):
+    assert stem(word) == stem(word)
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=20))
+def test_stem_nonempty(word):
+    assert stem(word)

@@ -1,0 +1,215 @@
+"""MatchPath, ValidSubtree, and the tree-validity check of combine_paths."""
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.subtree import MatchPath, ValidSubtree, combine_paths
+from repro.kg.graph import KnowledgeGraph
+
+
+@pytest.fixture
+def graph():
+    """v0 --a0--> v1 --a1--> v2 ; v0 --a0--> v3 ; v3 --a1--> v2."""
+    graph = KnowledgeGraph()
+    for i in range(4):
+        graph.add_node(f"T{i}", f"n{i}")
+    graph.intern_attr("a0")
+    graph.intern_attr("a1")
+    graph.add_edge_typed(0, 0, 1)
+    graph.add_edge_typed(1, 1, 2)
+    graph.add_edge_typed(0, 0, 3)
+    graph.add_edge_typed(3, 1, 2)
+    return graph
+
+
+class TestMatchPath:
+    def test_node_match(self):
+        path = MatchPath((0, 1, 2), (0, 1), matched_on_edge=False)
+        assert path.root == 0
+        assert path.num_nodes == 3
+        assert path.match_node == 2
+        assert path.end_node == 2
+        assert list(path.edge_triples()) == [(0, 0, 1), (1, 1, 2)]
+
+    def test_edge_match_scores_source_node(self):
+        """Equation 5: an edge match uses the source node's PageRank."""
+        path = MatchPath((0, 1, 2), (0, 1), matched_on_edge=True)
+        assert path.match_node == 1
+        assert path.num_nodes == 3  # target still counts in |T(w)|
+
+    def test_single_node(self):
+        path = MatchPath((5,), (), matched_on_edge=False)
+        assert path.num_nodes == 1
+        assert path.match_node == 5
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            MatchPath((), (), False)
+        with pytest.raises(GraphError):
+            MatchPath((0, 1), (), False)  # missing edge
+        with pytest.raises(GraphError):
+            MatchPath((0,), (), True)  # edge match needs an edge
+
+    def test_pattern_derivation_node_match(self, graph):
+        path = MatchPath((0, 1, 2), (0, 1), matched_on_edge=False)
+        pattern = path.pattern(graph)
+        assert pattern.labels == (
+            graph.node_type(0), 0, graph.node_type(1), 1, graph.node_type(2)
+        )
+        assert not pattern.ends_at_edge
+        assert pattern.length == 3
+
+    def test_pattern_derivation_edge_match(self, graph):
+        path = MatchPath((0, 1, 2), (0, 1), matched_on_edge=True)
+        pattern = path.pattern(graph)
+        assert pattern.labels == (
+            graph.node_type(0), 0, graph.node_type(1), 1
+        )
+        assert pattern.ends_at_edge
+        assert pattern.length == 3  # target node counted
+
+
+class TestValidSubtree:
+    def test_basics(self, graph):
+        tree = ValidSubtree(
+            (
+                MatchPath((0, 1), (0,), False),
+                MatchPath((0, 1, 2), (0, 1), False),
+            )
+        )
+        assert tree.root == 0
+        assert tree.num_keywords == 2
+        assert tree.node_set() == {0, 1, 2}
+        assert tree.edge_set() == {(0, 0, 1), (1, 1, 2)}
+        assert tree.height() == 3
+
+    def test_mismatched_roots_rejected(self):
+        with pytest.raises(GraphError):
+            ValidSubtree(
+                (
+                    MatchPath((0,), (), False),
+                    MatchPath((1,), (), False),
+                )
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            ValidSubtree(())
+
+    def test_pattern(self, graph):
+        tree = ValidSubtree(
+            (
+                MatchPath((0, 1), (0,), False),
+                MatchPath((0, 1, 2), (0, 1), True),
+            )
+        )
+        pattern = tree.pattern(graph)
+        assert pattern.num_keywords == 2
+        assert pattern.height == 3
+
+    def test_minimality_of_path_union(self, graph):
+        tree = ValidSubtree(
+            (
+                MatchPath((0, 1), (0,), False),
+                MatchPath((0, 3), (0,), False),
+            )
+        )
+        assert tree.is_minimal()
+
+    def test_non_minimal_detected(self, graph):
+        """A leaf hosting no keyword violates condition iii)."""
+        tree = ValidSubtree(
+            (
+                # keyword maps to interior node 1 while leaf 2 hosts nothing
+                MatchPath((0, 1), (0,), False),
+                MatchPath((0, 1, 2), (0, 1), False),
+            )
+        )
+        # Here leaf 2 *does* host the second keyword: minimal.
+        assert tree.is_minimal()
+        shallow = ValidSubtree((MatchPath((0, 1), (0,), False),))
+        # Craft a tree claiming only node 1, but containing edge to 2:
+        hacked = ValidSubtree(
+            (
+                MatchPath((0, 1, 2), (0, 1), False),
+                MatchPath((0, 1), (0,), False),
+            )
+        )
+        assert hacked.is_minimal()  # leaf 2 hosts keyword 1
+        assert shallow.is_minimal()
+
+
+class TestCombinePaths:
+    def test_combines_shared_root(self, graph):
+        tree = combine_paths(
+            [
+                MatchPath((0, 1), (0,), False),
+                MatchPath((0, 3), (0,), False),
+            ]
+        )
+        assert tree is not None
+        assert tree.node_set() == {0, 1, 3}
+
+    def test_rejects_two_parents(self, graph):
+        """v2 reachable via v1 and via v3: the union is not a tree."""
+        tree = combine_paths(
+            [
+                MatchPath((0, 1, 2), (0, 1), False),
+                MatchPath((0, 3, 2), (0, 1), False),
+            ]
+        )
+        assert tree is None
+
+    def test_rejects_different_roots(self, graph):
+        tree = combine_paths(
+            [
+                MatchPath((0, 1), (0,), False),
+                MatchPath((3, 2), (1,), False),
+            ]
+        )
+        assert tree is None
+
+    def test_rejects_edge_back_into_root(self):
+        tree = combine_paths(
+            [
+                MatchPath((0, 1), (0,), False),
+                MatchPath((0, 1, 0), (0, 1), False),
+            ]
+        )
+        assert tree is None
+
+    def test_identical_paths_fine(self, graph):
+        """Two keywords matching along the same path is a valid tree."""
+        path = MatchPath((0, 1, 2), (0, 1), False)
+        tree = combine_paths([path, path])
+        assert tree is not None
+        assert tree.node_set() == {0, 1, 2}
+
+    def test_shared_prefix_fine(self, graph):
+        tree = combine_paths(
+            [
+                MatchPath((0, 1), (0,), False),
+                MatchPath((0, 1, 2), (0, 1), False),
+            ]
+        )
+        assert tree is not None
+
+    def test_empty_input(self):
+        assert combine_paths([]) is None
+
+    def test_same_parent_different_attr_rejected(self):
+        """Parallel edges u->v with different attrs cannot both be tree edges."""
+        graph = KnowledgeGraph()
+        graph.add_node("A", "a")
+        graph.add_node("B", "b")
+        graph.intern_attr("x")
+        graph.intern_attr("y")
+        graph.add_edge_typed(0, 0, 1)
+        graph.add_edge_typed(0, 1, 1)
+        tree = combine_paths(
+            [
+                MatchPath((0, 1), (0,), False),
+                MatchPath((0, 1), (1,), False),
+            ]
+        )
+        assert tree is None

@@ -1,0 +1,82 @@
+"""Synonym table: canonicalization, expansion, and the no-re-stem rule."""
+
+from repro.kg.stemmer import stem
+from repro.kg.synonyms import EMPTY_SYNONYMS, SynonymTable
+
+
+class TestGroups:
+    def test_first_word_is_canonical(self):
+        table = SynonymTable([["movie", "film", "picture"]])
+        assert table.canonical("film") == stem("movie")
+        assert table.canonical("pictures") == stem("movie")
+
+    def test_identity_for_unknown(self):
+        table = SynonymTable([["movie", "film"]])
+        assert table.canonical("company") == "company"
+
+    def test_group_of(self):
+        table = SynonymTable([["movie", "film"]])
+        assert table.group_of("film") == {stem("movie"), stem("film")}
+        assert table.group_of("novel") == {"novel"}
+
+    def test_overlapping_groups_merge(self):
+        table = SynonymTable()
+        table.add_group(["movie", "film"])
+        table.add_group(["film", "picture"])
+        assert table.canonical("picture") == stem("movie")
+
+    def test_empty_group_ignored(self):
+        table = SynonymTable()
+        table.add_group([])
+        assert len(table) == 0
+
+    def test_from_mapping(self):
+        table = SynonymTable.from_mapping({"film": "movie", "auto": "car"})
+        assert table.canonical("film") == stem("movie")
+        assert table.canonical("auto") == stem("car")
+
+    def test_len_counts_registered_words(self):
+        table = SynonymTable([["movie", "film"]])
+        assert len(table) == 2
+
+
+class TestExpansions:
+    def test_unregistered_token_untouched(self):
+        """Critical: already-stemmed index tokens must not be re-stemmed.
+
+        Porter is not idempotent — stem("databas") == "databa" — so a
+        second stemming pass would corrupt index keys.
+        """
+        assert EMPTY_SYNONYMS.expansions("databas") == ["databas"]
+        assert EMPTY_SYNONYMS.canonical("databas") == "databas"
+
+    def test_registered_token_files_under_both(self):
+        table = SynonymTable([["movie", "film"]])
+        assert set(table.expansions("film")) == {stem("film"), stem("movie")}
+
+    def test_canonical_word_expands_to_itself(self):
+        table = SynonymTable([["movie", "film"]])
+        assert table.expansions(stem("movie")) == [stem("movie")]
+
+    def test_raw_surface_form_falls_back_to_stemming(self):
+        table = SynonymTable([["movie", "film"]])
+        assert table.canonical("films") == stem("movie")
+
+
+class TestEndToEnd:
+    def test_query_synonym_reaches_indexed_text(self):
+        """A query word absent from the text matches via its synonym."""
+        from repro.index.builder import build_indexes
+        from repro.kg.graph import KnowledgeGraph
+        from repro.search.pattern_enum import pattern_enum_search
+
+        graph = KnowledgeGraph()
+        movie = graph.add_node("Movie", "Braveheart")
+        person = graph.add_node("Person", "Mel Gibson")
+        graph.add_edge(movie, "Director", person)
+        synonyms = SynonymTable([["movie", "film"]])
+        indexes = build_indexes(graph, d=2, synonyms=synonyms)
+
+        result = pattern_enum_search(indexes, "film gibson", k=5)
+        assert result.num_answers >= 1
+        assert result.answers[0].num_subtrees == 1

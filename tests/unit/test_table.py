@@ -1,0 +1,141 @@
+"""Table composition: Figure 3 semantics, column dedup, renderers."""
+
+import pytest
+
+from repro.core.subtree import MatchPath, ValidSubtree
+from repro.core.table import compose_table
+from repro.datasets.example import (
+    EXAMPLE_NORMALIZER,
+    EXAMPLE_QUERY,
+    example_graph_with_nodes,
+)
+from repro.index.builder import build_indexes
+from repro.kg.pagerank import uniform_scores
+from repro.search.pattern_enum import pattern_enum_search
+
+
+@pytest.fixture(scope="module")
+def figure3_table():
+    graph, _nodes = example_graph_with_nodes()
+    indexes = build_indexes(
+        graph,
+        d=3,
+        normalizer=EXAMPLE_NORMALIZER,
+        pagerank_scores=uniform_scores(graph),
+    )
+    result = pattern_enum_search(indexes, EXAMPLE_QUERY, k=1)
+    return graph, result.answers[0].to_table(graph)
+
+
+class TestFigure3:
+    def test_headers(self, figure3_table):
+        _graph, table = figure3_table
+        assert table.headers() == ["Software", "Model", "Company", "Revenue"]
+
+    def test_rows(self, figure3_table):
+        _graph, table = figure3_table
+        assert sorted(table.rows) == sorted(
+            [
+                ["SQL Server", "Relational database", "Microsoft", "US$ 77 billion"],
+                ["Oracle DB", "O-R database", "Oracle Corp", "US$ 37 billion"],
+            ]
+        )
+
+    def test_root_column_deduplicated(self, figure3_table):
+        """Four keywords but the shared root yields one Software column."""
+        _graph, table = figure3_table
+        assert table.num_columns == 4
+
+    def test_qualified_names(self, figure3_table):
+        _graph, table = figure3_table
+        qualified = [column.qualified_name for column in table.columns]
+        assert "Software" in qualified
+        assert "Software.Genre.Model" in qualified
+        assert "Company.Revenue" in qualified
+
+    def test_to_dicts(self, figure3_table):
+        _graph, table = figure3_table
+        dicts = table.to_dicts()
+        assert {"SQL Server", "Oracle DB"} == {d["Software"] for d in dicts}
+
+    def test_ascii_render(self, figure3_table):
+        _graph, table = figure3_table
+        text = table.to_ascii()
+        assert "SQL Server" in text
+        assert "Software" in text
+        assert "|" in text
+
+    def test_markdown_render(self, figure3_table):
+        _graph, table = figure3_table
+        markdown = table.to_markdown()
+        assert markdown.startswith("| Software |")
+        assert "| --- |" in markdown.splitlines()[1]
+
+
+class TestRenderLimits:
+    def test_ascii_truncates(self, figure3_table):
+        _graph, table = figure3_table
+        text = table.to_ascii(max_rows=1)
+        assert "more rows" in text
+
+    def test_markdown_truncates(self, figure3_table):
+        _graph, table = figure3_table
+        assert "more rows" in table.to_markdown(max_rows=1)
+
+
+class TestDivergentPrefix:
+    def test_shared_prefix_divergent_nodes_merge_cell(self):
+        """Two keyword paths with identical pattern prefixes may bind
+        different nodes in one subtree; the cell then holds both values."""
+        from repro.kg.graph import KnowledgeGraph
+
+        graph = KnowledgeGraph()
+        root = graph.add_node("R", "root")
+        left = graph.add_node("M", "leftword common")
+        right = graph.add_node("M", "rightword common")
+        graph.add_edge(root, "Via", left)
+        graph.add_edge(root, "Via", right)
+        indexes = build_indexes(graph, d=2)
+        result = pattern_enum_search(indexes, "leftword rightword", k=5)
+        assert result.num_answers == 1
+        table = result.answers[0].to_table(graph)
+        merged = [cell for row in table.rows for cell in row if " | " in cell]
+        assert merged, "expected a merged multivalued cell"
+        assert any(column.multivalued for column in table.columns)
+
+    def test_duplicate_headers_qualified(self):
+        """Same type at two positions: headers fall back to qualified names."""
+        from repro.kg.graph import KnowledgeGraph
+
+        graph = KnowledgeGraph()
+        a = graph.add_node("Company", "Acme alphaword")
+        b = graph.add_node("Company", "Beta betaword")
+        graph.add_edge(a, "Parent", b)
+        indexes = build_indexes(graph, d=2)
+        result = pattern_enum_search(indexes, "alphaword betaword", k=5)
+        table = result.answers[0].to_table(graph)
+        assert len(set(table.headers())) == len(table.headers())
+
+
+class TestComposeDirect:
+    def test_empty_subtree_list(self):
+        from repro.kg.graph import KnowledgeGraph
+
+        graph = KnowledgeGraph()
+        node = graph.add_node("T", "solo")
+        path = MatchPath((node,), (), False)
+        tree = ValidSubtree((path,))
+        pattern = tree.pattern(graph)
+        table = compose_table(pattern, [], graph)
+        assert table.num_rows == 0
+        assert table.headers() == ["T"]
+
+    def test_single_node_table(self):
+        from repro.kg.graph import KnowledgeGraph
+
+        graph = KnowledgeGraph()
+        node = graph.add_node("T", "solo")
+        tree = ValidSubtree((MatchPath((node,), (), False),))
+        table = compose_table(tree.pattern(graph), [tree], graph, score=1.5)
+        assert table.rows == [["solo"]]
+        assert table.score == 1.5

@@ -1,0 +1,124 @@
+"""Tokenizer and query normalization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import QueryError
+from repro.kg.text import (
+    DEFAULT_NORMALIZER,
+    DEFAULT_STOPWORDS,
+    TextNormalizer,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Bill Gates") == ["bill", "gates"]
+
+    def test_currency_and_digits(self):
+        assert tokenize("US$ 77 billion") == ["us", "77", "billion"]
+
+    def test_hyphen_compound_is_one_token(self):
+        assert tokenize("O-R database") == ["o-r", "database"]
+
+    def test_leading_trailing_hyphens_not_joined(self):
+        assert tokenize("-pre post-") == ["pre", "post"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   !!!  ") == []
+
+    def test_punctuation_splits(self):
+        assert tokenize("C++, C#; Java.") == ["c", "c", "java"]
+
+
+class TestNormalizer:
+    def test_stems_by_default(self):
+        assert DEFAULT_NORMALIZER.tokens("databases") == ["databas"]
+
+    def test_stopwords_dropped(self):
+        tokens = DEFAULT_NORMALIZER.tokens("the revenue of the company")
+        assert "the" not in tokens
+        assert "of" not in tokens
+
+    def test_no_stemming_mode(self):
+        normalizer = TextNormalizer(use_stemming=False, stopwords=())
+        assert normalizer.tokens("Databases") == ["databases"]
+
+    def test_token_set(self):
+        assert DEFAULT_NORMALIZER.token_set("company company") == {"compani"}
+
+    def test_duplicates_preserved_in_tokens(self):
+        assert DEFAULT_NORMALIZER.tokens("big big city") == [
+            "big",
+            "big",
+            "citi",
+        ]
+
+
+class TestParseQuery:
+    def test_string_query(self):
+        words = DEFAULT_NORMALIZER.parse_query("database software")
+        assert words == ("databas", "softwar")
+
+    def test_sequence_query(self):
+        words = DEFAULT_NORMALIZER.parse_query(["Mel Gibson", "movies"])
+        assert words == ("mel", "gibson", "movi")
+
+    def test_duplicates_collapsed_first_seen_order(self):
+        words = DEFAULT_NORMALIZER.parse_query("movie film movie")
+        assert words == ("movi", "film")
+
+    def test_empty_query_raises(self):
+        with pytest.raises(QueryError):
+            DEFAULT_NORMALIZER.parse_query("")
+        with pytest.raises(QueryError):
+            DEFAULT_NORMALIZER.parse_query("   the of   ")
+
+    def test_non_string_item_raises(self):
+        with pytest.raises(QueryError):
+            DEFAULT_NORMALIZER.parse_query(["ok", 42])
+
+    def test_stopword_only_words_removed(self):
+        words = DEFAULT_NORMALIZER.parse_query("the company")
+        assert words == ("compani",)
+
+
+@given(st.text(max_size=60))
+def test_tokens_always_lowercase_nonempty(text):
+    for token in DEFAULT_NORMALIZER.tokens(text):
+        assert token
+        assert token == token.lower()
+
+
+@given(
+    st.lists(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=127),
+            min_size=1,
+            max_size=10,
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_parse_query_output_is_clean(words):
+    """Parsed keywords are distinct, non-empty, normalized tokens.
+
+    Note: a *stemmed* keyword may coincide with a stopword ("ase" stems to
+    "as") — stopwords are filtered on surface tokens, before stemming, so
+    no stopword assertion is made on the output.
+    """
+    try:
+        parsed = DEFAULT_NORMALIZER.parse_query(words)
+    except QueryError:
+        return  # everything was a stopword — fine
+    assert len(set(parsed)) == len(parsed)
+    for keyword in parsed:
+        assert keyword
+
+
+def test_default_stopwords_are_lowercase():
+    assert all(w == w.lower() for w in DEFAULT_STOPWORDS)

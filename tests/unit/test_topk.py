@@ -1,0 +1,151 @@
+"""Bounded top-k queue: ordering, ties, thresholds, properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SearchError
+from repro.core.topk import TopKQueue
+
+
+class TestBasics:
+    def test_keeps_best_k(self):
+        queue = TopKQueue(2)
+        for score, name in [(1.0, "a"), (3.0, "b"), (2.0, "c"), (0.5, "d")]:
+            queue.push(score, name)
+        assert queue.ranked() == [(3.0, "b"), (2.0, "c")]
+        assert queue.items() == ["b", "c"]
+
+    def test_under_capacity(self):
+        queue = TopKQueue(5)
+        queue.push(1.0, "a")
+        assert len(queue) == 1
+        assert not queue.is_full
+        assert queue.threshold() == float("-inf")
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(SearchError):
+            TopKQueue(0)
+
+    def test_min_score(self):
+        queue = TopKQueue(3)
+        with pytest.raises(SearchError):
+            queue.min_score()
+        queue.push(2.0, "a")
+        queue.push(5.0, "b")
+        assert queue.min_score() == 2.0
+
+    def test_push_returns_retained(self):
+        queue = TopKQueue(1)
+        assert queue.push(1.0, "a") is True
+        assert queue.push(0.5, "b") is False
+        assert queue.push(2.0, "c") is True
+
+
+class TestTies:
+    def test_earlier_insertion_wins_tie(self):
+        queue = TopKQueue(1)
+        queue.push(1.0, "first")
+        queue.push(1.0, "second")
+        assert queue.items() == ["first"]
+
+    def test_ranked_orders_ties_by_insertion(self):
+        queue = TopKQueue(3)
+        queue.push(1.0, "a")
+        queue.push(1.0, "b")
+        queue.push(1.0, "c")
+        assert queue.items() == ["a", "b", "c"]
+
+    def test_would_accept_is_conservative(self):
+        """Equal-to-threshold scores may displace a retained item when tie
+        keys are in play, so would_accept answers True for them; strictly
+        lower scores are definitively rejected."""
+        queue = TopKQueue(1)
+        queue.push(1.0, "a")
+        assert queue.would_accept(1.0)
+        assert queue.would_accept(1.1)
+        assert not queue.would_accept(0.9)
+
+
+class TestTieKeys:
+    def test_smaller_tie_key_wins_retention(self):
+        queue = TopKQueue(1)
+        queue.push(1.0, "bigger", tie_key=(2,))
+        assert queue.push(1.0, "smaller", tie_key=(1,)) is True
+        assert queue.items() == ["smaller"]
+
+    def test_larger_tie_key_rejected(self):
+        queue = TopKQueue(1)
+        queue.push(1.0, "small", tie_key=(1,))
+        assert queue.push(1.0, "big", tie_key=(2,)) is False
+        assert queue.items() == ["small"]
+
+    def test_ranked_orders_by_tie_key(self):
+        queue = TopKQueue(3)
+        queue.push(1.0, "c", tie_key=(3,))
+        queue.push(1.0, "a", tie_key=(1,))
+        queue.push(1.0, "b", tie_key=(2,))
+        assert queue.items() == ["a", "b", "c"]
+
+    def test_retention_independent_of_insertion_order(self):
+        """The property the search engines rely on: the retained set for
+        tied scores depends only on tie keys, not enumeration order."""
+        import itertools
+
+        entries = [((1,), "a"), ((2,), "b"), ((3,), "c")]
+        expected = None
+        for permutation in itertools.permutations(entries):
+            queue = TopKQueue(2)
+            for tie_key, name in permutation:
+                queue.push(1.0, name, tie_key=tie_key)
+            if expected is None:
+                expected = queue.items()
+            assert queue.items() == expected == ["a", "b"]
+
+    def test_score_still_dominates(self):
+        queue = TopKQueue(1)
+        queue.push(1.0, "low", tie_key=(1,))
+        queue.push(2.0, "high", tie_key=(9,))
+        assert queue.items() == ["high"]
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=50),
+    st.integers(min_value=1, max_value=10),
+)
+def test_matches_sorted_reference(scores, k):
+    """The queue retains exactly the k largest scores."""
+    queue = TopKQueue(k)
+    for i, score in enumerate(scores):
+        queue.push(score, i)
+    expected = sorted(scores, reverse=True)[:k]
+    assert [s for s, _item in queue.ranked()] == expected
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50),
+    st.integers(min_value=1, max_value=8),
+)
+def test_threshold_is_kth_best(scores, k):
+    queue = TopKQueue(k)
+    for i, score in enumerate(scores):
+        queue.push(score, i)
+    if len(scores) >= k:
+        assert queue.threshold() == sorted(scores, reverse=True)[k - 1]
+    else:
+        assert queue.threshold() == float("-inf")
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), max_size=40))
+def test_tie_break_is_first_seen(values):
+    """With many ties, retained payloads are the earliest pushed ones."""
+    queue = TopKQueue(3)
+    for i, value in enumerate(values):
+        queue.push(float(value), i)
+    ranked = queue.ranked()
+    # Reference: stable sort by (-score, index).
+    expected = sorted(
+        ((float(v), i) for i, v in enumerate(values)),
+        key=lambda pair: (-pair[0], pair[1]),
+    )[: min(3, len(values))]
+    assert ranked == expected
