@@ -4,12 +4,21 @@ Paper numbers (1.89M-entity Wiki, C#): 43 s / 229 MB at d=2 rising to
 7,011 s / 34 GB at d=4 — super-linear growth in d.  These benches measure
 the same build at bench scale; the d=4 point uses a smaller graph, as the
 blow-up is the phenomenon itself.
+
+Beyond build seconds, each point records the figures that the columnar
+posting store is meant to improve: peak build memory (``tracemalloc``),
+the store's resident byte footprint, the serialized v2 index size, and
+the path-dedup ratio — so BENCH_*.json captures the dedup win alongside
+the timing.
 """
+
+import tracemalloc
 
 import pytest
 
 from repro.datasets.wiki import WikiConfig, generate_wiki_graph
 from repro.index.builder import build_indexes
+from repro.index.serialize import save_indexes
 from repro.kg.pagerank import pagerank
 
 SMALL_WIKI = WikiConfig(
@@ -28,7 +37,9 @@ def small_pagerank(small_graph):
 
 
 @pytest.mark.parametrize("d", [2, 3, 4])
-def test_index_construction(benchmark, small_graph, small_pagerank, d):
+def test_index_construction(
+    benchmark, small_graph, small_pagerank, d, tmp_path
+):
     indexes = benchmark.pedantic(
         build_indexes,
         args=(small_graph,),
@@ -39,6 +50,24 @@ def test_index_construction(benchmark, small_graph, small_pagerank, d):
     assert indexes.num_entries > 0
     benchmark.extra_info["entries"] = indexes.num_entries
     benchmark.extra_info["patterns"] = indexes.num_patterns
+
+    # One instrumented build outside the timing loop: peak allocation.
+    tracemalloc.start()
+    measured = build_indexes(
+        small_graph, d=d, pagerank_scores=small_pagerank
+    )
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    benchmark.extra_info["build_peak_bytes"] = peak
+
+    benchmark.extra_info["unique_paths"] = measured.store.num_paths
+    benchmark.extra_info["dedup_ratio"] = round(
+        measured.store.dedup_ratio(), 4
+    )
+    benchmark.extra_info["store_bytes"] = measured.store.nbytes()
+    benchmark.extra_info["serialized_bytes"] = save_indexes(
+        measured, tmp_path / f"fig06_d{d}.idx"
+    )
 
 
 def test_pagerank_precompute(benchmark, small_graph):

@@ -49,6 +49,17 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_store_line(indexes) -> str:
+    """One line on the columnar store: dedup ratio and byte footprint."""
+    store = indexes.store
+    return (
+        f"store: {store.num_postings()} postings over "
+        f"{store.num_paths} unique paths "
+        f"({store.dedup_ratio():.2f}x dedup), "
+        f"{store.nbytes() / 1e6:.1f} MB columnar"
+    )
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     indexes = load_indexes(args.index)
     engine = TableAnswerEngine(indexes.graph, indexes=indexes)
@@ -80,6 +91,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     indexes = load_indexes(args.index)
     print(compute_statistics(indexes.graph).format())
     print(index_statistics(indexes).format())
+    print(_format_store_line(indexes))
     return 0
 
 

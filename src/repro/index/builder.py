@@ -2,13 +2,16 @@
 
 For each node ``r`` and each simple path ``p`` from ``r`` with at most
 ``d`` nodes, every word contained at the path's endpoint (node text or node
-type) yields a node-matched entry, and every word contained in the path's
-final attribute type yields an edge-matched entry.  Each entry is inserted
-into both the pattern-first and the root-first index (the same
-:class:`PathEntry` object is shared between them).
+type) yields a node-matched posting, and every word contained in the path's
+final attribute type yields an edge-matched posting.  The physical path is
+interned **once** into the shared columnar
+:class:`~repro.index.store.PostingStore`; the pattern-first and root-first
+indexes are views over that single store, so nothing is stored twice.
 
 Score terms (path size, matched node's PageRank, keyword similarity) are
-precomputed here and stored with the entry, as Section 3 prescribes.
+precomputed here and stored with the posting, as Section 3 prescribes —
+the path-level terms (size, PageRank) live in the path columns, the
+word-level term (similarity) with each posting.
 """
 
 from __future__ import annotations
@@ -19,8 +22,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.errors import PathIndexError, QueryError
 from repro.core.types import Keyword
-from repro.index.entry import PathEntry
 from repro.index.interner import PatternInterner
+from repro.index.store import PostingStore
 from repro.index.lexicon import GraphLexicon
 from repro.index.path_enum import interleaved_labels, iter_paths_from
 from repro.index.pattern_first import PatternFirstIndex
@@ -60,7 +63,14 @@ class PathIndexes:
     pagerank_scores: List[float]
     build_seconds: float = 0.0
     synonyms: Optional[SynonymTable] = None
+    store: Optional[PostingStore] = None
     _notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Both views always share one store; default to the views' store so
+        # hand-constructed bundles keep working.
+        if self.store is None:
+            self.store = self.root_first.store
 
     def resolve_query(self, query) -> Tuple[Keyword, ...]:
         """Parse and canonicalize a query against this index's vocabulary.
@@ -93,8 +103,13 @@ class PathIndexes:
 
     @property
     def num_entries(self) -> int:
-        """Stored path postings (per index; both hold the same entries)."""
+        """Stored path postings (per index; both view the same store)."""
         return self.root_first.num_entries()
+
+    @property
+    def num_unique_paths(self) -> int:
+        """Distinct physical paths interned in the shared store."""
+        return self.store.num_paths
 
     @property
     def num_patterns(self) -> int:
@@ -146,8 +161,9 @@ def build_indexes(
         )
 
     interner = PatternInterner()
-    pattern_first = PatternFirstIndex(interner)
-    root_first = RootFirstIndex(interner)
+    store = PostingStore(interner)
+    pattern_first = PatternFirstIndex(interner, store)
+    root_first = RootFirstIndex(interner, store)
 
     root_iter = graph.nodes() if roots is None else roots
     for root in root_iter:
@@ -158,19 +174,17 @@ def build_indexes(
             if node_word_sims:
                 pid = interner.intern(labels, ends_at_edge=False)
                 pr = pagerank_scores[endpoint]
+                path_id = store.append_path(nodes, attrs, False, pid, pr)
                 for word, sim in node_word_sims:
-                    entry = PathEntry(nodes, attrs, False, pr, sim)
-                    pattern_first.add(word, pid, entry)
-                    root_first.add(word, pid, entry)
+                    store.add_posting(word, path_id, sim)
             if attrs:
                 attr_word_sims = lexicon.attr_matches(attrs[-1])
                 if attr_word_sims:
                     pid = interner.intern(labels[:-1], ends_at_edge=True)
                     pr = pagerank_scores[nodes[-2]]
+                    path_id = store.append_path(nodes, attrs, True, pid, pr)
                     for word, sim in attr_word_sims:
-                        entry = PathEntry(nodes, attrs, True, pr, sim)
-                        pattern_first.add(word, pid, entry)
-                        root_first.add(word, pid, entry)
+                        store.add_posting(word, path_id, sim)
 
     pattern_first.finalize()
     root_first.finalize()
@@ -185,4 +199,5 @@ def build_indexes(
         pagerank_scores=list(pagerank_scores),
         build_seconds=time.perf_counter() - started,
         synonyms=synonyms,
+        store=store,
     )

@@ -1,10 +1,17 @@
-"""The path entry: the unit stored in both path indexes.
+"""The path entry: the materialized view of one stored path posting.
 
 One entry materializes one root-to-keyword path (Section 3): the node chain
 from the root, the attribute ids of its edges, whether the keyword matched
 the final edge rather than the final node, and the precomputed score terms
 (PageRank of the matched node and keyword similarity; the path size is the
 length of the node chain).
+
+Since the columnar-store refactor, entries are *flyweights*: the physical
+path columns live once in :class:`~repro.index.store.PostingStore` and a
+``PathEntry`` is reconstructed lazily when an enumeration loop actually
+needs the node chain.  Being a ``NamedTuple``, equality and hashing are by
+value, so reconstructed entries behave exactly like the originals in sets,
+dict keys, and comparisons.
 """
 
 from __future__ import annotations
@@ -38,6 +45,17 @@ class PathEntry(NamedTuple):
     def size(self) -> int:
         """|T(w)| — number of nodes on the path."""
         return len(self.nodes)
+
+    def physical_key(
+        self,
+    ) -> Tuple[Tuple[NodeId, ...], Tuple[AttrId, ...], bool]:
+        """The path-interning identity: everything except the score terms.
+
+        Two postings with equal physical keys share one stored path in the
+        columnar store (they may still carry different ``sim`` terms for
+        different keywords).
+        """
+        return (self.nodes, self.attrs, self.matched_on_edge)
 
     def components(self) -> PathComponents:
         return PathComponents(size=len(self.nodes), pr=self.pr, sim=self.sim)

@@ -29,7 +29,6 @@ from typing import Optional
 from repro.core.errors import PathIndexError
 from repro.core.types import AttrId, NodeId
 from repro.index.builder import PathIndexes
-from repro.index.entry import PathEntry
 from repro.index.path_enum import (
     interleaved_labels,
     iter_paths_from,
@@ -59,10 +58,9 @@ def add_entity(
     if word_sims:
         labels = (graph.node_type(node),)
         pid = indexes.interner.intern(labels, ends_at_edge=False)
+        path_id = indexes.store.add_path((node,), (), False, pid, pagerank)
         for word, sim in word_sims:
-            entry = PathEntry((node,), (), False, pagerank, sim)
-            indexes.pattern_first.add(word, pid, entry)
-            indexes.root_first.add(word, pid, entry)
+            indexes.store.add_posting(word, path_id, sim)
         indexes.pattern_first.finalize()
         indexes.root_first.finalize()
     return node
@@ -93,6 +91,7 @@ def add_relationship(
     lexicon = indexes.lexicon
     ranks = indexes.pagerank_scores
     interner = indexes.interner
+    store = indexes.store
     added = 0
 
     # All new bounded simple paths traverse the new edge exactly once and
@@ -114,19 +113,17 @@ def add_relationship(
             if node_word_sims:
                 pid = interner.intern(labels, ends_at_edge=False)
                 pr = ranks[endpoint]
+                path_id = store.add_path(nodes, attrs, False, pid, pr)
                 for word, sim in node_word_sims:
-                    entry = PathEntry(nodes, attrs, False, pr, sim)
-                    indexes.pattern_first.add(word, pid, entry)
-                    indexes.root_first.add(word, pid, entry)
+                    store.add_posting(word, path_id, sim)
                     added += 1
             attr_word_sims = lexicon.attr_matches(attrs[-1])
             if attr_word_sims:
                 pid = interner.intern(labels[:-1], ends_at_edge=True)
                 pr = ranks[nodes[-2]]
+                path_id = store.add_path(nodes, attrs, True, pid, pr)
                 for word, sim in attr_word_sims:
-                    entry = PathEntry(nodes, attrs, True, pr, sim)
-                    indexes.pattern_first.add(word, pid, entry)
-                    indexes.root_first.add(word, pid, entry)
+                    store.add_posting(word, path_id, sim)
                     added += 1
     if added:
         indexes.pattern_first.finalize()

@@ -7,6 +7,7 @@ tree-pattern dictionary keys cheap tuple-of-int operations.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Tuple
 
 from repro.core.errors import PathIndexError
@@ -53,3 +54,42 @@ class PatternInterner:
 
     def __contains__(self, pattern: PathPattern) -> bool:
         return (pattern.labels, pattern.ends_at_edge) in self._ids
+
+    # ---------------------------------------------------------- persistence
+
+    def to_payload(self) -> Dict[str, bytes]:
+        """Columnar serialization: label chains flattened with offsets.
+
+        Part of the FORMAT_VERSION 2 envelope (``docs/index-format.md``);
+        avoids pickling one :class:`PathPattern` object per pattern.
+        """
+        offsets = array("q", [0])
+        labels = array("i")
+        flags = array("b")
+        for pattern in self._patterns:
+            labels.extend(pattern.labels)
+            offsets.append(len(labels))
+            flags.append(1 if pattern.ends_at_edge else 0)
+        return {
+            "offsets": offsets.tobytes(),
+            "labels": labels.tobytes(),
+            "flags": flags.tobytes(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, bytes]) -> "PatternInterner":
+        """Rebuild an interner from :meth:`to_payload` output.
+
+        Pattern ids are positional, so the bijection is restored exactly.
+        """
+        offsets = array("q")
+        offsets.frombytes(payload["offsets"])
+        labels = array("i")
+        labels.frombytes(payload["labels"])
+        flags = array("b")
+        flags.frombytes(payload["flags"])
+        interner = cls()
+        for i, flag in enumerate(flags):
+            chain = tuple(labels[offsets[i]:offsets[i + 1]])
+            interner.intern(chain, ends_at_edge=bool(flag))
+        return interner

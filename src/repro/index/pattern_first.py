@@ -10,89 +10,120 @@ grouped by *pattern first, then root*.  Access methods follow the paper:
 PATTERNENUM (Algorithm 2) additionally needs patterns grouped by their root
 *type* (line 3, ``Patterns_C(w)``); that grouping is precomputed in
 :meth:`PatternFirstIndex.finalize`.
+
+Since the columnar-store refactor this class is a thin *view*: postings
+live in one shared :class:`~repro.index.store.PostingStore` (also behind
+:class:`~repro.index.root_first.RootFirstIndex`), and the nested dicts
+here hold only shared :class:`~repro.index.store.PostingList` flyweights,
+rebuilt lazily whenever the store has grown.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.types import NodeId, PatternId, TypeId
 from repro.index.entry import PathEntry
 from repro.index.interner import PatternInterner
+from repro.index.store import PostingList, PostingStore
 
 _EMPTY_DICT: Dict = {}
 _EMPTY_LIST: List = []
 
 
 class PatternFirstIndex:
-    """word -> pattern -> root -> [PathEntry] with paper-named accessors."""
+    """word -> pattern -> root -> postings with paper-named accessors."""
 
-    def __init__(self, interner: PatternInterner) -> None:
+    def __init__(
+        self,
+        interner: PatternInterner,
+        store: Optional[PostingStore] = None,
+    ) -> None:
+        """Create a view over ``store`` (or a private store when omitted).
+
+        Pass the same store to :class:`~repro.index.root_first.\
+RootFirstIndex` to share every posting between the two indexes.
+        """
         self.interner = interner
-        self._data: Dict[str, Dict[PatternId, Dict[NodeId, List[PathEntry]]]] = {}
+        self.store = store if store is not None else PostingStore(interner)
+        self._data: Dict[str, Dict[PatternId, Mapping[NodeId, PostingList]]] = {}
         self._by_root_type: Dict[str, Dict[TypeId, List[PatternId]]] = {}
-        self._finalized = False
+        self._built_version = -1
 
     # -------------------------------------------------------------- building
 
     def add(self, word: str, pid: PatternId, entry: PathEntry) -> None:
-        by_pattern = self._data.get(word)
-        if by_pattern is None:
-            by_pattern = self._data[word] = {}
-        by_root = by_pattern.get(pid)
-        if by_root is None:
-            by_root = by_pattern[pid] = {}
-        entries = by_root.get(entry.nodes[0])
-        if entries is None:
-            by_root[entry.nodes[0]] = [entry]
-        else:
-            entries.append(entry)
-        self._finalized = False
+        """Insert one posting (interning its path) into the backing store.
+
+        When the store is shared with a root-first view, add through the
+        store (or through exactly one view) — the posting is visible to
+        both sides.
+        """
+        self.store.add_entry(word, pid, entry)
 
     def finalize(self) -> None:
-        """Sort postings and precompute the per-root-type pattern grouping.
+        """(Re)build the nested view dicts from the store's grouping.
 
         Sorting (patterns by id, roots ascending, paths lexicographically)
         matches the paper's "sort and store paths sequentially in memory"
-        and makes every downstream iteration order deterministic.
+        and makes every downstream iteration order deterministic.  Cheap
+        when nothing changed; safe to call repeatedly.
         """
-        for word, by_pattern in self._data.items():
-            sorted_patterns = dict(sorted(by_pattern.items()))
-            for pid, by_root in sorted_patterns.items():
-                sorted_roots = dict(sorted(by_root.items()))
-                for entries in sorted_roots.values():
-                    entries.sort(key=lambda e: (e.nodes, e.attrs))
-                sorted_patterns[pid] = sorted_roots
-            self._data[word] = sorted_patterns
+        store = self.store
+        if self._built_version == store.version:
+            return
+        data = store.pattern_view()  # shared with the store, not copied
+        by_root_type: Dict[str, Dict[TypeId, List[PatternId]]] = {}
+        for word, by_pattern in data.items():
             grouping: Dict[TypeId, List[PatternId]] = {}
-            for pid in sorted_patterns:
+            for pid in by_pattern:
                 root_type = self.interner.pattern(pid).root_type
                 grouping.setdefault(root_type, []).append(pid)
-            self._by_root_type[word] = grouping
-        self._finalized = True
+            by_root_type[word] = grouping
+        self._data = data
+        self._by_root_type = by_root_type
+        self._built_version = store.version
+
+    def _ensure(self) -> None:
+        if self._built_version != self.store.version:
+            self.finalize()
 
     # ------------------------------------------------------------- accessors
 
     def words(self) -> Iterable[str]:
-        return self._data.keys()
+        return self.store.words()
 
     def has_word(self, word: str) -> bool:
-        return word in self._data
+        return self.store.has_word(word)
 
     def patterns(self, word: str) -> Sequence[PatternId]:
         """Patterns(w): all path patterns reaching ``w``."""
+        self._ensure()
         return list(self._data.get(word, _EMPTY_DICT).keys())
 
-    def roots(self, word: str, pid: PatternId) -> Dict[NodeId, List[PathEntry]]:
+    def roots(self, word: str, pid: PatternId) -> Mapping[NodeId, PostingList]:
         """Roots(w, P) as a root -> entries mapping (keys are the roots).
 
         Returning the mapping rather than a key list lets callers intersect
         root sets and fetch paths without a second lookup.
         """
+        self._ensure()
         return self._data.get(word, _EMPTY_DICT).get(pid, _EMPTY_DICT)
 
-    def paths(self, word: str, pid: PatternId, root: NodeId) -> List[PathEntry]:
+    def paths(
+        self, word: str, pid: PatternId, root: NodeId
+    ) -> Sequence[PathEntry]:
         """Paths(w, P, r)."""
+        self._ensure()
         return (
             self._data.get(word, _EMPTY_DICT)
             .get(pid, _EMPTY_DICT)
@@ -103,34 +134,30 @@ class PatternFirstIndex:
         self, word: str, root_type: TypeId
     ) -> Sequence[PatternId]:
         """Patterns_C(w): patterns whose root has type ``root_type``."""
-        if not self._finalized:
-            self.finalize()
+        self._ensure()
         return self._by_root_type.get(word, _EMPTY_DICT).get(
             root_type, _EMPTY_LIST
         )
 
     def root_types(self, word: str) -> Set[TypeId]:
         """All root types among ``word``'s patterns."""
-        if not self._finalized:
-            self.finalize()
+        self._ensure()
         return set(self._by_root_type.get(word, _EMPTY_DICT).keys())
 
     # ------------------------------------------------------------------ size
 
-    def num_entries(self, word: str = None) -> int:
-        """Total stored paths (optionally for one word): the S_i of Thm 3/4."""
-        words = [word] if word is not None else list(self._data)
-        total = 0
-        for w in words:
-            for by_root in self._data.get(w, _EMPTY_DICT).values():
-                for entries in by_root.values():
-                    total += len(entries)
-        return total
+    def num_entries(self, word: Optional[str] = None) -> int:
+        """Total stored postings (optionally for one word): S_i of Thm 3/4.
+
+        O(1) per word — read from the store's posting columns.
+        """
+        return self.store.num_postings(word)
 
     def iter_entries(self) -> Iterable[Tuple[str, PatternId, PathEntry]]:
-        """Every (word, pattern, entry) triple — used by stats/serialization."""
+        """Every (word, pattern, entry) triple — used by stats/tests."""
+        self._ensure()
         for word, by_pattern in self._data.items():
             for pid, by_root in by_pattern.items():
-                for entries in by_root.values():
-                    for entry in entries:
+                for postings in by_root.values():
+                    for entry in postings:
                         yield word, pid, entry

@@ -10,94 +10,120 @@ Access methods follow the paper:
 
 ``Paths(w, r)`` counts are precomputed: Algorithm 4 (line 4) needs
 ``N_R = sum_r prod_i |Paths(w_i, r)|`` *without* enumerating the paths.
+
+Since the columnar-store refactor this class is a thin *view*: postings
+live in one shared :class:`~repro.index.store.PostingStore` (also behind
+:class:`~repro.index.pattern_first.PatternFirstIndex`), the leaf posting
+lists here are the *same* :class:`~repro.index.store.PostingList` objects
+as the pattern-first view's, and count probes (``path_count``,
+``num_entries``) read the store's columns without materializing a single
+:class:`~repro.index.entry.PathEntry`.
 """
 
 from __future__ import annotations
 
 from itertools import chain
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.types import NodeId, PatternId
 from repro.index.entry import PathEntry
 from repro.index.interner import PatternInterner
+from repro.index.store import PostingList, PostingStore
 
 _EMPTY_DICT: Dict = {}
-_EMPTY_LIST: List = []
+_EMPTY_LIST: list = []
 
 
 class RootFirstIndex:
-    """word -> root -> pattern -> [PathEntry] with paper-named accessors."""
+    """word -> root -> pattern -> postings with paper-named accessors."""
 
-    def __init__(self, interner: PatternInterner) -> None:
+    def __init__(
+        self,
+        interner: PatternInterner,
+        store: Optional[PostingStore] = None,
+    ) -> None:
+        """Create a view over ``store`` (or a private store when omitted).
+
+        Pass the same store to :class:`~repro.index.pattern_first.\
+PatternFirstIndex` to share every posting between the two indexes.
+        """
         self.interner = interner
-        self._data: Dict[str, Dict[NodeId, Dict[PatternId, List[PathEntry]]]] = {}
-        self._counts: Dict[str, Dict[NodeId, int]] = {}
-        self._finalized = False
+        self.store = store if store is not None else PostingStore(interner)
+        self._data: Dict[str, Dict[NodeId, Mapping[PatternId, PostingList]]] = {}
+        self._built_version = -1
 
     # -------------------------------------------------------------- building
 
     def add(self, word: str, pid: PatternId, entry: PathEntry) -> None:
-        by_root = self._data.get(word)
-        if by_root is None:
-            by_root = self._data[word] = {}
-        root = entry.nodes[0]
-        by_pattern = by_root.get(root)
-        if by_pattern is None:
-            by_pattern = by_root[root] = {}
-        entries = by_pattern.get(pid)
-        if entries is None:
-            by_pattern[pid] = [entry]
-        else:
-            entries.append(entry)
-        self._finalized = False
+        """Insert one posting (interning its path) into the backing store.
+
+        When the store is shared with a pattern-first view, add through
+        the store (or through exactly one view) — the posting is visible
+        to both sides.
+        """
+        self.store.add_entry(word, pid, entry)
 
     def finalize(self) -> None:
-        """Sort postings and precompute |Paths(w, r)| counts."""
-        for word, by_root in self._data.items():
-            sorted_roots = dict(sorted(by_root.items()))
-            counts: Dict[NodeId, int] = {}
-            for root, by_pattern in sorted_roots.items():
-                sorted_patterns = dict(sorted(by_pattern.items()))
-                total = 0
-                for entries in sorted_patterns.values():
-                    entries.sort(key=lambda e: (e.nodes, e.attrs))
-                    total += len(entries)
-                sorted_roots[root] = sorted_patterns
-                counts[root] = total
-            self._data[word] = sorted_roots
-            self._counts[word] = counts
-        self._finalized = True
+        """(Re)build the nested view dicts from the store's grouping.
+
+        Roots ascend, patterns ascend within a root, and postings are
+        sorted lexicographically by (nodes, attrs) — the exact
+        pre-refactor order.  Cheap when nothing changed.
+        """
+        store = self.store
+        if self._built_version == store.version:
+            return
+        self._data = store.root_view()  # shared with the store, not copied
+        self._built_version = store.version
+
+    def _ensure(self) -> None:
+        if self._built_version != self.store.version:
+            self.finalize()
 
     # ------------------------------------------------------------- accessors
 
     def words(self) -> Iterable[str]:
-        return self._data.keys()
+        return self.store.words()
 
     def has_word(self, word: str) -> bool:
-        return word in self._data
+        return self.store.has_word(word)
 
-    def roots(self, word: str) -> Dict[NodeId, Dict[PatternId, List[PathEntry]]]:
+    def roots(
+        self, word: str
+    ) -> Mapping[NodeId, Mapping[PatternId, PostingList]]:
         """Roots(w) as a root -> (pattern -> entries) mapping."""
+        self._ensure()
         return self._data.get(word, _EMPTY_DICT)
 
     def patterns(self, word: str, root: NodeId) -> Sequence[PatternId]:
         """Patterns(w, r)."""
+        self._ensure()
         return list(
             self._data.get(word, _EMPTY_DICT).get(root, _EMPTY_DICT).keys()
         )
 
     def pattern_map(
         self, word: str, root: NodeId
-    ) -> Dict[PatternId, List[PathEntry]]:
+    ) -> Mapping[PatternId, PostingList]:
         """Pattern -> entries mapping for one (word, root) pair."""
+        self._ensure()
         return self._data.get(word, _EMPTY_DICT).get(root, _EMPTY_DICT)
 
-    def paths(self, word: str, root: NodeId) -> Iterable[PathEntry]:
+    def paths(self, word: str, root: NodeId) -> Iterator[PathEntry]:
         """Paths(w, r): every path from ``r`` to ``w`` (any pattern).
 
         Implemented, as the paper notes, "by enumerating P and accessing
-        Paths(w, r, P) for each P".
+        Paths(w, r, P) for each P".  Always returns an iterator.
         """
+        self._ensure()
         by_pattern = self._data.get(word, _EMPTY_DICT).get(root)
         if not by_pattern:
             return iter(())
@@ -105,8 +131,9 @@ class RootFirstIndex:
 
     def paths_with_pattern(
         self, word: str, root: NodeId, pid: PatternId
-    ) -> List[PathEntry]:
+    ) -> Sequence[PathEntry]:
         """Paths(w, r, P)."""
+        self._ensure()
         return (
             self._data.get(word, _EMPTY_DICT)
             .get(root, _EMPTY_DICT)
@@ -114,26 +141,19 @@ class RootFirstIndex:
         )
 
     def path_count(self, word: str, root: NodeId) -> int:
-        """|Paths(w, r)| in O(1) (precomputed by :meth:`finalize`)."""
-        if not self._finalized:
-            self.finalize()
-        return self._counts.get(word, _EMPTY_DICT).get(root, 0)
+        """|Paths(w, r)| in O(1) from the store's precomputed counts."""
+        return self.store.root_counts(word).get(root, 0)
 
     # ------------------------------------------------------------------ size
 
-    def num_entries(self, word: str = None) -> int:
-        """Total stored paths (optionally for one word)."""
-        words = [word] if word is not None else list(self._data)
-        total = 0
-        for w in words:
-            for by_pattern in self._data.get(w, _EMPTY_DICT).values():
-                for entries in by_pattern.values():
-                    total += len(entries)
-        return total
+    def num_entries(self, word: Optional[str] = None) -> int:
+        """Total stored postings (optionally for one word) — O(1)."""
+        return self.store.num_postings(word)
 
     def iter_entries(self) -> Iterable[Tuple[str, PatternId, PathEntry]]:
+        self._ensure()
         for word, by_root in self._data.items():
             for by_pattern in by_root.values():
-                for pid, entries in by_pattern.items():
-                    for entry in entries:
+                for pid, postings in by_pattern.items():
+                    for entry in postings:
                         yield word, pid, entry

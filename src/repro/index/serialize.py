@@ -3,40 +3,180 @@
 Index construction dominates query time by orders of magnitude (Figure 6:
 minutes to hours on the paper's hardware), so a production deployment
 builds once and serves many queries.  We persist the whole
-:class:`PathIndexes` bundle — graph included, since entries reference node
-ids that are only meaningful against that exact graph — with pickle plus a
-small versioned envelope to fail loudly on format drift.
+:class:`PathIndexes` bundle — graph included, since postings reference
+node ids that are only meaningful against that exact graph — with a small
+versioned envelope to fail loudly on format drift.
+
+Two on-disk formats exist:
+
+* **FORMAT_VERSION 2** (written): the columnar
+  :class:`~repro.index.store.PostingStore` and the pattern interner are
+  dumped as raw ``array`` bytes (see ``docs/index-format.md``); only the
+  graph/lexicon/normalizer components go through object pickling.  No
+  per-posting Python object is serialized, which makes v2 files a
+  fraction of the v1 size.
+* **FORMAT_VERSION 1** (read-only): the legacy wholesale object-graph
+  pickle of :class:`PathIndexes` with per-entry ``PathEntry`` objects in
+  triply-nested dicts.  v1 files are migrated into a columnar store on
+  load, so old index files keep working.
+
+Saves are crash-safe: bytes are written to a temporary file in the target
+directory and atomically renamed over the destination, so an interrupted
+save can never leave a truncated or corrupt index file behind.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
+from array import array
 from pathlib import Path
 from typing import Union
 
 from repro.core.errors import PathIndexError
 from repro.index.builder import PathIndexes
+from repro.index.interner import PatternInterner
+from repro.index.pattern_first import PatternFirstIndex
+from repro.index.root_first import RootFirstIndex
+from repro.index.store import PostingStore
 
 FORMAT_NAME = "repro-path-index"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+READABLE_VERSIONS = (1, 2)
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file + rename."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
 
 
 def save_indexes(indexes: PathIndexes, path: Union[str, Path]) -> int:
-    """Write indexes to ``path``; returns the byte size written."""
+    """Write indexes to ``path`` (v2, atomic); returns the bytes written."""
+    store = indexes.store
+    if store is None:  # pragma: no cover - PathIndexes always has a store
+        raise PathIndexError("cannot serialize indexes without a store")
     envelope = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "d": indexes.d,
         "num_entries": indexes.num_entries,
-        "payload": indexes,
+        "num_paths": store.num_paths,
+        "graph": indexes.graph,
+        "normalizer": indexes.normalizer,
+        "lexicon": indexes.lexicon,
+        "synonyms": indexes.synonyms,
+        "build_seconds": indexes.build_seconds,
+        "pagerank": array("d", indexes.pagerank_scores).tobytes(),
+        "interner": indexes.interner.to_payload(),
+        "store": store.to_payload(indexes.pagerank_scores),
     }
     data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
-    Path(path).write_bytes(data)
+    try:
+        _atomic_write_bytes(Path(path), data)
+    except OSError as exc:
+        raise PathIndexError(
+            f"cannot write index to {str(path)!r}: {exc}"
+        ) from exc
     return len(data)
 
 
+def _load_v2(path: Path, envelope: dict) -> PathIndexes:
+    """Reassemble a :class:`PathIndexes` from a v2 columnar envelope."""
+    try:
+        interner = PatternInterner.from_payload(envelope["interner"])
+        pagerank = array("d")
+        pagerank.frombytes(envelope["pagerank"])
+        store = PostingStore.from_payload(
+            interner, envelope["store"], pagerank
+        )
+        pattern_first = PatternFirstIndex(interner, store)
+        root_first = RootFirstIndex(interner, store)
+        pattern_first.finalize()
+        root_first.finalize()
+        return PathIndexes(
+            graph=envelope["graph"],
+            d=envelope["d"],
+            normalizer=envelope["normalizer"],
+            lexicon=envelope["lexicon"],
+            interner=interner,
+            pattern_first=pattern_first,
+            root_first=root_first,
+            pagerank_scores=list(pagerank),
+            build_seconds=envelope.get("build_seconds", 0.0),
+            synonyms=envelope.get("synonyms"),
+            store=store,
+        )
+    except KeyError as exc:
+        raise PathIndexError(
+            f"{str(path)!r} v2 envelope is missing field {exc}"
+        ) from exc
+
+
+def _migrate_v1(path: Path, payload: object) -> PathIndexes:
+    """Rebuild a columnar bundle from a legacy object-graph pickle.
+
+    v1 payloads are :class:`PathIndexes` instances whose index attributes
+    hold the pre-columnar layout (``word -> pid -> root -> [PathEntry]``
+    dicts).  Attributes are read through ``__dict__`` so this works
+    regardless of how the index classes have evolved since the file was
+    written.
+    """
+    if not isinstance(payload, PathIndexes):
+        raise PathIndexError(f"{str(path)!r} payload is not PathIndexes")
+    state = payload.__dict__
+    try:
+        interner = state["interner"]
+        legacy_data = state["pattern_first"].__dict__["_data"]
+    except KeyError as exc:
+        raise PathIndexError(
+            f"{str(path)!r} v1 payload is missing attribute {exc}"
+        ) from exc
+    store = PostingStore(interner)
+    for word, by_pattern in legacy_data.items():
+        for pid, by_root in by_pattern.items():
+            for entries in by_root.values():
+                for entry in entries:
+                    store.add_entry(word, pid, entry)
+    pattern_first = PatternFirstIndex(interner, store)
+    root_first = RootFirstIndex(interner, store)
+    pattern_first.finalize()
+    root_first.finalize()
+    return PathIndexes(
+        graph=state["graph"],
+        d=state["d"],
+        normalizer=state["normalizer"],
+        lexicon=state["lexicon"],
+        interner=interner,
+        pattern_first=pattern_first,
+        root_first=root_first,
+        pagerank_scores=state["pagerank_scores"],
+        build_seconds=state.get("build_seconds", 0.0),
+        synonyms=state.get("synonyms"),
+        store=store,
+    )
+
+
 def load_indexes(path: Union[str, Path]) -> PathIndexes:
-    """Load indexes previously written by :func:`save_indexes`."""
+    """Load indexes previously written by :func:`save_indexes`.
+
+    Reads both the current v2 columnar format and legacy v1 object-graph
+    pickles (transparently migrated to the columnar store).
+    """
     path = Path(path)
     if not path.exists():
         raise PathIndexError(f"no such index file: {str(path)!r}")
@@ -46,17 +186,20 @@ def load_indexes(path: Union[str, Path]) -> PathIndexes:
         raise PathIndexError(f"cannot unpickle {str(path)!r}: {exc}") from exc
     if not isinstance(envelope, dict) or envelope.get("format") != FORMAT_NAME:
         raise PathIndexError(f"{str(path)!r} is not a {FORMAT_NAME} file")
-    if envelope.get("version") != FORMAT_VERSION:
+    version = envelope.get("version")
+    if version not in READABLE_VERSIONS:
         raise PathIndexError(
-            f"{str(path)!r} has format version {envelope.get('version')}, "
-            f"this build reads version {FORMAT_VERSION}"
+            f"{str(path)!r} has format version {version}, this build reads "
+            f"versions {READABLE_VERSIONS}"
         )
-    payload = envelope["payload"]
-    if not isinstance(payload, PathIndexes):
-        raise PathIndexError(f"{str(path)!r} payload is not PathIndexes")
-    if payload.num_entries != envelope.get("num_entries"):
+    if version == 1:
+        indexes = _migrate_v1(path, envelope.get("payload"))
+    else:
+        indexes = _load_v2(path, envelope)
+    if indexes.num_entries != envelope.get("num_entries"):
         raise PathIndexError(
             f"{str(path)!r} entry count mismatch: envelope says "
-            f"{envelope.get('num_entries')}, payload has {payload.num_entries}"
+            f"{envelope.get('num_entries')}, payload has "
+            f"{indexes.num_entries}"
         )
-    return payload
+    return indexes

@@ -2,9 +2,14 @@
 
 ``Theorem 2``: both indexes need space ``O(sum_p |p| * |text(p)|)``.  The
 :func:`index_statistics` report includes that theoretical quantity (total
-stored path nodes) alongside an estimated in-memory byte count, so the
-Figure 6 reproduction can report both a machine-independent size metric and
-an engineering one.
+stored path nodes) alongside the columnar store's actual byte footprint
+and its deduplication ratio (postings per stored physical path), so the
+Figure 6 reproduction can report both a machine-independent size metric
+and an engineering one.
+
+All quantities are read straight from the
+:class:`~repro.index.store.PostingStore` columns — no
+:class:`~repro.index.entry.PathEntry` is materialized here.
 """
 
 from __future__ import annotations
@@ -14,12 +19,6 @@ from typing import TYPE_CHECKING, Dict
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.index.builder import PathIndexes
-
-# Rough CPython 64-bit costs used by the byte estimate: a PathEntry
-# (NamedTuple) header, two inner tuples with their headers, one float boxed
-# per entry on average, and two dict slots (pattern-first + root-first).
-_ENTRY_FIXED_BYTES = 56 + 2 * 56 + 2 * 24 + 2 * 80
-_PER_NODE_BYTES = 2 * 8  # one pointer in nodes, amortized one in attrs
 
 
 @dataclass
@@ -34,10 +33,14 @@ class IndexStatistics:
     estimated_bytes: int
     build_seconds: float
     max_postings_per_word: int
+    num_unique_paths: int = 0
+    dedup_ratio: float = 1.0
 
     def format(self) -> str:
         return (
             f"d={self.d}: {self.num_entries} entries, "
+            f"{self.num_unique_paths} unique paths "
+            f"({self.dedup_ratio:.2f}x dedup), "
             f"{self.num_words} words, {self.num_patterns} patterns, "
             f"sum|p|={self.total_path_nodes}, "
             f"~{self.estimated_bytes / 1e6:.1f} MB, "
@@ -46,24 +49,20 @@ class IndexStatistics:
 
 
 def index_statistics(indexes: "PathIndexes") -> IndexStatistics:
-    """Compute :class:`IndexStatistics` for built indexes."""
-    num_entries = 0
-    total_path_nodes = 0
-    per_word: Dict[str, int] = {}
-    for word, _pid, entry in indexes.root_first.iter_entries():
-        num_entries += 1
-        total_path_nodes += len(entry.nodes)
-        per_word[word] = per_word.get(word, 0) + 1
-    estimated = (
-        num_entries * _ENTRY_FIXED_BYTES + total_path_nodes * _PER_NODE_BYTES
-    )
+    """Compute :class:`IndexStatistics` for built indexes — store-native."""
+    store = indexes.store
+    per_word: Dict[str, int] = {
+        word: store.num_postings(word) for word in store.words()
+    }
     return IndexStatistics(
         d=indexes.d,
         num_words=len(per_word),
         num_patterns=indexes.num_patterns,
-        num_entries=num_entries,
-        total_path_nodes=total_path_nodes,
-        estimated_bytes=estimated,
+        num_entries=store.num_postings(),
+        total_path_nodes=store.total_path_nodes(),
+        estimated_bytes=store.nbytes(),
         build_seconds=indexes.build_seconds,
         max_postings_per_word=max(per_word.values(), default=0),
+        num_unique_paths=store.num_paths,
+        dedup_ratio=store.dedup_ratio(),
     )

@@ -1,0 +1,698 @@
+"""The shared columnar posting store behind both path indexes.
+
+Algorithm 1 inserts every root-to-keyword path into *two* indexes
+(pattern-first and root-first), and a path matched by several keywords
+yields one posting per keyword.  Materializing each posting as a
+:class:`~repro.index.entry.PathEntry` inside triply-nested dicts makes
+construction the dominant memory cost (the paper's Figure 6 shows index
+building outweighing querying by orders of magnitude).
+
+:class:`PostingStore` fixes the layout instead of the algorithms:
+
+* each distinct **physical path** ``(nodes, attrs, matched_on_edge)`` is
+  interned exactly once into flat columnar arrays (node chains in one
+  ``array`` with an offsets column, plus per-path pattern id, root,
+  matched-on-edge flag, and PageRank term);
+* each **posting** — one ``(word, path)`` occurrence — is two scalars: the
+  integer path id and the word-specific similarity term.
+
+Both :class:`~repro.index.pattern_first.PatternFirstIndex` and
+:class:`~repro.index.root_first.RootFirstIndex` are thin views over one
+store; their leaf posting lists are shared :class:`PostingList` flyweights
+that reconstruct :class:`PathEntry` tuples lazily (and cache them), so
+count-only probes — ``|Paths(w, r)|``, ``num_entries(w)``, candidate-root
+intersections — never materialize an entry at all.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import PathIndexError
+from repro.core.types import AttrId, NodeId, PatternId
+from repro.index.entry import PathEntry
+from repro.index.interner import PatternInterner
+
+#: Typecodes of the columnar arrays (also the v2 on-disk encoding; see
+#: ``docs/index-format.md``).  ``i`` is a 4-byte C int on every platform
+#: CPython supports, capping node/pattern/path ids at 2**31 - 1.
+ID_TYPECODE = "i"
+OFFSET_TYPECODE = "q"
+FLAG_TYPECODE = "b"
+FLOAT_TYPECODE = "d"
+
+class PostingList(Sequence[PathEntry]):
+    """A flyweight, lazily-materialized sequence of :class:`PathEntry`.
+
+    One leaf of the index views — the postings of one ``(word, pattern,
+    root)`` triple — represented as a *slice* ``[start:stop)`` into the
+    word's sorted posting columns (the paper's "sort and store paths
+    sequentially in memory").  Full entries are reconstructed on first
+    element access and cached, so ``len()`` and emptiness checks stay
+    allocation-free.  The same object is shared by both index views.
+    """
+
+    __slots__ = ("_store", "_ids", "_sims", "_start", "_stop", "_entries")
+
+    def __init__(
+        self,
+        store: "PostingStore",
+        ids: array,
+        sims: array,
+        start: int,
+        stop: int,
+    ) -> None:
+        self._store = store
+        self._ids = ids
+        self._sims = sims
+        self._start = start
+        self._stop = stop
+        self._entries: Optional[List[PathEntry]] = None
+
+    @property
+    def path_ids(self) -> array:
+        """The slice's path-id column.
+
+        O(n) copy out of the word column on every access — hoist it out
+        of loops (or use :meth:`entries`, which caches).
+        """
+        return self._ids[self._start:self._stop]
+
+    @property
+    def sims(self) -> array:
+        """The slice's similarity column (O(n) copy; see ``path_ids``)."""
+        return self._sims[self._start:self._stop]
+
+    def entries(self) -> List[PathEntry]:
+        """The materialized entries (built once, then cached)."""
+        if self._entries is None:
+            make = self._store.make_entry
+            ids = self._ids
+            sims = self._sims
+            self._entries = [
+                make(ids[i], sims[i])
+                for i in range(self._start, self._stop)
+            ]
+        return self._entries
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self) -> Iterator[PathEntry]:
+        entries = self._entries  # avoid a call in the enumeration hot loop
+        return iter(entries if entries is not None else self.entries())
+
+    def __getitem__(self, index):
+        entries = self._entries
+        return (entries if entries is not None else self.entries())[index]
+
+    def __eq__(self, other) -> bool:
+        # Always compare by materialized entry values: path ids are only
+        # meaningful within one store, so an id-level shortcut would make
+        # lists from different stores (e.g. built vs loaded) compare
+        # incorrectly.
+        if isinstance(other, PostingList):
+            return self.entries() == other.entries()
+        if isinstance(other, (list, tuple)):
+            return list(self.entries()) == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(tuple(self.entries()))
+
+    def __repr__(self) -> str:
+        return f"PostingList({len(self)} postings)"
+
+
+#: Per-word grouping: leaves sorted by (pattern id, root).
+WordGroups = List[Tuple[PatternId, NodeId, PostingList]]
+
+
+class PostingStore:
+    """Columnar, deduplicated storage for all path postings.
+
+    Building protocol (what :func:`repro.index.builder.build_indexes` and
+    :mod:`repro.index.incremental` follow)::
+
+        path_id = store.add_path(nodes, attrs, matched_on_edge, pid, pr)
+        store.add_posting(word, path_id, sim)        # once per keyword
+
+    ``add_path`` interns: re-adding an identical physical path returns the
+    existing id without growing the columns.  ``finalize`` groups postings
+    by ``(pattern, root)`` and sorts exactly as the paper prescribes
+    ("sort and store paths sequentially"); the index views read the
+    grouping via :meth:`groups` / :meth:`root_counts`.
+    """
+
+    def __init__(self, interner: PatternInterner) -> None:
+        self.interner = interner
+        # Path interning: (nodes, attrs, matched_on_edge) -> path id.
+        # Built lazily — a fresh Algorithm 1 build never revisits a path
+        # (see append_path), and keeping the key tuples alive would defeat
+        # the columnar layout's memory win.
+        self._path_ids: Optional[
+            Dict[Tuple[Tuple[NodeId, ...], Tuple[AttrId, ...], bool], int]
+        ] = None
+        # Columnar path storage.  Path i's nodes live at
+        # _nodes[_node_offsets[i]:_node_offsets[i+1]]; its attrs always
+        # number one fewer than its nodes, so they share the offsets
+        # column shifted by the path index: _attrs[_node_offsets[i]-i :
+        # _node_offsets[i+1]-(i+1)].
+        self._node_offsets = array(OFFSET_TYPECODE, [0])
+        self._nodes = array(ID_TYPECODE)
+        self._attrs = array(ID_TYPECODE)
+        self._pids = array(ID_TYPECODE)
+        self._roots = array(ID_TYPECODE)
+        self._moe = array(FLAG_TYPECODE)
+        self._prs = array(FLOAT_TYPECODE)
+        # Per-word posting columns; insertion order until finalize() sorts
+        # them in place (by pattern, root, then path order).
+        self._posting_ids: Dict[str, array] = {}
+        self._posting_sims: Dict[str, array] = {}
+        # Derived (finalize) state: the two views' nested dicts, sharing
+        # slice-backed PostingList leaves, plus |Paths(w, r)| counts.
+        self._pattern_view: Dict[
+            str, Dict[PatternId, Dict[NodeId, PostingList]]
+        ] = {}
+        self._root_view: Dict[
+            str, Dict[NodeId, Dict[PatternId, PostingList]]
+        ] = {}
+        self._root_counts: Dict[str, Dict[NodeId, int]] = {}
+        self.version = 0
+        self._finalized_version = -1
+
+    # ------------------------------------------------------------- building
+
+    def _path_index(
+        self,
+    ) -> Dict[Tuple[Tuple[NodeId, ...], Tuple[AttrId, ...], bool], int]:
+        """The interning map, (re)built on demand from the columns."""
+        if self._path_ids is None:
+            self._path_ids = {
+                (
+                    self.path_nodes(path_id),
+                    self.path_attrs(path_id),
+                    bool(self._moe[path_id]),
+                ): path_id
+                for path_id in range(self.num_paths)
+            }
+        return self._path_ids
+
+    def add_path(
+        self,
+        nodes: Tuple[NodeId, ...],
+        attrs: Tuple[AttrId, ...],
+        matched_on_edge: bool,
+        pid: PatternId,
+        pr: float,
+    ) -> int:
+        """Intern one physical path; returns its (possibly existing) id."""
+        key = (nodes, attrs, bool(matched_on_edge))
+        path_id = self._path_index().get(key)
+        if path_id is not None:
+            return path_id
+        return self.append_path(nodes, attrs, matched_on_edge, pid, pr)
+
+    def append_path(
+        self,
+        nodes: Tuple[NodeId, ...],
+        attrs: Tuple[AttrId, ...],
+        matched_on_edge: bool,
+        pid: PatternId,
+        pr: float,
+    ) -> int:
+        """Append a path the caller knows to be new — no intern lookup.
+
+        Algorithm 1 enumerates each bounded simple path exactly once per
+        root, so the bulk build takes this allocation-free fast path; use
+        :meth:`add_path` when novelty is not guaranteed (migration, hand
+        construction).
+        """
+        if len(attrs) != len(nodes) - 1:
+            raise PathIndexError(
+                f"path has {len(nodes)} nodes but {len(attrs)} attrs"
+            )
+        path_id = len(self._pids)
+        self._nodes.extend(nodes)
+        self._attrs.extend(attrs)
+        self._node_offsets.append(len(self._nodes))
+        self._pids.append(pid)
+        self._roots.append(nodes[0])
+        self._moe.append(1 if matched_on_edge else 0)
+        self._prs.append(pr)
+        if self._path_ids is not None:
+            self._path_ids[(nodes, attrs, bool(matched_on_edge))] = path_id
+        return path_id
+
+    def add_entry(self, word: str, pid: PatternId, entry: PathEntry) -> int:
+        """Convenience: intern ``entry``'s path and add its posting."""
+        path_id = self.add_path(
+            entry.nodes, entry.attrs, entry.matched_on_edge, pid, entry.pr
+        )
+        self.add_posting(word, path_id, entry.sim)
+        return path_id
+
+    def add_posting(self, word: str, path_id: int, sim: float) -> None:
+        """Record one (word, path) posting with its similarity term."""
+        ids = self._posting_ids.get(word)
+        if ids is None:
+            ids = self._posting_ids[word] = array(ID_TYPECODE)
+            self._posting_sims[word] = array(FLOAT_TYPECODE)
+        ids.append(path_id)
+        self._posting_sims[word].append(sim)
+        self.version += 1
+
+    # ------------------------------------------------------------ finalizing
+
+    def finalize(self) -> None:
+        """Sort posting columns and build both views' nested groupings.
+
+        Each word's columns are reordered in place by ``(pattern id,
+        root, path order)`` — with path order the lexicographic
+        ``(nodes, attrs)`` ordering, matching the pre-refactor per-index
+        sorts so every downstream iteration order (and therefore every
+        score and tie-break) is unchanged.  Leaves become slices into the
+        sorted columns; the pattern-first and root-first nested dicts are
+        built here once and shared with the view classes.  Idempotent
+        until the next mutation.
+        """
+        if self._finalized_version == self.version:
+            return
+        pids = self._pids
+        roots = self._roots
+        num_paths = self.num_paths
+        # One global (nodes, attrs) ordering of the paths; posting sorts
+        # then compare a single precomputed int per posting — (pattern,
+        # root, path-rank) packed into one machine word — instead of
+        # rebuilding tuples per posting.
+        order = sorted(range(num_paths), key=self.path_sort_key)
+        rank = array(OFFSET_TYPECODE, bytes(8 * num_paths))
+        for position, path_id in enumerate(order):
+            rank[path_id] = position
+        root_span = (max(roots) + 1) if num_paths else 1
+        path_leaf = [
+            pids[i] * root_span + roots[i] for i in range(num_paths)
+        ]
+        rank_span = max(num_paths, 1)
+        path_key = [
+            path_leaf[i] * rank_span + rank[i] for i in range(num_paths)
+        ]
+        pattern_view: Dict[
+            str, Dict[PatternId, Dict[NodeId, PostingList]]
+        ] = {}
+        root_view: Dict[str, Dict[NodeId, Dict[PatternId, PostingList]]] = {}
+        counts: Dict[str, Dict[NodeId, int]] = {}
+        for word, ids in self._posting_ids.items():
+            sims = self._posting_sims[word]
+            n = len(ids)
+            keys = [path_key[path_id] for path_id in ids]
+            permutation = sorted(range(n), key=keys.__getitem__)
+            sorted_ids = array(ID_TYPECODE, (ids[i] for i in permutation))
+            sorted_sims = array(
+                FLOAT_TYPECODE, (sims[i] for i in permutation)
+            )
+            self._posting_ids[word] = sorted_ids
+            self._posting_sims[word] = sorted_sims
+            word_pf: Dict[PatternId, Dict[NodeId, PostingList]] = {}
+            word_counts: Dict[NodeId, int] = {}
+            rf_leaves: List[Tuple[NodeId, PatternId, PostingList]] = []
+            start = 0
+            for stop in range(1, n + 1):
+                if stop < n and (
+                    path_leaf[sorted_ids[stop]]
+                    == path_leaf[sorted_ids[start]]
+                ):
+                    continue
+                pid = pids[sorted_ids[start]]
+                root = roots[sorted_ids[start]]
+                leaf = PostingList(self, sorted_ids, sorted_sims, start, stop)
+                word_pf.setdefault(pid, {})[root] = leaf
+                rf_leaves.append((root, pid, leaf))
+                word_counts[root] = word_counts.get(root, 0) + (stop - start)
+                start = stop
+            pattern_view[word] = word_pf
+            word_rf: Dict[NodeId, Dict[PatternId, PostingList]] = {}
+            rf_leaves.sort(key=lambda leaf: (leaf[0], leaf[1]))
+            for root, pid, leaf in rf_leaves:
+                word_rf.setdefault(root, {})[pid] = leaf
+            root_view[word] = word_rf
+            counts[word] = word_counts
+        self._pattern_view = pattern_view
+        self._root_view = root_view
+        self._root_counts = counts
+        self._finalized_version = self.version
+
+    def pattern_view(
+        self,
+    ) -> Dict[str, Dict[PatternId, Dict[NodeId, PostingList]]]:
+        """word -> pid -> root -> postings (pids and roots ascending)."""
+        self.finalize()
+        return self._pattern_view
+
+    def root_view(
+        self,
+    ) -> Dict[str, Dict[NodeId, Dict[PatternId, PostingList]]]:
+        """word -> root -> pid -> postings (roots and pids ascending)."""
+        self.finalize()
+        return self._root_view
+
+    def groups(self) -> Dict[str, WordGroups]:
+        """word -> [(pattern id, root, posting list)] sorted by (pid, root)."""
+        self.finalize()
+        return {
+            word: [
+                (pid, root, leaf)
+                for pid, by_root in by_pattern.items()
+                for root, leaf in by_root.items()
+            ]
+            for word, by_pattern in self._pattern_view.items()
+        }
+
+    def root_counts(self, word: str) -> Dict[NodeId, int]:
+        """Precomputed |Paths(w, r)| per root for one word."""
+        self.finalize()
+        return self._root_counts.get(word, {})
+
+    # ---------------------------------------------------------- path columns
+
+    @property
+    def num_paths(self) -> int:
+        """Distinct physical paths stored (the dedup denominator)."""
+        return len(self._pids)
+
+    def path_nodes(self, path_id: int) -> Tuple[NodeId, ...]:
+        start = self._node_offsets[path_id]
+        end = self._node_offsets[path_id + 1]
+        return tuple(self._nodes[start:end])
+
+    def path_attrs(self, path_id: int) -> Tuple[AttrId, ...]:
+        start = self._node_offsets[path_id] - path_id
+        end = self._node_offsets[path_id + 1] - (path_id + 1)
+        return tuple(self._attrs[start:end])
+
+    def path_size(self, path_id: int) -> int:
+        """|T(w)| — number of nodes on the path, without materializing it."""
+        return (
+            self._node_offsets[path_id + 1] - self._node_offsets[path_id]
+        )
+
+    def path_root(self, path_id: int) -> NodeId:
+        return self._roots[path_id]
+
+    def path_pattern(self, path_id: int) -> PatternId:
+        return self._pids[path_id]
+
+    def path_pr(self, path_id: int) -> float:
+        return self._prs[path_id]
+
+    def path_matched_on_edge(self, path_id: int) -> bool:
+        return bool(self._moe[path_id])
+
+    def path_sort_key(
+        self, path_id: int
+    ) -> Tuple[Tuple[NodeId, ...], Tuple[AttrId, ...]]:
+        """The paper's "sort paths sequentially" key: (nodes, attrs)."""
+        return (self.path_nodes(path_id), self.path_attrs(path_id))
+
+    def make_entry(self, path_id: int, sim: float) -> PathEntry:
+        """Reconstruct the flyweight :class:`PathEntry` for one posting."""
+        return PathEntry(
+            self.path_nodes(path_id),
+            self.path_attrs(path_id),
+            bool(self._moe[path_id]),
+            self._prs[path_id],
+            sim,
+        )
+
+    # -------------------------------------------------------------- counting
+
+    def words(self) -> Iterable[str]:
+        return self._posting_ids.keys()
+
+    def has_word(self, word: str) -> bool:
+        return word in self._posting_ids
+
+    def num_postings(self, word: Optional[str] = None) -> int:
+        """Total (word, path) postings, optionally for one word — O(1)."""
+        if word is not None:
+            ids = self._posting_ids.get(word)
+            return len(ids) if ids is not None else 0
+        return sum(len(ids) for ids in self._posting_ids.values())
+
+    def total_path_nodes(self) -> int:
+        """``sum_p |p| * |text(p)|`` of Theorem 2, without materialization."""
+        offsets = self._node_offsets
+        total = 0
+        for ids in self._posting_ids.values():
+            for path_id in ids:
+                total += offsets[path_id + 1] - offsets[path_id]
+        return total
+
+    def dedup_ratio(self) -> float:
+        """Postings per stored physical path (>= 1; higher is better)."""
+        if not self._pids:
+            return 1.0
+        return self.num_postings() / len(self._pids)
+
+    def nbytes(self) -> int:
+        """Bytes held by the columnar arrays (paths + raw postings)."""
+        column_bytes = sum(
+            column.itemsize * len(column)
+            for column in (
+                self._node_offsets,
+                self._nodes,
+                self._attrs,
+                self._pids,
+                self._roots,
+                self._moe,
+                self._prs,
+            )
+        )
+        posting_bytes = sum(
+            ids.itemsize * len(ids) + sims.itemsize * len(sims)
+            for ids, sims in zip(
+                self._posting_ids.values(), self._posting_sims.values()
+            )
+        )
+        return column_bytes + posting_bytes
+
+    # --------------------------------------------- store-native hot variants
+
+    def form_tree(self, path_ids: Sequence[int]) -> bool:
+        """Store-native :func:`repro.index.entry.entries_form_tree`.
+
+        Operates directly on the flat columns — no :class:`PathEntry`
+        materialization — with the identical tree-validity rule: all paths
+        share the root, no node acquires two distinct parent edges, and no
+        edge re-enters the root.
+        """
+        offsets = self._node_offsets
+        nodes = self._nodes
+        attrs = self._attrs
+        root = self._roots[path_ids[0]]
+        parent: Dict[NodeId, Tuple[NodeId, AttrId]] = {}
+        for path_id in path_ids:
+            if self._roots[path_id] != root:
+                return False
+            start = offsets[path_id]
+            end = offsets[path_id + 1]
+            attr_start = start - path_id
+            for i in range(end - start - 1):
+                child = nodes[start + i + 1]
+                if child == root:
+                    return False
+                edge = (nodes[start + i], attrs[attr_start + i])
+                existing = parent.get(child)
+                if existing is None:
+                    parent[child] = edge
+                elif existing != edge:
+                    return False
+        return True
+
+    def score_terms(
+        self, path_ids: Sequence[int], sims: Sequence[float]
+    ) -> Tuple[int, float, float]:
+        """Store-native :func:`~repro.index.entry.combination_score_terms`.
+
+        Summed (size, pr, sim) for a subtree given as parallel posting
+        columns (Equations 4-6), skipping entry materialization.
+        """
+        offsets = self._node_offsets
+        prs = self._prs
+        size = 0
+        pr = 0.0
+        for path_id in path_ids:
+            size += offsets[path_id + 1] - offsets[path_id]
+            pr += prs[path_id]
+        return size, pr, sum(sims)
+
+    def matched_node(self, path_id: int) -> NodeId:
+        """The node whose PageRank is the path's ``pr`` term.
+
+        The path's endpoint for node matches; the edge's source (the
+        second-to-last node) for edge matches.
+        """
+        end = self._node_offsets[path_id + 1]
+        return self._nodes[end - 2 if self._moe[path_id] else end - 1]
+
+    # ---------------------------------------------------------- persistence
+
+    def to_payload(
+        self, pagerank_scores: Optional[Sequence[float]] = None
+    ) -> Dict[str, object]:
+        """Compact serialization payload: raw array bytes, no object graph.
+
+        Derivable columns are elided (see ``docs/index-format.md``):
+
+        * ``node_offsets`` is stored as per-path *lengths* (2 bytes each);
+        * ``roots`` is dropped — it is each path's first node;
+        * ``prs`` is dropped whenever it matches
+          ``pagerank_scores[matched_node]`` for every path (always true
+          for builder/incremental-produced stores), since the bundle
+          serializes the PageRank vector anyway;
+        * ``sims`` are dictionary-encoded (distinct similarity values are
+          few: Jaccard terms ``1/|token set|``) as 2-byte codes when the
+          value dictionary fits.
+
+        :meth:`from_payload` inverts all of this.
+        """
+        offsets = self._node_offsets
+        lengths = array("H")
+        max_len = 65535
+        for path_id in range(self.num_paths):
+            size = offsets[path_id + 1] - offsets[path_id]
+            if size > max_len:  # pragma: no cover - paths are d-bounded
+                raise PathIndexError(
+                    f"path {path_id} has {size} nodes; cannot serialize"
+                )
+            lengths.append(size)
+
+        prs: Optional[bytes] = self._prs.tobytes()
+        if pagerank_scores is not None:
+            n = len(pagerank_scores)
+            if all(
+                (node := self.matched_node(i)) < n
+                and self._prs[i] == pagerank_scores[node]
+                for i in range(self.num_paths)
+            ):
+                prs = None
+
+        sim_values: Optional[bytes]
+        sim_columns: List[bytes]
+        distinct = sorted(
+            {sim for sims in self._posting_sims.values() for sim in sims}
+        )
+        if len(distinct) <= 65535:
+            codes = {value: code for code, value in enumerate(distinct)}
+            sim_values = array(FLOAT_TYPECODE, distinct).tobytes()
+            sim_columns = [
+                array("H", (codes[sim] for sim in sims)).tobytes()
+                for sims in self._posting_sims.values()
+            ]
+        else:  # pragma: no cover - requires >65535 distinct similarities
+            sim_values = None
+            sim_columns = [
+                sims.tobytes() for sims in self._posting_sims.values()
+            ]
+        return {
+            "typecodes": {
+                "id": ID_TYPECODE,
+                "flag": FLAG_TYPECODE,
+                "float": FLOAT_TYPECODE,
+            },
+            "num_paths": self.num_paths,
+            "path_lengths": lengths.tobytes(),
+            "nodes": self._nodes.tobytes(),
+            "attrs": self._attrs.tobytes(),
+            "pids": self._pids.tobytes(),
+            "moe": self._moe.tobytes(),
+            "prs": prs,
+            "words": list(self._posting_ids.keys()),
+            "posting_ids": [
+                ids.tobytes() for ids in self._posting_ids.values()
+            ],
+            "sim_values": sim_values,
+            "posting_sims": sim_columns,
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        interner: PatternInterner,
+        payload: Dict[str, object],
+        pagerank_scores: Optional[Sequence[float]] = None,
+    ) -> "PostingStore":
+        """Rebuild a store from :meth:`to_payload` output.
+
+        ``pagerank_scores`` is required to reconstruct the elided ``prs``
+        column when the payload omitted it.
+        """
+        store = cls(interner)
+
+        def column(typecode: str, raw) -> array:
+            out = array(typecode)
+            out.frombytes(raw)
+            return out
+
+        lengths = column("H", payload["path_lengths"])
+        store._nodes = column(ID_TYPECODE, payload["nodes"])
+        store._attrs = column(ID_TYPECODE, payload["attrs"])
+        store._pids = column(ID_TYPECODE, payload["pids"])
+        store._moe = column(FLAG_TYPECODE, payload["moe"])
+        offset = 0
+        for size in lengths:
+            offset += size
+            store._node_offsets.append(offset)
+        if (
+            len(lengths) != len(store._pids)
+            or store._node_offsets[-1] != len(store._nodes)
+            or len(store._attrs) != len(store._nodes) - len(lengths)
+            or len(store._moe) != len(lengths)
+        ):
+            raise PathIndexError(
+                "corrupt posting store payload: column sizes disagree "
+                f"({len(lengths)} paths, {len(store._nodes)} nodes, "
+                f"{len(store._attrs)} attrs)"
+            )
+        store._roots = array(
+            ID_TYPECODE,
+            (
+                store._nodes[store._node_offsets[i]]
+                for i in range(len(lengths))
+            ),
+        )
+        prs_raw = payload.get("prs")
+        if prs_raw is not None:
+            store._prs = column(FLOAT_TYPECODE, prs_raw)
+        else:
+            if pagerank_scores is None:
+                raise PathIndexError(
+                    "payload elides the pr column; pagerank_scores required"
+                )
+            store._prs = array(
+                FLOAT_TYPECODE,
+                (
+                    pagerank_scores[store.matched_node(i)]
+                    for i in range(len(lengths))
+                ),
+            )
+        sim_values_raw = payload.get("sim_values")
+        sim_values = (
+            column(FLOAT_TYPECODE, sim_values_raw)
+            if sim_values_raw is not None
+            else None
+        )
+        for word, ids_raw, sims_raw in zip(
+            payload["words"], payload["posting_ids"], payload["posting_sims"]
+        ):
+            store._posting_ids[word] = column(ID_TYPECODE, ids_raw)
+            if sim_values is not None:
+                codes = column("H", sims_raw)
+                store._posting_sims[word] = array(
+                    FLOAT_TYPECODE, (sim_values[code] for code in codes)
+                )
+            else:  # pragma: no cover - raw-sims fallback
+                store._posting_sims[word] = column(FLOAT_TYPECODE, sims_raw)
+            store.version += 1
+        return store

@@ -202,7 +202,11 @@ class TableAnswerEngine:
         return count_answers(self.indexes, query)
 
     def explain(self, query) -> Dict[str, object]:
-        """Diagnostic summary: resolved keywords and per-word index reach."""
+        """Diagnostic summary: resolved keywords and per-word index reach.
+
+        Per-word posting counts and the index-level dedup figures are read
+        from the columnar store without materializing any path entry.
+        """
         words = self.indexes.resolve_query(query)
         report: Dict[str, object] = {"keywords": words}
         per_word = {}
@@ -213,4 +217,11 @@ class TableAnswerEngine:
                 "patterns": len(self.indexes.pattern_first.patterns(word)),
             }
         report["per_word"] = per_word
+        store = self.indexes.store
+        report["index"] = {
+            "postings": store.num_postings(),
+            "unique_paths": store.num_paths,
+            "dedup_ratio": store.dedup_ratio(),
+            "store_bytes": store.nbytes(),
+        }
         return report

@@ -10,7 +10,7 @@ loop; PATTERNENUM inlines a pattern-major variant of it.
 from __future__ import annotations
 
 from itertools import product
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, List, Mapping, Sequence, Tuple
 
 from repro.index.entry import (
     PathEntry,
@@ -31,8 +31,10 @@ def combo_score(
 
 #: Per-keyword map from a pattern key to that keyword's paths at this root.
 #: Keys are interned PatternIds for index-backed callers and raw
-#: (labels, flag) tuples for the baseline; the loop is agnostic.
-PatternMap = Dict[object, List[PathEntry]]
+#: (labels, flag) tuples for the baseline; values are plain lists for the
+#: baseline and lazy :class:`~repro.index.store.PostingList` flyweights for
+#: index-backed callers — the loop is agnostic to both.
+PatternMap = Mapping[object, Sequence[PathEntry]]
 
 #: sink(pattern_key_combo, entry_combo) -> None
 Sink = Callable[[Tuple[object, ...], Tuple[PathEntry, ...]], None]
@@ -74,7 +76,7 @@ def expand_root(
 
 
 def join_pattern_roots(
-    root_maps: Sequence[Dict[int, List[PathEntry]]],
+    root_maps: Sequence[Mapping[int, Sequence[PathEntry]]],
     scoring: ScoringFunction,
     keep_subtrees: bool,
     stats: SearchStats,

@@ -166,3 +166,30 @@ def test_answers_respect_definitions(graph_and_query):
                         indexes.lexicon.type_tokens(graph.node_type(node))
                     )
                 assert word in tokens
+
+
+def test_agreement_survives_save_load(example_indexes, example_query, tmp_path):
+    """All four engine algorithms agree across a v2 save/load round-trip.
+
+    Complements the unit-level serialize tests: here the persisted bundle
+    is driven through the high-level engine exactly as the CLI does.
+    """
+    from repro.index.serialize import load_indexes, save_indexes
+    from repro.search.engine import TableAnswerEngine
+
+    path = tmp_path / "example.idx"
+    save_indexes(example_indexes, path)
+    loaded = load_indexes(path)
+
+    fresh_engine = TableAnswerEngine(example_indexes.graph, indexes=example_indexes)
+    loaded_engine = TableAnswerEngine(loaded.graph, indexes=loaded)
+    for algorithm in ("pattern_enum", "linear", "linear_topk", "baseline"):
+        before = fresh_engine.search(example_query, k=10, algorithm=algorithm)
+        after = loaded_engine.search(example_query, k=10, algorithm=algorithm)
+        assert before.scores() == after.scores()
+        assert [a.pattern_key for a in before.answers] == [
+            a.pattern_key for a in after.answers
+        ]
+        assert [a.num_subtrees for a in before.answers] == [
+            a.num_subtrees for a in after.answers
+        ]

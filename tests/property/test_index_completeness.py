@@ -4,7 +4,15 @@ Soundness: every stored entry is a real simple path of the graph whose
 endpoint (or final attribute) contains the indexed word, with correct
 precomputed score terms.  Completeness: every bounded simple path from any
 root to any keyword occurrence appears in both indexes.
+
+The columnar-store tests additionally compare the deduplicated
+:class:`~repro.index.store.PostingStore` against a naive dict-of-lists
+reference build of Algorithm 1: both must yield the exact same posting
+*multiset* and the same ``|Paths(w, r)|`` counts, while the store keys
+each physical path exactly once.
 """
+
+from collections import Counter
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -113,3 +121,137 @@ def test_path_counts_consistent(graph):
             assert root_first.path_count(word, root) == sum(
                 1 for _ in root_first.paths(word, root)
             )
+
+
+def naive_reference_build(graph, d, lexicon, pagerank_scores, interner):
+    """Algorithm 1 as a plain dict-of-lists build — no store, no dedup.
+
+    Returns (posting multiset, path-count dict, physical path set) where a
+    posting is the full (word, pid, nodes, attrs, matched_on_edge, pr, sim)
+    tuple, path counts are per (word, root), and the physical set holds
+    distinct (nodes, attrs, matched_on_edge) triples.
+    """
+    postings = Counter()
+    path_counts = Counter()
+    physical = set()
+    for root in graph.nodes():
+        for nodes, attrs in iter_paths_from(graph, root, d):
+            labels = interleaved_labels(graph, nodes, attrs)
+            endpoint = nodes[-1]
+            node_word_sims = lexicon.node_matches(endpoint)
+            if node_word_sims:
+                pid = interner.intern(labels, ends_at_edge=False)
+                pr = pagerank_scores[endpoint]
+                physical.add((nodes, attrs, False))
+                for word, sim in node_word_sims:
+                    postings[(word, pid, nodes, attrs, False, pr, sim)] += 1
+                    path_counts[(word, root)] += 1
+            if attrs:
+                attr_word_sims = lexicon.attr_matches(attrs[-1])
+                if attr_word_sims:
+                    pid = interner.intern(labels[:-1], ends_at_edge=True)
+                    pr = pagerank_scores[nodes[-2]]
+                    physical.add((nodes, attrs, True))
+                    for word, sim in attr_word_sims:
+                        postings[
+                            (word, pid, nodes, attrs, True, pr, sim)
+                        ] += 1
+                        path_counts[(word, root)] += 1
+    return postings, path_counts, physical
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graphs(), st.integers(min_value=1, max_value=3))
+def test_store_matches_naive_reference(graph, d):
+    """The columnar store equals a naive dict-of-lists build exactly.
+
+    Same posting multiset through both index views, same |Paths(w, r)|
+    counts, and exactly one interned path per distinct physical path.
+    """
+    indexes = build_indexes(graph, d=d)
+    reference, ref_counts, physical = naive_reference_build(
+        graph, d, indexes.lexicon, indexes.pagerank_scores, indexes.interner
+    )
+
+    def observed(index) -> Counter:
+        multiset = Counter()
+        for word, pid, entry in index.iter_entries():
+            multiset[
+                (
+                    word,
+                    pid,
+                    entry.nodes,
+                    entry.attrs,
+                    entry.matched_on_edge,
+                    entry.pr,
+                    entry.sim,
+                )
+            ] += 1
+        return multiset
+
+    assert observed(indexes.root_first) == reference
+    assert observed(indexes.pattern_first) == reference
+
+    # |Paths(w, r)| counts match the reference for every probed pair —
+    # including pairs the reference never saw (count 0).
+    root_first = indexes.root_first
+    for word in list(root_first.words()):
+        for root in list(root_first.roots(word)):
+            assert root_first.path_count(word, root) == ref_counts[
+                (word, root)
+            ]
+    for (word, root), count in ref_counts.items():
+        assert root_first.path_count(word, root) == count
+
+    # Deduplication: exactly one stored path per physical path, and the
+    # posting/path accounting lines up.
+    store = indexes.store
+    assert store.num_paths == len(physical)
+    assert store.num_postings() == sum(reference.values())
+    for path_id in range(store.num_paths):
+        key = (
+            store.path_nodes(path_id),
+            store.path_attrs(path_id),
+            store.path_matched_on_edge(path_id),
+        )
+        assert key in physical
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graphs(), st.integers(min_value=1, max_value=3))
+def test_store_native_variants_agree(graph, d):
+    """form_tree/score_terms on ids agree with the PathEntry versions."""
+    from itertools import product
+
+    from repro.index.entry import combination_score_terms, entries_form_tree
+
+    indexes = build_indexes(graph, d=d)
+    store = indexes.store
+    root_first = indexes.root_first
+    words = sorted(root_first.words())[:2]
+    if len(words) < 2:
+        return
+    maps = [root_first.roots(word) for word in words]
+    shared = set(maps[0]) & set(maps[1])
+    for root in sorted(shared):
+        lists = [root_first.pattern_map(word, root) for word in words]
+        for by_pattern in product(*(sorted(m) for m in lists)):
+            plists = [m[pid] for m, pid in zip(lists, by_pattern)]
+            id_columns = [plist.path_ids for plist in plists]
+            sim_columns = [plist.sims for plist in plists]
+            for combo_idx in product(*(range(len(p)) for p in plists)):
+                path_ids = [
+                    column[i] for column, i in zip(id_columns, combo_idx)
+                ]
+                sims = [
+                    column[i] for column, i in zip(sim_columns, combo_idx)
+                ]
+                entries = [plist[i] for plist, i in zip(plists, combo_idx)]
+                assert store.form_tree(path_ids) == entries_form_tree(
+                    entries
+                )
+                assert store.score_terms(
+                    path_ids, sims
+                ) == combination_score_terms(entries)

@@ -202,3 +202,114 @@ class TestRootFirst:
         _interner, _pf, rf, (pid_a, _pid_b) = filled_indexes
         assert set(rf.pattern_map("databas", 10)) == {pid_a}
         assert rf.pattern_map("databas", 999) == {}
+
+
+class TestPostingStore:
+    def make_store(self):
+        from repro.index.store import PostingStore
+
+        interner = PatternInterner()
+        store = PostingStore(interner)
+        pid_a = interner.intern((0, 0, 1), False)
+        pid_b = interner.intern((2,), False)
+        return interner, store, pid_a, pid_b
+
+    def test_path_interning_dedups(self):
+        _interner, store, pid_a, _pid_b = self.make_store()
+        first = store.add_path((10, 11), (0,), False, pid_a, 0.5)
+        again = store.add_path((10, 11), (0,), False, pid_a, 0.5)
+        assert first == again
+        assert store.num_paths == 1
+        store.add_posting("databas", first, 1.0)
+        store.add_posting("softwar", first, 0.5)
+        assert store.num_postings() == 2
+        assert store.dedup_ratio() == 2.0
+
+    def test_edge_flag_distinguishes_paths(self):
+        _interner, store, pid_a, pid_b = self.make_store()
+        node_match = store.add_path((10, 11), (0,), False, pid_a, 0.5)
+        edge_match = store.add_path((10, 11), (0,), True, pid_b, 0.5)
+        assert node_match != edge_match
+        assert store.num_paths == 2
+
+    def test_columns_roundtrip_single_path(self):
+        _interner, store, pid_a, _pid_b = self.make_store()
+        path_id = store.add_path((10, 11, 12), (0, 1), False, pid_a, 0.25)
+        assert store.path_nodes(path_id) == (10, 11, 12)
+        assert store.path_attrs(path_id) == (0, 1)
+        assert store.path_root(path_id) == 10
+        assert store.path_size(path_id) == 3
+        assert store.path_pr(path_id) == 0.25
+        assert not store.path_matched_on_edge(path_id)
+        assert store.matched_node(path_id) == 12
+        edge_id = store.add_path((10, 11, 12), (0, 1), True, pid_a, 0.5)
+        assert store.matched_node(edge_id) == 11
+
+    def test_mismatched_attr_count_rejected(self):
+        _interner, store, pid_a, _pid_b = self.make_store()
+        with pytest.raises(PathIndexError):
+            store.add_path((10, 11), (0, 1), False, pid_a, 0.5)
+
+    def test_shared_store_feeds_both_views(self):
+        from repro.index.pattern_first import PatternFirstIndex
+        from repro.index.root_first import RootFirstIndex
+
+        interner, store, pid_a, _pid_b = self.make_store()
+        pf = PatternFirstIndex(interner, store)
+        rf = RootFirstIndex(interner, store)
+        store.add_entry("databas", pid_a, make_entry((10, 11), (0,)))
+        assert pf.num_entries() == rf.num_entries() == 1
+        assert list(pf.roots("databas", pid_a)) == [10]
+        assert rf.path_count("databas", 10) == 1
+        # Leaf posting lists are the same object in both views.
+        pf_leaf = pf.paths("databas", pid_a, 10)
+        rf_leaf = rf.paths_with_pattern("databas", 10, pid_a)
+        assert pf_leaf is rf_leaf
+
+    def test_view_refreshes_after_store_mutation(self):
+        from repro.index.root_first import RootFirstIndex
+
+        interner, store, pid_a, _pid_b = self.make_store()
+        rf = RootFirstIndex(interner, store)
+        store.add_entry("databas", pid_a, make_entry((10, 11), (0,)))
+        assert rf.path_count("databas", 10) == 1
+        store.add_entry("databas", pid_a, make_entry((10, 12), (0,)))
+        assert rf.path_count("databas", 10) == 2
+
+
+class TestPostingList:
+    def build(self):
+        from repro.index.root_first import RootFirstIndex
+
+        interner = PatternInterner()
+        rf = RootFirstIndex(interner)
+        pid = interner.intern((0, 0, 1), False)
+        rf.add("databas", pid, make_entry((10, 11), (0,), pr=0.5, sim=1.0))
+        rf.add("databas", pid, make_entry((10, 12), (0,), pr=0.25, sim=1.0))
+        rf.finalize()
+        return rf.paths_with_pattern("databas", 10, pid)
+
+    def test_len_and_counts_do_not_materialize(self):
+        postings = self.build()
+        assert len(postings) == 2
+        assert postings._entries is None, "len() must stay lazy"
+
+    def test_materializes_once_and_caches(self):
+        postings = self.build()
+        first = postings.entries()
+        assert postings.entries() is first
+        assert [e.nodes for e in postings] == [(10, 11), (10, 12)]
+
+    def test_value_equality_with_plain_lists(self):
+        postings = self.build()
+        assert postings == [
+            PathEntry((10, 11), (0,), False, 0.5, 1.0),
+            PathEntry((10, 12), (0,), False, 0.25, 1.0),
+        ]
+        assert postings != []
+
+    def test_indexing_and_iteration(self):
+        postings = self.build()
+        assert postings[0].nodes == (10, 11)
+        assert postings[-1].nodes == (10, 12)
+        assert [e.pr for e in postings] == [0.5, 0.25]
