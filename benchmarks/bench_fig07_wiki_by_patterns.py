@@ -8,10 +8,19 @@ full grouped sweep is ``python -m repro.bench.run_all fig7``.
 Expected shape: PETopK and LETopK beat Baseline by 1-2 orders of
 magnitude; the heavy query costs orders of magnitude more than the light
 one for every engine.
+
+The workload-profile benches additionally record per-query p50/p95
+latency and the number of path entries materialized from the store into
+the bench JSON (``--benchmark-json``), so the query-side trajectory —
+and the id-based enumeration's zero-materialization contract — is
+tracked release over release.
 """
+
+import time
 
 import pytest
 
+from repro.index.store import PostingStore
 from repro.search.baseline import baseline_search
 from repro.search.linear_topk import linear_topk_search
 from repro.search.pattern_enum import pattern_enum_search
@@ -21,6 +30,44 @@ ENGINES = {
     "LETopK": linear_topk_search,
     "PETopK": pattern_enum_search,
 }
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, round(fraction * (len(sorted_values) - 1))),
+    )
+    return sorted_values[rank]
+
+
+def profile_workload(engine, indexes, queries, **params):
+    """Per-query latencies (seconds, ascending) plus entry materializations.
+
+    Materializations are counted process-wide
+    (``PostingStore.total_entries_materialized``) rather than on
+    ``indexes.store`` so the baseline's query-local scratch stores are
+    covered too.
+    """
+    params.setdefault("k", 100)
+    params.setdefault("keep_subtrees", False)
+    before = PostingStore.total_entries_materialized
+    latencies = []
+    for query in queries:
+        started = time.perf_counter()
+        engine(indexes, query, **params)
+        latencies.append(time.perf_counter() - started)
+    materialized = PostingStore.total_entries_materialized - before
+    return sorted(latencies), materialized
+
+
+def record_profile(benchmark, latencies, materialized):
+    benchmark.extra_info["queries"] = len(latencies)
+    benchmark.extra_info["p50_ms"] = percentile(latencies, 0.50) * 1000
+    benchmark.extra_info["p95_ms"] = percentile(latencies, 0.95) * 1000
+    benchmark.extra_info["entries_materialized"] = materialized
 
 
 @pytest.mark.parametrize("engine", ENGINES)
@@ -48,3 +95,20 @@ def test_heavy_query(benchmark, wiki_indexes, wiki_heavy_query, engine):
     assert result.num_answers > 0
     benchmark.extra_info["answers"] = result.num_answers
     benchmark.extra_info["query"] = " ".join(wiki_heavy_query)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_workload_latency_profile(benchmark, wiki_indexes, wiki_queries, engine):
+    """One pass over the whole wiki workload; p50/p95 + materializations.
+
+    With ``keep_subtrees=False`` the id-based enumeration must read zero
+    entries out of the store — asserted here so the bench JSON records a
+    hard 0, not a drifting count.
+    """
+
+    def sweep():
+        return profile_workload(ENGINES[engine], wiki_indexes, wiki_queries)
+
+    latencies, materialized = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert materialized == 0
+    record_profile(benchmark, latencies, materialized)

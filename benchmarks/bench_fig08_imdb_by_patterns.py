@@ -3,10 +3,15 @@
 IMDB's graph has directed paths of at most 3 nodes, so d=3 is exhaustive
 and answer sets are smaller than Wiki's; the paper reports PETopK fastest
 on average with the same ordering as Figure 7.
+
+Like the Figure 7 benches, the workload sweep records per-query p50/p95
+latency and entries-materialized counts into the bench JSON so the
+query-side trajectory is tracked.
 """
 
 import pytest
 
+from bench_fig07_wiki_by_patterns import profile_workload, record_profile
 from repro.search.baseline import baseline_search
 from repro.search.linear_topk import linear_topk_search
 from repro.search.pattern_enum import pattern_enum_search
@@ -51,3 +56,17 @@ def test_imdb_workload_sweep(benchmark, imdb_indexes, imdb_queries, engine):
 
     total = benchmark.pedantic(sweep, rounds=2, iterations=1)
     benchmark.extra_info["total_answers"] = total
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_imdb_workload_latency_profile(
+    benchmark, imdb_indexes, imdb_queries, engine
+):
+    """p50/p95 per-query latency + zero-materialization (see Figure 7)."""
+
+    def sweep():
+        return profile_workload(ENGINES[engine], imdb_indexes, imdb_queries)
+
+    latencies, materialized = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert materialized == 0
+    record_profile(benchmark, latencies, materialized)

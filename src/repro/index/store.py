@@ -53,7 +53,17 @@ class PostingList(Sequence[PathEntry]):
     allocation-free.  The same object is shared by both index views.
     """
 
-    __slots__ = ("_store", "_ids", "_sims", "_start", "_stop", "_entries")
+    __slots__ = (
+        "_store",
+        "_ids",
+        "_sims",
+        "_start",
+        "_stop",
+        "_entries",
+        "_id_slice",
+        "_sim_slice",
+        "_pairs",
+    )
 
     def __init__(
         self,
@@ -69,20 +79,43 @@ class PostingList(Sequence[PathEntry]):
         self._start = start
         self._stop = stop
         self._entries: Optional[List[PathEntry]] = None
+        self._id_slice: Optional[array] = None
+        self._sim_slice: Optional[array] = None
+        self._pairs: Optional[List[Tuple[int, float]]] = None
 
     @property
     def path_ids(self) -> array:
-        """The slice's path-id column.
+        """The slice's path-id column (copied out of the word column once,
+        then cached — repeated access is O(1)).
 
-        O(n) copy out of the word column on every access — hoist it out
-        of loops (or use :meth:`entries`, which caches).
+        A cached copy, not a ``memoryview``: the word columns are appended
+        to by incremental maintenance, and an exported buffer would turn
+        those appends into ``BufferError``s.
         """
-        return self._ids[self._start:self._stop]
+        ids = self._id_slice
+        if ids is None:
+            ids = self._id_slice = self._ids[self._start:self._stop]
+        return ids
 
     @property
     def sims(self) -> array:
-        """The slice's similarity column (O(n) copy; see ``path_ids``)."""
-        return self._sims[self._start:self._stop]
+        """The slice's similarity column (cached; see ``path_ids``)."""
+        sims = self._sim_slice
+        if sims is None:
+            sims = self._sim_slice = self._sims[self._start:self._stop]
+        return sims
+
+    def pairs(self) -> List[Tuple[int, float]]:
+        """The slice as ``(path_id, sim)`` scalar pairs (built once, cached).
+
+        This is what the id-based enumeration loops iterate — two machine
+        scalars per posting, no :class:`PathEntry` reconstruction.  Order
+        matches :meth:`entries` element-for-element.
+        """
+        pairs = self._pairs
+        if pairs is None:
+            pairs = self._pairs = list(zip(self.path_ids, self.sims))
+        return pairs
 
     def entries(self) -> List[PathEntry]:
         """The materialized entries (built once, then cached)."""
@@ -145,6 +178,12 @@ class PostingStore:
     grouping via :meth:`groups` / :meth:`root_counts`.
     """
 
+    #: Process-wide count of :class:`PathEntry` reconstructions across
+    #: *all* stores — including short-lived query-local scratch stores
+    #: whose per-instance counters are unreachable after the query.  The
+    #: benchmarks' zero-materialization assertions read deltas of this.
+    total_entries_materialized = 0
+
     def __init__(self, interner: PatternInterner) -> None:
         self.interner = interner
         # Path interning: (nodes, attrs, matched_on_edge) -> path id.
@@ -181,6 +220,34 @@ class PostingStore:
         self._root_counts: Dict[str, Dict[NodeId, int]] = {}
         self.version = 0
         self._finalized_version = -1
+        #: Running count of :class:`PathEntry` reconstructions through
+        #: :meth:`make_entry` — the single choke point for materializing a
+        #: stored posting.  Benchmarks and the zero-materialization
+        #: regression tests read deltas of this.
+        self.entries_materialized = 0
+        # Query-time acceleration columns (see _query_columns).
+        self._query_cache: Optional[tuple] = None
+        self._query_cache_version = -1
+
+    @classmethod
+    def scratch(cls, interner: Optional[PatternInterner] = None) -> "PostingStore":
+        """A query-local store for online-discovered paths (the baseline).
+
+        Columns are plain Python lists instead of typed arrays: a scratch
+        store lives for a single query, so array compactness loses to the
+        boxing round-trip (``append_path`` would unbox every id into the
+        array only for :meth:`_query_columns` to box it right back out).
+        Must never be serialized.
+        """
+        store = cls(interner if interner is not None else PatternInterner())
+        store._node_offsets = [0]
+        store._nodes = []
+        store._attrs = []
+        store._pids = []
+        store._roots = []
+        store._moe = []
+        store._prs = []
+        return store
 
     # ------------------------------------------------------------- building
 
@@ -241,6 +308,7 @@ class PostingStore:
         self._roots.append(nodes[0])
         self._moe.append(1 if matched_on_edge else 0)
         self._prs.append(pr)
+        self.version += 1
         if self._path_ids is not None:
             self._path_ids[(nodes, attrs, bool(matched_on_edge))] = path_id
         return path_id
@@ -417,6 +485,8 @@ class PostingStore:
 
     def make_entry(self, path_id: int, sim: float) -> PathEntry:
         """Reconstruct the flyweight :class:`PathEntry` for one posting."""
+        self.entries_materialized += 1
+        PostingStore.total_entries_materialized += 1
         return PathEntry(
             self.path_nodes(path_id),
             self.path_attrs(path_id),
@@ -479,36 +549,115 @@ class PostingStore:
 
     # --------------------------------------------- store-native hot variants
 
-    def form_tree(self, path_ids: Sequence[int]) -> bool:
-        """Store-native :func:`repro.index.entry.entries_form_tree`.
+    def _query_columns(self) -> tuple:
+        """Boxed, pre-shaped path columns for the enumeration hot loops.
 
-        Operates directly on the flat columns — no :class:`PathEntry`
-        materialization — with the identical tree-validity rule: all paths
-        share the root, no node acquires two distinct parent edges, and no
-        edge re-enters the root.
+        The ``array`` columns keep the resident footprint compact but box
+        a fresh Python int on every subscript, and the query loops revisit
+        the same paths thousands of times per cross product.  This cache
+        re-shapes each *distinct* path once per store version into plain
+        lists/tuples::
+
+            (roots, sizes, prs, edges, self_invalid)
+
+        where ``edges[path_id]`` is a tuple of ``(child, (parent, attr))``
+        pairs (the parent-edge tuple is pre-allocated and shared across
+        every tree-validity check that touches the path) and
+        ``self_invalid[path_id]`` records whether the path *alone* fails
+        the tree check — it revisits its own root, or assigns a node two
+        distinct parent edges (never true for builder-enumerated simple
+        paths, but hand-constructed stores are checked identically to
+        :func:`~repro.index.entry.entries_form_tree`).  Built lazily on
+        the first query after a mutation; size is bounded by the number
+        of distinct paths, not postings.
         """
+        cache = self._query_cache
+        if cache is not None and self._query_cache_version == self.version:
+            return cache
         offsets = self._node_offsets
         nodes = self._nodes
         attrs = self._attrs
-        root = self._roots[path_ids[0]]
-        parent: Dict[NodeId, Tuple[NodeId, AttrId]] = {}
-        for path_id in path_ids:
-            if self._roots[path_id] != root:
-                return False
+        num_paths = self.num_paths
+        # list() boxes each array element once; scratch stores (already
+        # list-backed) just take a cheap pointer copy.
+        roots = list(self._roots)
+        prs = list(self._prs)
+        sizes: List[int] = [0] * num_paths
+        edges: List[tuple] = [()] * num_paths
+        self_invalid: List[bool] = [False] * num_paths
+        for path_id in range(num_paths):
             start = offsets[path_id]
             end = offsets[path_id + 1]
             attr_start = start - path_id
+            sizes[path_id] = end - start
+            root = roots[path_id]
+            path_edges = []
+            parent: Dict[NodeId, Tuple[NodeId, AttrId]] = {}
             for i in range(end - start - 1):
                 child = nodes[start + i + 1]
-                if child == root:
-                    return False
                 edge = (nodes[start + i], attrs[attr_start + i])
-                existing = parent.get(child)
-                if existing is None:
-                    parent[child] = edge
-                elif existing != edge:
+                if child == root or parent.setdefault(child, edge) != edge:
+                    self_invalid[path_id] = True
+                path_edges.append((child, edge))
+            edges[path_id] = tuple(path_edges)
+        cache = (roots, sizes, prs, edges, self_invalid)
+        self._query_cache = cache
+        self._query_cache_version = self.version
+        return cache
+
+    def release_query_columns(self) -> None:
+        """Drop the query-acceleration columns (rebuilt lazily on demand).
+
+        The cache trades resident memory for query speed and persists
+        after the first query; long-lived processes that query rarely can
+        call this to reclaim it — the next query pays one rebuild.
+        """
+        self._query_cache = None
+        self._query_cache_version = -1
+
+    def form_tree(self, path_ids: Sequence[int]) -> bool:
+        """Store-native :func:`repro.index.entry.entries_form_tree`.
+
+        Operates on the store's columns — no :class:`PathEntry`
+        materialization — with the identical tree-validity rule: all paths
+        share the root, no node acquires two distinct parent edges, and no
+        edge re-enters the root.  A convenience wrapper over
+        :meth:`pairs_checker` (the hot loops' form, and the single
+        implementation of the rule) for id-only callers.
+        """
+        return self.pairs_checker()([(path_id, 0.0) for path_id in path_ids])
+
+    def pairs_checker(self):
+        """A tree-validity predicate over ``(path_id, sim)`` pair combos.
+
+        Same rule as :meth:`form_tree`, specialized for the enumeration
+        loop's native shape: the cross product yields pair combinations,
+        so no id tuple is built per combination, and the returned closure
+        is bound to the query-acceleration columns so the loop pays no
+        per-call column lookup.  Fetch once per enumeration run; the
+        closure is valid until the store's next mutation.
+        """
+        roots, _sizes, _prs, edges, self_invalid = self._query_columns()
+
+        def form_tree_pairs(pairs: Sequence[Tuple[int, float]]) -> bool:
+            first = pairs[0][0]
+            root = roots[first]
+            if len(pairs) == 1:
+                return not self_invalid[first]
+            parent: Dict[NodeId, Tuple[NodeId, AttrId]] = {}
+            get = parent.get
+            for path_id, _sim in pairs:
+                if roots[path_id] != root or self_invalid[path_id]:
                     return False
-        return True
+                for child, edge in edges[path_id]:
+                    existing = get(child)
+                    if existing is None:
+                        parent[child] = edge
+                    elif existing != edge:
+                        return False
+            return True
+
+        return form_tree_pairs
 
     def score_terms(
         self, path_ids: Sequence[int], sims: Sequence[float]
@@ -516,16 +665,36 @@ class PostingStore:
         """Store-native :func:`~repro.index.entry.combination_score_terms`.
 
         Summed (size, pr, sim) for a subtree given as parallel posting
-        columns (Equations 4-6), skipping entry materialization.
+        columns (Equations 4-6), skipping entry materialization.  A
+        convenience wrapper over :meth:`pairs_scorer` (the hot loops'
+        form, and the single implementation of the sums — identical float
+        order to the entry-based helper, so scores are bit-identical
+        across the two pipelines).
         """
-        offsets = self._node_offsets
-        prs = self._prs
-        size = 0
-        pr = 0.0
-        for path_id in path_ids:
-            size += offsets[path_id + 1] - offsets[path_id]
-            pr += prs[path_id]
-        return size, pr, sum(sims)
+        return self.pairs_scorer()(list(zip(path_ids, sims)))
+
+    def pairs_scorer(self):
+        """``pairs -> (size, pr, sim)`` bound to the query columns.
+
+        The pair-combo companion of :meth:`score_terms` (identical sums
+        and float order); fetch once per enumeration run like
+        :meth:`pairs_checker`.
+        """
+        _roots, sizes, prs, _edges, _self_invalid = self._query_columns()
+
+        def score_pairs(
+            pairs: Sequence[Tuple[int, float]]
+        ) -> Tuple[int, float, float]:
+            size = 0
+            pr = 0.0
+            sim = 0.0
+            for path_id, posting_sim in pairs:
+                size += sizes[path_id]
+                pr += prs[path_id]
+                sim += posting_sim
+            return size, pr, sim
+
+        return score_pairs
 
     def matched_node(self, path_id: int) -> NodeId:
         """The node whose PageRank is the path's ``pr`` term.

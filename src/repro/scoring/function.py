@@ -66,8 +66,31 @@ class ScoringFunction:
                 f"expected {len(self.extra_weights)} extra components, "
                 f"got {len(extras)}"
             )
+        score = self._base_subtree_score(
+            components.size, components.pr, components.sim
+        )
+        for value, weight in zip(extras, self.extra_weights):
+            if weight == 0.0:
+                continue
+            if value <= 0.0:
+                raise ScoringError(f"non-positive extra component {value!r}")
+            score *= math.pow(value, weight)
+        return score
+
+    def _base_subtree_score(self, size: int, pr: float, sim: float) -> float:
+        """Equation 3's power product over the three base components.
+
+        The single source of the subtree-score arithmetic — both
+        :meth:`subtree_score` (entry-based pipeline) and
+        :meth:`subtree_score_terms` (id-based hot loop) delegate here, so
+        the two pipelines' scores are bit-identical by construction.
+        """
         score = 1.0
-        for value, weight in zip(components.as_list(), (self.z1, self.z2, self.z3)):
+        for value, weight in (
+            (size, self.z1),
+            (pr, self.z2),
+            (sim, self.z3),
+        ):
             if weight == 0.0:
                 continue
             if value <= 0.0:
@@ -76,13 +99,24 @@ class ScoringFunction:
                     "must be positive (is a keyword unmatched?)"
                 )
             score *= math.pow(value, weight)
-        for value, weight in zip(extras, self.extra_weights):
-            if weight == 0.0:
-                continue
-            if value <= 0.0:
-                raise ScoringError(f"non-positive extra component {value!r}")
-            score *= math.pow(value, weight)
         return score
+
+    def subtree_score_terms(
+        self, size: int, pr: float, sim: float
+    ) -> float:
+        """Hot-path :meth:`subtree_score` taking the component scalars.
+
+        Skips the :class:`SubtreeComponents` allocation for the id-based
+        enumeration loops.  Extra components are not supported here —
+        configurations with ``extra_weights`` must go through
+        :meth:`subtree_score`.
+        """
+        if self.extra_weights:
+            raise ScoringError(
+                f"expected {len(self.extra_weights)} extra components, "
+                "got 0"
+            )
+        return self._base_subtree_score(size, pr, sim)
 
     def subtree_score_from_paths(
         self, parts: Sequence[PathComponents]

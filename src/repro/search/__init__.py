@@ -1,6 +1,7 @@
 """Search algorithms for the d-height tree pattern problem (Section 4)."""
 
 from repro.search.baseline import baseline_search
+from repro.search.context import EnumerationContext
 from repro.search.engine import ALGORITHMS, TableAnswerEngine
 from repro.search.individual import (
     CoverageMetrics,
@@ -19,6 +20,7 @@ from repro.search.mixed import MixedAnswer, MixedResult, mixed_search
 from repro.search.pattern_enum import pattern_enum_search
 from repro.search.relaxation import RelaxedResult, relaxed_search
 from repro.search.result import (
+    ComboRef,
     EntryCombo,
     PatternAnswer,
     SearchResult,
@@ -29,9 +31,11 @@ from repro.search.result import (
 
 __all__ = [
     "ALGORITHMS",
+    "ComboRef",
     "CoverageMetrics",
     "Enumeration",
     "EntryCombo",
+    "EnumerationContext",
     "IndividualResult",
     "MixedAnswer",
     "MixedResult",

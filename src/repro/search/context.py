@@ -1,0 +1,195 @@
+"""Shared per-query enumeration state for the id-based search loops.
+
+Every search algorithm needs the same per-query setup before its hot loop
+can run: the resolved keywords, the per-word root-first posting maps, the
+candidate-root intersection, the root-type partition, and (for
+PATTERNENUM) the viable-type intersection from the pattern-first index.
+Before this refactor each algorithm re-derived all of it; the engine's
+``coverage`` call, for example, resolved the query and intersected the
+root sets twice for one user request.
+
+:class:`EnumerationContext` computes each piece lazily, at most once, and
+is shared across however many algorithms run for one query.  It also
+carries the backing :class:`~repro.index.store.PostingStore`, which is
+what the hot loops call for tree-validity (``form_tree``) and scoring
+(``score_terms``) — path entries are never materialized during
+enumeration (see ``docs/enumeration.md``).
+
+The baseline works over paths discovered online by backward walks rather
+than over the index; it builds its context with :meth:`from_root_maps`
+around a query-local scratch store, so all four algorithms drive the
+identical id-based loop in :mod:`repro.search.expand`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import SearchError
+from repro.core.types import NodeId, TypeId
+from repro.index.builder import PathIndexes
+from repro.index.store import PostingStore
+
+_EMPTY_MAP: Mapping = {}
+
+#: One keyword's postings at one root: pattern key -> pair rows (either a
+#: cached :meth:`~repro.index.store.PostingList.pairs` list or, for the
+#: baseline's scratch maps, a plain list of ``(path_id, sim)`` tuples).
+RootPatternMap = Mapping[object, Sequence]
+
+
+class EnumerationContext:
+    """Lazily-computed per-query state shared by all search algorithms."""
+
+    __slots__ = (
+        "indexes",
+        "words",
+        "store",
+        "_root_maps",
+        "_candidates",
+        "_by_type",
+        "_viable_types",
+    )
+
+    def __init__(self, indexes: PathIndexes, query) -> None:
+        self.indexes: Optional[PathIndexes] = indexes
+        self.words: Tuple[str, ...] = indexes.resolve_query(query)
+        self.store: PostingStore = indexes.store
+        self._root_maps: Optional[List[Mapping[NodeId, RootPatternMap]]] = None
+        self._candidates: Optional[List[NodeId]] = None
+        self._by_type: Optional[Dict[TypeId, List[NodeId]]] = None
+        self._viable_types: Optional[Set[TypeId]] = None
+
+    @classmethod
+    def from_root_maps(
+        cls,
+        store: PostingStore,
+        words: Tuple[str, ...],
+        root_maps: List[Mapping[NodeId, RootPatternMap]],
+        indexes: Optional[PathIndexes] = None,
+        candidate_roots: Optional[List[NodeId]] = None,
+    ) -> "EnumerationContext":
+        """Wrap precomputed per-word root maps (the baseline's online walks).
+
+        ``store`` is the scratch store the maps' path ids refer to; index
+        accessors (:meth:`viable_types`) are unavailable unless ``indexes``
+        is also given.  ``candidate_roots`` (sorted) may be supplied when
+        the caller already intersected the per-word root sets, so the
+        context does not re-derive it.
+        """
+        context = cls.__new__(cls)
+        context.indexes = indexes
+        context.words = words
+        context.store = store
+        context._root_maps = root_maps
+        context._candidates = candidate_roots
+        context._by_type = None
+        context._viable_types = None
+        return context
+
+    # ------------------------------------------------------------ root-first
+
+    @property
+    def root_maps(self) -> List[Mapping[NodeId, RootPatternMap]]:
+        """Per-word ``root -> (pattern -> postings)`` maps, words in query
+        order (``Roots(w_i)`` of the root-first index)."""
+        maps = self._root_maps
+        if maps is None:
+            root_first = self.indexes.root_first
+            maps = self._root_maps = [
+                root_first.roots(word) for word in self.words
+            ]
+        return maps
+
+    @property
+    def candidate_roots(self) -> List[NodeId]:
+        """Sorted intersection of the per-word root sets."""
+        roots = self._candidates
+        if roots is None:
+            maps = self.root_maps
+            smallest = min(maps, key=len)
+            roots = self._candidates = sorted(
+                root
+                for root in smallest
+                if all(root in root_map for root_map in maps)
+            )
+        return roots
+
+    def roots_by_type(self, graph) -> Dict[TypeId, List[NodeId]]:
+        """Candidate roots partitioned by node type (Section 4.2.1)."""
+        by_type = self._by_type
+        if by_type is None:
+            by_type = self._by_type = {}
+            for root in self.candidate_roots:
+                by_type.setdefault(graph.node_type(root), []).append(root)
+        return by_type
+
+    def pattern_maps(self, root: NodeId) -> List[RootPatternMap]:
+        """``pattern -> postings`` per word at one root.
+
+        Not memoized: every enumeration loop visits each candidate root
+        exactly once per query, so a per-root cache would only add dict
+        traffic to the hot loop and pin the lists for the context's
+        lifetime.
+        """
+        return [root_map.get(root, _EMPTY_MAP) for root_map in self.root_maps]
+
+    def path_count(self, word_index: int, root: NodeId) -> int:
+        """``|Paths(w_i, r)|`` without enumerating (Algorithm 4, line 4)."""
+        if self.indexes is not None:
+            return self.indexes.root_first.path_count(
+                self.words[word_index], root
+            )
+        pattern_map = self.root_maps[word_index].get(root, _EMPTY_MAP)
+        return sum(len(rows) for rows in pattern_map.values())
+
+    # --------------------------------------------------------- pattern-first
+
+    def viable_types(self) -> Set[TypeId]:
+        """Root types reaching *all* keywords (PATTERNENUM's outer loop).
+
+        Equivalent to the paper's loop over every type: a type missing for
+        some keyword can only yield empty patterns.
+        """
+        types = self._viable_types
+        if types is None:
+            pattern_first = self.indexes.pattern_first
+            types = set()
+            for i, word in enumerate(self.words):
+                word_types = pattern_first.root_types(word)
+                types = word_types if i == 0 else types & word_types
+                if not types:
+                    break
+            self._viable_types = types
+        return types
+
+
+def ensure_context(
+    indexes: PathIndexes, query, context: Optional[EnumerationContext]
+) -> EnumerationContext:
+    """The caller-supplied context, or a fresh one for ``query``.
+
+    Algorithms accept an optional shared context so multi-algorithm
+    drivers (the engine facade, ``mixed_search``, ``coverage``) pay the
+    per-query setup once; direct calls build their own.
+
+    A supplied context is sanity-checked: it must have been built for the
+    same ``indexes`` (its path ids are meaningless against any other
+    store) and resolve to the same keywords — resolution is cheap
+    (tokenize/stem) next to any search, and both mismatches would
+    otherwise return silently wrong results for the query the caller
+    actually asked.
+    """
+    if context is not None:
+        if context.indexes is not indexes:
+            raise SearchError(
+                "shared EnumerationContext was built for a different index"
+            )
+        words = tuple(indexes.resolve_query(query))
+        if words != context.words:
+            raise SearchError(
+                f"shared EnumerationContext was built for {context.words!r}, "
+                f"not {words!r}"
+            )
+        return context
+    return EnumerationContext(indexes, query)

@@ -24,6 +24,7 @@ from repro.kg.synonyms import SynonymTable
 from repro.kg.text import TextNormalizer
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
 from repro.search.baseline import baseline_search
+from repro.search.context import EnumerationContext
 from repro.search.individual import (
     CoverageMetrics,
     IndividualResult,
@@ -43,6 +44,7 @@ ALGORITHMS = (
     "linear",
     "letopk",
     "linear_topk",
+    "linear_full",
     "baseline",
 )
 
@@ -118,10 +120,15 @@ class TableAnswerEngine:
         * ``linear`` — exact LINEARENUM-TOPK without sampling (Λ=inf, ρ=1);
         * ``letopk`` / ``linear_topk`` — Algorithm 4; pass
           ``sampling_threshold`` and ``sampling_rate``;
+        * ``linear_full`` — raw LINEARENUM (Algorithm 3) ranked after a
+          full enumeration (the Section 4.2.1 "naive method");
         * ``baseline`` — Section 2.3's enumeration-aggregation.
 
         Extra keyword ``params`` are forwarded to the algorithm (e.g.
-        ``keep_subtrees=False``, ``seed=...``).
+        ``keep_subtrees=False``, ``seed=...``).  Multi-algorithm callers
+        can pass ``context=`` (see :meth:`context`) to share the
+        per-query setup across calls; otherwise the algorithm builds its
+        own.
         """
         scoring = scoring if scoring is not None else self.scoring
         runner = self._runner(algorithm)
@@ -163,6 +170,14 @@ class TableAnswerEngine:
         """Top-k *individual* valid subtrees (the Section 5.3 comparison)."""
         return individual_topk(self.indexes, query, k=k, scoring=self.scoring)
 
+    def context(self, query) -> EnumerationContext:
+        """A fresh shared per-query context (resolution, root maps, ...).
+
+        Pass it as ``context=...`` to several :meth:`search` calls for the
+        same query to pay the per-query setup once.
+        """
+        return EnumerationContext(self.indexes, query)
+
     def search_relaxed(self, query, k: int = 10, **params):
         """Search, dropping keywords if the full query has no answers.
 
@@ -192,9 +207,17 @@ class TableAnswerEngine:
         )
 
     def coverage(self, query, k: int = 100) -> CoverageMetrics:
-        """Figure 13 metrics for one query at one k."""
-        individual = self.individual(query, k=k)
-        patterns = self.search(query, k=k, algorithm="pattern_enum")
+        """Figure 13 metrics for one query at one k.
+
+        Both underlying searches share one per-query context.
+        """
+        context = self.context(query)
+        individual = individual_topk(
+            self.indexes, query, k=k, scoring=self.scoring, context=context
+        )
+        patterns = self.search(
+            query, k=k, algorithm="pattern_enum", context=context
+        )
         return coverage_metrics(individual, patterns)
 
     def count_answers(self, query) -> Tuple[int, int]:

@@ -1,70 +1,129 @@
-"""Shared subtree-expansion loop (EXPANDROOT of Algorithm 3).
+"""Shared subtree-expansion loop (EXPANDROOT of Algorithm 3), id-based.
 
-Given, for a fixed candidate root, the per-keyword ``pattern -> paths``
+Given, for a fixed candidate root, the per-keyword ``pattern -> postings``
 maps, enumerate the *pattern product* and, inside each tree pattern, the
 *path product*; every path combination passing the tree-validity check is
-one valid subtree.  Both LINEARENUM variants and the baseline drive this
-loop; PATTERNENUM inlines a pattern-major variant of it.
+one valid subtree.  Both LINEARENUM variants, the baseline, and the
+individual-subtree ranker drive this loop; PATTERNENUM inlines a
+pattern-major variant of it.
+
+Since the id-based enumeration refactor the loop never touches a
+:class:`~repro.index.entry.PathEntry`: postings are iterated as
+``(path_id, sim)`` scalar pairs (cached id columns of
+:class:`~repro.index.store.PostingList`, or the baseline's scratch pair
+lists), tree-validity goes through
+:meth:`~repro.index.store.PostingStore.form_tree` and scoring through
+:meth:`~repro.index.store.PostingStore.score_terms`, both of which read
+the flat path columns directly.  Sinks receive the id and sim tuples and
+materialize nothing; kept subtrees become lazy
+:class:`~repro.search.result.ComboRef` objects at the result boundary.
 """
 
 from __future__ import annotations
 
 from itertools import product
-from typing import Callable, List, Mapping, Sequence, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.index.entry import (
-    PathEntry,
-    combination_score_terms,
-    entries_form_tree,
-)
+from repro.index.entry import PathEntry, combination_score_terms
+from repro.index.store import PostingStore
 from repro.scoring.components import SubtreeComponents
 from repro.scoring.function import ScoringFunction
-from repro.search.result import SearchStats
+from repro.search.result import ComboRef, SearchStats
 
 
 def combo_score(
     scoring: ScoringFunction, combo: Sequence[PathEntry]
 ) -> float:
-    """score(T, q) of a subtree given as an entry combination."""
+    """score(T, q) of a subtree given as a materialized entry combination.
+
+    Off the hot path since the id-based refactor — retained for the
+    result boundary, the entry-based reference enumeration
+    (:mod:`repro.search.reference`), and tests.
+    """
     size, pr, sim = combination_score_terms(combo)
     return scoring.subtree_score(SubtreeComponents(size, pr, sim))
 
-#: Per-keyword map from a pattern key to that keyword's paths at this root.
-#: Keys are interned PatternIds for index-backed callers and raw
-#: (labels, flag) tuples for the baseline; values are plain lists for the
-#: baseline and lazy :class:`~repro.index.store.PostingList` flyweights for
-#: index-backed callers — the loop is agnostic to both.
-PatternMap = Mapping[object, Sequence[PathEntry]]
 
-#: sink(pattern_key_combo, entry_combo) -> None
-Sink = Callable[[Tuple[object, ...], Tuple[PathEntry, ...]], None]
+def pair_scorer(
+    store: PostingStore, scoring: ScoringFunction
+) -> Callable[[Sequence[Tuple[int, float]]], float]:
+    """``pairs -> score(T, q)`` bound to store columns + scoring weights.
+
+    The hot-loop scorer the algorithms hoist before their sinks: one
+    closure call per valid combination, no component object and no id/sim
+    tuples.  Bit-identical to :func:`combo_score` over the materialized
+    entries.
+    """
+    score_pairs = store.pairs_scorer()
+    subtree_score_terms = scoring.subtree_score_terms
+
+    def score(pairs: Sequence[Tuple[int, float]]) -> float:
+        size, pr, sim = score_pairs(pairs)
+        return subtree_score_terms(size, pr, sim)
+
+    return score
+
+
+def pair_rows(postings) -> Sequence[Tuple[int, float]]:
+    """A posting sequence as ``(path_id, sim)`` pairs.
+
+    :class:`~repro.index.store.PostingList` leaves expose a cached pair
+    list; the baseline's scratch maps already hold plain pair lists and
+    pass through untouched.
+    """
+    pairs = getattr(postings, "pairs", None)
+    return postings if pairs is None else pairs()
+
+
+#: Per-keyword map from a pattern key to that keyword's postings at this
+#: root.  Keys are interned PatternIds for index-backed callers and raw
+#: (labels, flag) tuples for the baseline; values are posting-list
+#: flyweights for index-backed callers and plain ``(path_id, sim)`` pair
+#: lists for the baseline — the loop is agnostic to both (see
+#: :func:`pair_rows`).
+PatternMap = Mapping[object, Sequence]
+
+#: sink(pattern_key_combo, pair_combo) -> None, where ``pair_combo`` is
+#: one ``(path_id, sim)`` pair per query keyword.
+Sink = Callable[
+    [Tuple[object, ...], Tuple[Tuple[int, float], ...]], None
+]
 
 
 def expand_root(
+    store: PostingStore,
     pattern_maps: Sequence[PatternMap],
     sink: Sink,
     stats: SearchStats,
+    form_tree: Optional[Callable] = None,
 ) -> None:
     """Enumerate all valid subtrees under one root into ``sink``.
 
-    ``pattern_maps[i]`` is keyword i's ``pattern -> entries`` map at the
-    root.  Every emitted combination is a tree (the check that the paper's
-    pseudo-code leaves implicit); rejected combinations are counted in
-    ``stats.tree_check_rejections``.
+    ``pattern_maps[i]`` is keyword i's ``pattern -> postings`` map at the
+    root; ``store`` is the posting store the path ids refer to.  Every
+    emitted combination is a tree (the check that the paper's pseudo-code
+    leaves implicit); rejected combinations are counted in
+    ``stats.tree_check_rejections``.  Callers looping over many roots
+    should hoist ``form_tree = store.pairs_checker()`` once per query and
+    pass it in (like they hoist :func:`pair_scorer`); it defaults to a
+    fresh fetch for one-off calls.
     """
     if any(not pattern_map for pattern_map in pattern_maps):
         return
     key_lists = [list(pattern_map.keys()) for pattern_map in pattern_maps]
+    if form_tree is None:
+        form_tree = store.pairs_checker()
     for key_combo in product(*key_lists):
         stats.patterns_checked += 1
-        entry_lists = [
-            pattern_maps[i][key] for i, key in enumerate(key_combo)
+        pair_lists = [
+            pair_rows(pattern_maps[i][key])
+            for i, key in enumerate(key_combo)
         ]
         emitted = False
-        for entry_combo in product(*entry_lists):
+        for pair_combo in product(*pair_lists):
             stats.subtrees_enumerated += 1
-            if entries_form_tree(entry_combo):
-                sink(key_combo, entry_combo)
+            if form_tree(pair_combo):
+                sink(key_combo, pair_combo)
                 emitted = True
             else:
                 stats.tree_check_rejections += 1
@@ -76,22 +135,22 @@ def expand_root(
 
 
 def join_pattern_roots(
-    root_maps: Sequence[Mapping[int, Sequence[PathEntry]]],
+    store: PostingStore,
+    root_maps: Sequence[Mapping[int, Sequence]],
     scoring: ScoringFunction,
     keep_subtrees: bool,
     stats: SearchStats,
 ):
     """Evaluate one candidate tree pattern by joining paths at shared roots.
 
-    ``root_maps[i]`` maps roots to keyword i's paths *with this pattern's
-    i-th path pattern* (i.e. ``Roots(w_i, P_i)`` from the pattern-first
-    index).  Returns ``(aggregate, trees, roots)`` where ``aggregate`` is
-    ``None`` when the pattern is empty.  This is the inner join of
-    Algorithm 2 (lines 5-8), also reused by LINEARENUM-TOPK's exact
-    re-scoring step.
+    ``root_maps[i]`` maps roots to keyword i's postings *with this
+    pattern's i-th path pattern* (i.e. ``Roots(w_i, P_i)`` from the
+    pattern-first index).  Returns ``(aggregate, trees, roots)`` where
+    ``aggregate`` is ``None`` when the pattern is empty and ``trees``
+    holds lazy :class:`~repro.search.result.ComboRef` subtrees.  This is
+    the inner join of Algorithm 2 (lines 5-8), also reused by
+    LINEARENUM-TOPK's exact re-scoring step.
     """
-    from itertools import product as _product
-
     smallest = min(root_maps, key=len)
     roots = [
         root
@@ -102,17 +161,19 @@ def join_pattern_roots(
         stats.empty_patterns += 1
         return None, [], []
     aggregate = scoring.running()
-    trees: List[Tuple[PathEntry, ...]] = []
+    trees: List[ComboRef] = []
+    form_tree = store.pairs_checker()
+    score = pair_scorer(store, scoring)
     for root in sorted(roots):
-        entry_lists = [root_map[root] for root_map in root_maps]
-        for entry_combo in _product(*entry_lists):
+        pair_lists = [pair_rows(root_map[root]) for root_map in root_maps]
+        for pair_combo in product(*pair_lists):
             stats.subtrees_enumerated += 1
-            if not entries_form_tree(entry_combo):
+            if not form_tree(pair_combo):
                 stats.tree_check_rejections += 1
                 continue
-            aggregate.add(combo_score(scoring, entry_combo))
+            aggregate.add(score(pair_combo))
             if keep_subtrees:
-                trees.append(entry_combo)
+                trees.append(ComboRef(store, pair_combo))
     if aggregate.count == 0:
         stats.empty_patterns += 1
         return None, [], roots
@@ -123,12 +184,13 @@ def count_root_subtrees(pattern_maps: Sequence[PatternMap]) -> int:
     """Upper bound on subtrees under one root: the path-count product.
 
     This is the paper's N_R contribution (Algorithm 4, line 4) — computed
-    from counts alone, so combinations later rejected by the tree-validity
-    check are included, exactly as in the paper.
+    from counts alone (posting-list lengths are O(1) slice widths), so
+    combinations later rejected by the tree-validity check are included,
+    exactly as in the paper.
     """
     total = 1
     for pattern_map in pattern_maps:
-        count = sum(len(entries) for entries in pattern_map.values())
+        count = sum(len(postings) for postings in pattern_map.values())
         if count == 0:
             return 0
         total *= count

@@ -14,13 +14,15 @@ valid subtrees by Equation 3, and the two Figure 13 metrics —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.topk import TopKQueue
 from repro.index.builder import PathIndexes
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
-from repro.search.expand import combo_score, expand_root
+from repro.search.context import EnumerationContext, ensure_context
+from repro.search.expand import expand_root, pair_scorer
 from repro.search.result import (
+    ComboRef,
     EntryCombo,
     SearchResult,
     SearchStats,
@@ -66,40 +68,37 @@ def individual_topk(
     query,
     k: int = 100,
     scoring: ScoringFunction = PAPER_DEFAULT,
+    context: Optional[EnumerationContext] = None,
 ) -> IndividualResult:
     """Rank individual valid subtrees by their tree score (Equation 3)."""
     watch = Stopwatch()
     stats = SearchStats(algorithm="individual")
-    words = indexes.resolve_query(query)
-    root_first = indexes.root_first
-
-    root_maps = [root_first.roots(word) for word in words]
-    smallest = min(root_maps, key=len)
-    candidates = sorted(
-        root
-        for root in smallest
-        if all(root in root_map for root_map in root_maps)
-    )
+    context = ensure_context(indexes, query, context)
+    store = context.store
+    candidates = context.candidate_roots
     stats.candidate_roots = len(candidates)
 
     queue: TopKQueue = TopKQueue(k)
+    score = pair_scorer(store, scoring)
 
-    def sink(key_combo, entry_combo) -> None:
-        queue.push(combo_score(scoring, entry_combo), (key_combo, entry_combo))
+    def sink(key_combo, pairs) -> None:
+        # Raw pairs into the queue; only the k survivors get wrapped in
+        # ComboRef below, not every enumerated subtree.
+        queue.push(score(pairs), (key_combo, pairs))
 
+    form_tree = store.pairs_checker()
     for root in candidates:
         stats.roots_expanded += 1
-        expand_root(
-            [root_first.pattern_map(word, root) for word in words],
-            sink,
-            stats,
-        )
+        expand_root(store, context.pattern_maps(root), sink, stats, form_tree)
 
     ranked = [
-        (score, key, combo) for score, (key, combo) in queue.ranked()
+        (subtree_score, key, ComboRef(store, pairs))
+        for subtree_score, (key, pairs) in queue.ranked()
     ]
     stats.elapsed_seconds = watch.elapsed()
-    return IndividualResult(query=words, k=k, ranked=ranked, stats=stats)
+    return IndividualResult(
+        query=context.words, k=k, ranked=ranked, stats=stats
+    )
 
 
 @dataclass

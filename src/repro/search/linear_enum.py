@@ -7,6 +7,11 @@ root is expanded (EXPANDROOT) into the product of its per-keyword pattern
 sets — every such pattern is guaranteed non-empty — and the subtrees are
 aggregated in the ``TreeDict`` dictionary keyed by tree pattern.
 
+The enumeration is id-based: the expansion loop works on integer path ids
+straight from the columnar store (no :class:`~repro.index.entry.PathEntry`
+is built), and kept subtrees are lazy
+:class:`~repro.search.result.ComboRef` references.
+
 This module exposes both the raw enumeration (used to count a query's
 patterns/subtrees for the experiment groupings of Figures 7-9, and as the
 ground truth in tests) and a top-k search wrapper.
@@ -15,15 +20,17 @@ ground truth in tests) and a top-k search wrapper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.topk import TopKQueue
 from repro.core.types import PatternId
 from repro.index.builder import PathIndexes
 from repro.scoring.aggregate import RunningAggregate
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
-from repro.search.expand import combo_score, expand_root
+from repro.search.context import EnumerationContext, ensure_context
+from repro.search.expand import expand_root, pair_scorer
 from repro.search.result import (
+    ComboRef,
     EntryCombo,
     PatternAnswer,
     SearchResult,
@@ -65,52 +72,44 @@ def linear_enum(
     query,
     scoring: ScoringFunction = PAPER_DEFAULT,
     keep_subtrees: bool = True,
+    context: Optional[EnumerationContext] = None,
 ) -> Enumeration:
     """Enumerate every tree pattern and valid subtree for ``query``."""
     watch = Stopwatch()
     stats = SearchStats(algorithm="linear_enum")
-    words = indexes.resolve_query(query)
-    root_first = indexes.root_first
-
-    root_maps = [root_first.roots(word) for word in words]
-    smallest = min(root_maps, key=len)
-    candidates = sorted(
-        root
-        for root in smallest
-        if all(root in root_map for root_map in root_maps)
-    )
+    context = ensure_context(indexes, query, context)
+    store = context.store
+    candidates = context.candidate_roots
     stats.candidate_roots = len(candidates)
 
     trees_by_pattern: Dict[PatternKey, List[EntryCombo]] = {}
     aggregates: Dict[PatternKey, RunningAggregate] = {}
+    score = pair_scorer(store, scoring)
 
-    def sink(key_combo, entry_combo) -> None:
+    def sink(key_combo, pairs) -> None:
         aggregate = aggregates.get(key_combo)
         if aggregate is None:
             aggregate = aggregates[key_combo] = scoring.running()
             trees_by_pattern[key_combo] = []
-        aggregate.add(combo_score(scoring, entry_combo))
+        aggregate.add(score(pairs))
         if keep_subtrees:
-            trees_by_pattern[key_combo].append(entry_combo)
+            trees_by_pattern[key_combo].append(ComboRef(store, pairs))
 
+    form_tree = store.pairs_checker()
     for root in candidates:
         stats.roots_expanded += 1
-        expand_root(
-            [root_first.pattern_map(word, root) for word in words],
-            sink,
-            stats,
-        )
+        expand_root(store, context.pattern_maps(root), sink, stats, form_tree)
 
     stats.nonempty_patterns = len(aggregates)
     stats.elapsed_seconds = watch.elapsed()
     return Enumeration(
-        query=words,
+        query=context.words,
         d=indexes.d,
         trees_by_pattern=trees_by_pattern,
         aggregates=aggregates,
         stats=stats,
         keep_subtrees=keep_subtrees,
-        candidate_roots=candidates,
+        candidate_roots=list(candidates),
     )
 
 
@@ -120,6 +119,7 @@ def linear_enum_search(
     k: int = 100,
     scoring: ScoringFunction = PAPER_DEFAULT,
     keep_subtrees: bool = True,
+    context: Optional[EnumerationContext] = None,
 ) -> SearchResult:
     """Rank LINEARENUM's full output and return the top-k patterns.
 
@@ -127,7 +127,9 @@ def linear_enum_search(
     full enumeration); LINEARENUM-TOPK improves on it by partitioning by
     root type and sampling — see :mod:`repro.search.linear_topk`.
     """
-    enumeration = linear_enum(indexes, query, scoring, keep_subtrees)
+    enumeration = linear_enum(
+        indexes, query, scoring, keep_subtrees, context=context
+    )
     queue: TopKQueue = TopKQueue(k)
     for key in sorted(enumeration.aggregates):
         aggregate = enumeration.aggregates[key]
@@ -167,8 +169,8 @@ def count_answers(indexes: PathIndexes, query) -> Tuple[int, int]:
     """(number of tree patterns, number of valid subtrees) for a query.
 
     The experiment harness groups queries by these totals (Figures 7-9).
-    Subtrees are not retained, so this is memory-light even for large
-    queries.
+    Subtrees are not retained (and with the id-based loop no path entry is
+    ever built), so this is memory-light even for large queries.
     """
     enumeration = linear_enum(indexes, query, keep_subtrees=False)
     return enumeration.num_patterns, enumeration.num_subtrees

@@ -13,6 +13,10 @@ Extends LINEARENUM with two ideas from Sections 4.2.1-4.2.2:
   estimate are re-scored *exactly* via the pattern-first index, and the
   global queue ranks exact scores — exactly the paper's pipeline.
 
+Enumeration is id-based end-to-end (see ``docs/enumeration.md``): the
+EXPANDROOT loop and the exact re-scoring join both run on integer path
+ids against the columnar store, materializing no path entries.
+
 With ``sampling_threshold=inf`` (or ``sampling_rate=1``) the output is the
 exact top-k (Theorem 4's correctness case); with sampling, Theorem 5 bounds
 the probability of inverting any two patterns.
@@ -31,8 +35,10 @@ from repro.core.types import PatternId
 from repro.index.builder import PathIndexes
 from repro.scoring.aggregate import RunningAggregate
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
-from repro.search.expand import combo_score, expand_root, join_pattern_roots
+from repro.search.context import EnumerationContext, ensure_context
+from repro.search.expand import expand_root, join_pattern_roots, pair_scorer
 from repro.search.result import (
+    ComboRef,
     EntryCombo,
     PatternAnswer,
     SearchResult,
@@ -54,6 +60,7 @@ def linear_topk_search(
     sampling_rate: float = 1.0,
     seed: Optional[int] = 0,
     keep_subtrees: bool = True,
+    context: Optional[EnumerationContext] = None,
 ) -> SearchResult:
     """Find the top-k d-height tree patterns (LINEARENUM-TOPK(Λ, ρ)).
 
@@ -81,22 +88,15 @@ def linear_topk_search(
     watch = Stopwatch()
     stats = SearchStats(algorithm="linear_topk")
     rng = random.Random(seed)
-    words = indexes.resolve_query(query)
-    root_first = indexes.root_first
+    context = ensure_context(indexes, query, context)
+    words = context.words
+    store = context.store
     graph = indexes.graph
 
-    root_maps = [root_first.roots(word) for word in words]
-    smallest = min(root_maps, key=len)
-    candidates = [
-        root
-        for root in smallest
-        if all(root in root_map for root_map in root_maps)
-    ]
-    stats.candidate_roots = len(candidates)
-
-    by_type: Dict[int, List[int]] = {}
-    for root in candidates:
-        by_type.setdefault(graph.node_type(root), []).append(root)
+    stats.candidate_roots = len(context.candidate_roots)
+    by_type = context.roots_by_type(graph)
+    score = pair_scorer(store, scoring)
+    form_tree = store.pairs_checker()
 
     queue: TopKQueue = TopKQueue(k)
     for root_type in sorted(by_type):
@@ -105,8 +105,8 @@ def linear_topk_search(
         subtree_count = 0
         for root in roots:
             per_root = 1
-            for word in words:
-                per_root *= root_first.path_count(word, root)
+            for i in range(len(words)):
+                per_root *= context.path_count(i, root)
             subtree_count += per_root
         if subtree_count >= sampling_threshold:
             rate = sampling_rate
@@ -119,24 +119,22 @@ def linear_topk_search(
         trees_by_pattern: Dict[PatternKey, List[EntryCombo]] = {}
         store_trees = keep_subtrees and rate >= 1.0
 
-        def sink(key_combo, entry_combo) -> None:
+        def sink(key_combo, pairs) -> None:
             aggregate = aggregates.get(key_combo)
             if aggregate is None:
                 aggregate = aggregates[key_combo] = scoring.running()
                 if store_trees:
                     trees_by_pattern[key_combo] = []
-            aggregate.add(combo_score(scoring, entry_combo))
+            aggregate.add(score(pairs))
             if store_trees:
-                trees_by_pattern[key_combo].append(entry_combo)
+                trees_by_pattern[key_combo].append(ComboRef(store, pairs))
 
         for root in roots:
             if rate < 1.0 and rng.random() >= rate:
                 continue
             stats.roots_expanded += 1
             expand_root(
-                [root_first.pattern_map(word, root) for word in words],
-                sink,
-                stats,
+                store, context.pattern_maps(root), sink, stats, form_tree
             )
         if not aggregates:
             continue
@@ -163,7 +161,7 @@ def linear_topk_search(
                     for word, pid in zip(words, key)
                 ]
                 aggregate, trees, _roots = join_pattern_roots(
-                    pattern_roots, scoring, keep_subtrees, stats
+                    store, pattern_roots, scoring, keep_subtrees, stats
                 )
                 if aggregate is None:  # pragma: no cover - see comment above
                     continue

@@ -26,6 +26,7 @@ from typing import List, Optional, Set, Tuple
 from repro.core.errors import SearchError
 from repro.index.builder import PathIndexes
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.context import EnumerationContext, ensure_context
 from repro.search.individual import individual_topk
 from repro.search.pattern_enum import pattern_enum_search
 from repro.search.result import EntryCombo, PatternAnswer, pattern_from_key
@@ -69,19 +70,27 @@ def mixed_search(
     k: int = 10,
     scoring: ScoringFunction = PAPER_DEFAULT,
     pattern_weight: float = 1.0,
+    context: Optional[EnumerationContext] = None,
 ) -> MixedResult:
     """Produce a universal ranking of tables and individual subtrees.
 
     ``pattern_weight`` in [0, 1] scales the patterns' normalized scores.
+    One :class:`EnumerationContext` is shared by the two underlying
+    searches, so query resolution and the candidate-root intersection are
+    computed once.
     """
     if not 0.0 <= pattern_weight <= 1.0:
         raise SearchError(
             f"pattern_weight must be in [0, 1], got {pattern_weight}"
         )
+    context = ensure_context(indexes, query, context)
     patterns = pattern_enum_search(
-        indexes, query, k=k, scoring=scoring, keep_subtrees=True
+        indexes, query, k=k, scoring=scoring, keep_subtrees=True,
+        context=context,
     )
-    individual = individual_topk(indexes, query, k=k, scoring=scoring)
+    individual = individual_topk(
+        indexes, query, k=k, scoring=scoring, context=context
+    )
 
     best_pattern = max((a.score for a in patterns.answers), default=0.0)
     best_subtree = max((s for s, _key, _c in individual.ranked), default=0.0)

@@ -7,13 +7,19 @@ pattern's root sets (``Roots(w_i, P_i)``) to test emptiness; for non-empty
 patterns, join the paths at each shared root to produce the valid subtrees,
 score, and maintain a size-k queue.
 
-Engineering refinement over the pseudo-code: the cross product is walked
-depth-first with *incremental* root-set intersection, so combinations
-sharing a pattern prefix share the prefix's intersection work and a dead
-prefix prunes its whole subtree (counted as checked-and-empty, keeping the
-statistics comparable).  Worst-case behaviour is unchanged — the Section
-4.1 adversarial graph still forces Theta(p^m) emptiness checks, which the
-tests assert — it is the constant factor that drops.
+Engineering refinements over the pseudo-code:
+
+* the cross product is walked depth-first with *incremental* root-set
+  intersection, so combinations sharing a pattern prefix share the
+  prefix's intersection work and a dead prefix prunes its whole subtree
+  (counted as checked-and-empty, keeping the statistics comparable).
+  Worst-case behaviour is unchanged — the Section 4.1 adversarial graph
+  still forces Theta(p^m) emptiness checks, which the tests assert — it
+  is the constant factor that drops;
+* the per-root path join is id-based: posting lists are iterated as
+  ``(path_id, sim)`` scalar pairs, validity and scoring go through the
+  columnar store, and no :class:`~repro.index.entry.PathEntry` is
+  materialized during enumeration.
 
 Fast in practice (no online aggregation dictionary; subtrees of a pattern
 are produced all at once) but worst-case exponential, unlike LINEARENUM.
@@ -22,14 +28,15 @@ are produced all at once) but worst-case exponential, unlike LINEARENUM.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, List, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.core.topk import TopKQueue
 from repro.index.builder import PathIndexes
-from repro.index.entry import PathEntry, entries_form_tree
+from repro.search.context import EnumerationContext, ensure_context
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
-from repro.search.expand import combo_score
+from repro.search.expand import pair_rows, pair_scorer
 from repro.search.result import (
+    ComboRef,
     PatternAnswer,
     SearchResult,
     SearchStats,
@@ -45,31 +52,29 @@ def pattern_enum_search(
     k: int = 100,
     scoring: ScoringFunction = PAPER_DEFAULT,
     keep_subtrees: bool = True,
+    context: Optional[EnumerationContext] = None,
 ) -> SearchResult:
     """Find the top-k d-height tree patterns by pattern enumeration."""
     watch = Stopwatch()
     stats = SearchStats(algorithm="pattern_enum")
-    words = indexes.resolve_query(query)
+    context = ensure_context(indexes, query, context)
+    words = context.words
+    store = context.store
     pattern_first = indexes.pattern_first
+    form_tree = store.pairs_checker()
+    score = pair_scorer(store, scoring)
     m = len(words)
 
     # Root types viable for *all* keywords; equivalent to the paper's loop
     # over every type (types missing for some keyword yield no patterns).
-    viable_types = None
-    for word in words:
-        types = pattern_first.root_types(word)
-        viable_types = types if viable_types is None else viable_types & types
-        if not viable_types:
-            break
+    viable_types = context.viable_types()
 
     queue: TopKQueue = TopKQueue(k)
     seen_roots = set()
 
-    # Number of full combinations below a pruned prefix: suffix products of
-    # the per-word pattern counts, recomputed per root type.
     def evaluate_leaf(
         pid_combo: Sequence[int],
-        root_maps: Sequence[Dict[int, List[PathEntry]]],
+        root_maps: Sequence[Mapping[int, Sequence]],
         roots: Sequence[int],
     ) -> None:
         stats.patterns_checked += 1
@@ -77,15 +82,17 @@ def pattern_enum_search(
         aggregate = scoring.running()
         trees = [] if keep_subtrees else None
         for root in sorted(roots):
-            entry_lists = [root_map[root] for root_map in root_maps]
-            for entry_combo in product(*entry_lists):
+            pair_lists = [
+                pair_rows(root_map[root]) for root_map in root_maps
+            ]
+            for pair_combo in product(*pair_lists):
                 stats.subtrees_enumerated += 1
-                if not entries_form_tree(entry_combo):
+                if not form_tree(pair_combo):
                     stats.tree_check_rejections += 1
                     continue
-                aggregate.add(combo_score(scoring, entry_combo))
+                aggregate.add(score(pair_combo))
                 if trees is not None:
-                    trees.append(entry_combo)
+                    trees.append(ComboRef(store, pair_combo))
         if aggregate.count == 0:
             # All path combinations failed the tree-validity check.
             stats.empty_patterns += 1
@@ -103,19 +110,22 @@ def pattern_enum_search(
             tie_key=canonical,
         )
 
-    for root_type in sorted(viable_types or ()):
+    for root_type in sorted(viable_types):
         per_word_patterns = [
             pattern_first.patterns_rooted_at(word, root_type)
             for word in words
         ]
         if any(not patterns for patterns in per_word_patterns):
             continue
+        # Number of full combinations below a pruned prefix: suffix
+        # products of the per-word pattern counts, recomputed per root
+        # type.
         suffix_combos = [1] * (m + 1)
         for i in range(m - 1, -1, -1):
             suffix_combos[i] = suffix_combos[i + 1] * len(per_word_patterns[i])
 
         pid_combo: List[int] = [0] * m
-        root_maps: List[Dict[int, List[PathEntry]]] = [{}] * m
+        root_maps: List[Mapping[int, Sequence]] = [{}] * m
 
         def descend(depth: int, roots) -> None:
             if depth == m:

@@ -70,8 +70,13 @@ def relaxed_search(
     result for the original keywords, flagged unrelaxed.
     """
     words = indexes.resolve_query(query)
+    # A shared per-query context is only valid for the *original* words;
+    # subset retries below must resolve their own, or they would silently
+    # search the full query again.
+    context = params.pop("context", None)
     result = pattern_enum_search(
-        indexes, ResolvedQuery(words), k=k, scoring=scoring, **params
+        indexes, ResolvedQuery(words), k=k, scoring=scoring,
+        context=context, **params,
     )
     if result.num_answers or len(words) == 1:
         return RelaxedResult(result, words, ())

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core.pattern import PathPattern, TreePattern
 from repro.core.subtree import ValidSubtree
@@ -20,9 +20,85 @@ from repro.index.entry import PathEntry, subtree_from_entries
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.index.builder import PathIndexes
+    from repro.index.store import PostingStore
 
 #: A valid subtree in its compact index form: one entry per query keyword.
-EntryCombo = Tuple[PathEntry, ...]
+#: Since the id-based enumeration refactor the search algorithms retain
+#: :class:`ComboRef` objects (path ids + sims, entries materialized on
+#: first access); a plain tuple of :class:`PathEntry` remains a valid
+#: combo and compares equal to a :class:`ComboRef` over the same paths.
+EntryCombo = Sequence[PathEntry]
+
+
+class ComboRef(Sequence):
+    """One valid subtree held as store-native scalars.
+
+    The id-based enumeration loops never build :class:`PathEntry` objects;
+    when a subtree must be *kept* (``keep_subtrees=True``) it is captured
+    as this reference — the backing :class:`~repro.index.store.PostingStore`
+    plus parallel ``(path_id, sim)`` tuples — and the entries are
+    reconstructed lazily (and cached) on first element access.  Equality
+    and hashing are by materialized entry values, so combos from different
+    stores (built vs loaded, index vs baseline scratch) and plain entry
+    tuples all compare interchangeably.
+    """
+
+    __slots__ = ("_store", "pairs", "_entries", "_hash")
+
+    def __init__(
+        self,
+        store: "PostingStore",
+        pairs: Tuple[Tuple[int, float], ...],
+    ) -> None:
+        self._store = store
+        self.pairs = pairs
+        self._entries: Optional[Tuple[PathEntry, ...]] = None
+        self._hash: Optional[int] = None
+
+    @property
+    def path_ids(self) -> Tuple[int, ...]:
+        return tuple(pair[0] for pair in self.pairs)
+
+    @property
+    def sims(self) -> Tuple[float, ...]:
+        return tuple(pair[1] for pair in self.pairs)
+
+    def entries(self) -> Tuple[PathEntry, ...]:
+        """The materialized entry tuple (built once, then cached)."""
+        entries = self._entries
+        if entries is None:
+            make = self._store.make_entry
+            entries = self._entries = tuple(
+                make(path_id, sim) for path_id, sim in self.pairs
+            )
+        return entries
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.entries())
+
+    def __getitem__(self, index):
+        return self.entries()[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ComboRef):
+            if self._store is other._store and self.pairs == other.pairs:
+                return True
+            return self.entries() == other.entries()
+        if isinstance(other, (tuple, list)):
+            return list(self.entries()) == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        result = self._hash
+        if result is None:
+            result = self._hash = hash(self.entries())
+        return result
+
+    def __repr__(self) -> str:
+        return f"ComboRef({self.pairs!r})"
 
 
 @dataclass

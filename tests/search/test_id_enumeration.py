@@ -1,0 +1,291 @@
+"""Differential tests: id-based enumeration vs the entry-based reference.
+
+The production algorithms enumerate integer path ids against the columnar
+store (``repro.search.expand``); :mod:`repro.search.reference` preserves
+the pre-refactor pipeline that materialized every
+:class:`~repro.index.entry.PathEntry`.  For all four algorithms the two
+must be *identical* — same answers, same (bit-equal) scores, same stats
+counters — on fixtures and on randomized graphs.
+
+Also here: the regression tests that ``keep_subtrees=False`` workloads
+materialize **zero** path entries, which is the refactor's point.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index.builder import build_indexes
+from repro.index.entry import PathEntry
+from repro.kg.graph import KnowledgeGraph
+from repro.search.baseline import baseline_search
+from repro.search.linear_enum import linear_enum_search
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+from repro.search.reference import (
+    reference_baseline_search,
+    reference_linear_enum_search,
+    reference_linear_topk_search,
+    reference_pattern_enum_search,
+)
+
+#: (production, reference) per algorithm, with any extra kwargs.
+PAIRS = {
+    "pattern_enum": (pattern_enum_search, reference_pattern_enum_search, {}),
+    "linear_enum": (linear_enum_search, reference_linear_enum_search, {}),
+    "linear_topk": (linear_topk_search, reference_linear_topk_search, {}),
+    "baseline": (baseline_search, reference_baseline_search, {}),
+    "linear_topk_sampled": (
+        linear_topk_search,
+        reference_linear_topk_search,
+        {"sampling_threshold": 0, "sampling_rate": 0.5, "seed": 11},
+    ),
+}
+
+#: Counters that must agree exactly (elapsed_seconds obviously excluded).
+STAT_FIELDS = (
+    "algorithm",
+    "candidate_roots",
+    "roots_expanded",
+    "patterns_checked",
+    "empty_patterns",
+    "nonempty_patterns",
+    "subtrees_enumerated",
+    "tree_check_rejections",
+    "sampled_types",
+    "rescored_patterns",
+)
+
+
+def assert_identical(actual, expected):
+    """Answers, scores, subtrees, and stats counters all bit-equal."""
+    assert actual.query == expected.query
+    assert actual.k == expected.k
+    assert actual.d == expected.d
+    assert actual.num_answers == expected.num_answers
+    for ours, theirs in zip(actual.answers, expected.answers):
+        assert ours.pattern_key == theirs.pattern_key
+        assert ours.pattern == theirs.pattern
+        assert ours.score == theirs.score  # bit-equal, not approx
+        assert ours.num_subtrees == theirs.num_subtrees
+        assert ours.estimated_score == theirs.estimated_score
+        assert len(ours.subtrees) == len(theirs.subtrees)
+        for combo_ref, entry_combo in zip(ours.subtrees, theirs.subtrees):
+            # ComboRef materializes lazily and must compare equal to the
+            # reference's plain entry tuple (and hash identically).
+            assert combo_ref == entry_combo
+            assert hash(combo_ref) == hash(tuple(entry_combo))
+    for field in STAT_FIELDS:
+        assert getattr(actual.stats, field) == getattr(
+            expected.stats, field
+        ), field
+
+
+def run_pair(indexes, query, name, k=20, **kwargs):
+    production, reference, extra = PAIRS[name]
+    params = {**extra, **kwargs}
+    assert_identical(
+        production(indexes, query, k=k, **params),
+        reference(indexes, query, k=k, **params),
+    )
+
+
+class TestOnFixtures:
+    @pytest.mark.parametrize("name", sorted(PAIRS))
+    def test_example(self, example_indexes, example_query, name):
+        run_pair(example_indexes, example_query, name)
+
+    @pytest.mark.parametrize("name", sorted(PAIRS))
+    def test_example_no_subtrees(self, example_indexes, example_query, name):
+        run_pair(example_indexes, example_query, name, keep_subtrees=False)
+
+    @pytest.mark.parametrize("name", sorted(PAIRS))
+    def test_wiki_workload(self, wiki_indexes, name):
+        from repro.datasets.queries import WorkloadConfig, generate_workload
+
+        queries = generate_workload(
+            wiki_indexes,
+            WorkloadConfig(queries_per_size=1, max_keywords=3, seed=29),
+        )
+        assert queries
+        for query in queries:
+            run_pair(wiki_indexes, query, name, k=10)
+
+
+# ---------------------------------------------------------------- hypothesis
+
+WORDS = ["apple", "berry", "cedar", "delta"]
+TYPES = ["T0", "T1", "T2"]
+ATTRS = ["a0", "a1"]
+
+
+@st.composite
+def random_graph_and_query(draw):
+    """A small random typed digraph plus a 1-3 word query."""
+    num_nodes = draw(st.integers(min_value=2, max_value=7))
+    node_types = [draw(st.sampled_from(TYPES)) for _ in range(num_nodes)]
+    node_texts = [
+        " ".join(
+            draw(
+                st.lists(
+                    st.sampled_from(WORDS), min_size=1, max_size=2, unique=True
+                )
+            )
+        )
+        for _ in range(num_nodes)
+    ]
+    possible_edges = [
+        (u, v, a)
+        for u in range(num_nodes)
+        for v in range(num_nodes)
+        if u != v
+        for a in ATTRS
+    ]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible_edges),
+            max_size=min(12, len(possible_edges)),
+            unique=True,
+        )
+    )
+    query = draw(
+        st.lists(st.sampled_from(WORDS), min_size=1, max_size=3, unique=True)
+    )
+    graph = KnowledgeGraph()
+    for node_type, text in zip(node_types, node_texts):
+        graph.add_node(node_type, text)
+    for u, v, a in edges:
+        graph.add_edge(u, a, v)
+    return graph, tuple(query)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_graph_and_query(), st.integers(min_value=1, max_value=3))
+def test_differential_on_random_graphs(graph_and_query, d):
+    """Production == reference on arbitrary cyclic typed digraphs."""
+    graph, query = graph_and_query
+    indexes = build_indexes(graph, d=d)
+    for name in sorted(PAIRS):
+        run_pair(indexes, query, name, k=15)
+        run_pair(indexes, query, name, k=15, keep_subtrees=False)
+
+
+# ------------------------------------------------------- zero materialization
+
+
+@pytest.fixture()
+def entry_counter(monkeypatch):
+    """Count every PathEntry construction, whatever the code path."""
+    counter = {"count": 0}
+    original = PathEntry.__new__
+
+    def counting_new(cls, *args, **kwargs):
+        counter["count"] += 1
+        return original(cls, *args, **kwargs)
+
+    monkeypatch.setattr(PathEntry, "__new__", counting_new)
+    return counter
+
+
+SEARCHES = {
+    "pattern_enum": (pattern_enum_search, {}),
+    "linear_enum": (linear_enum_search, {}),
+    "linear_topk": (linear_topk_search, {}),
+    "linear_topk_sampled": (
+        linear_topk_search,
+        {"sampling_threshold": 0, "sampling_rate": 0.5, "seed": 3},
+    ),
+    "baseline": (baseline_search, {}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SEARCHES))
+def test_keep_subtrees_false_materializes_nothing(
+    example_indexes, example_query, name, entry_counter
+):
+    """The refactor's contract: count-only workloads build zero entries."""
+    search, extra = SEARCHES[name]
+    result = search(
+        example_indexes, example_query, k=10, keep_subtrees=False, **extra
+    )
+    assert result.num_answers > 0
+    assert entry_counter["count"] == 0
+
+
+def test_keep_subtrees_true_materializes_lazily(
+    example_indexes, example_query, entry_counter
+):
+    """Kept subtrees stay as ids until an answer is actually read."""
+    result = pattern_enum_search(example_indexes, example_query, k=5)
+    assert result.num_answers > 0
+    assert entry_counter["count"] == 0  # nothing materialized yet
+    top = result.answers[0]
+    rows = top.materialize()
+    assert rows  # the boundary access materializes ...
+    assert entry_counter["count"] > 0  # ... and only then
+    # Re-reading is cached: no further constructions.
+    before = entry_counter["count"]
+    top.materialize()
+    assert entry_counter["count"] == before
+
+
+def test_store_counts_materializations(example_indexes, example_query):
+    """`entries_materialized` tracks make_entry through the store."""
+    store = example_indexes.store
+    before = store.entries_materialized
+    result = pattern_enum_search(
+        example_indexes, example_query, k=5, keep_subtrees=False
+    )
+    assert result.num_answers > 0
+    assert store.entries_materialized == before
+    kept = pattern_enum_search(example_indexes, example_query, k=5)
+    kept.answers[0].materialize()
+    assert store.entries_materialized > before
+
+
+class TestSharedContextGuards:
+    def test_context_for_other_index_rejected(self, example_indexes):
+        from repro.core.errors import SearchError
+        from repro.search.context import EnumerationContext
+
+        graph = KnowledgeGraph()
+        graph.add_node("T0", "apple")
+        other = build_indexes(graph, d=1)
+        context = EnumerationContext(other, "apple")
+        with pytest.raises(SearchError):
+            pattern_enum_search(example_indexes, "apple", context=context)
+
+    def test_context_for_other_resolved_query_rejected(
+        self, example_indexes, example_query
+    ):
+        from repro.core.errors import SearchError
+        from repro.index.builder import ResolvedQuery
+        from repro.search.context import EnumerationContext
+
+        context = EnumerationContext(example_indexes, example_query)
+        with pytest.raises(SearchError):
+            pattern_enum_search(
+                example_indexes, ResolvedQuery(("microsoft",)), context=context
+            )
+
+
+def test_linear_topk_exact_equals_sampled_rate_one(example_indexes, example_query):
+    """rate=1 sampling path is the exact path, id-based end to end."""
+    exact = linear_topk_search(
+        example_indexes, example_query, k=10,
+        sampling_threshold=math.inf,
+    )
+    degenerate = linear_topk_search(
+        example_indexes, example_query, k=10,
+        sampling_threshold=0, sampling_rate=1.0,
+    )
+    assert exact.scores() == degenerate.scores()
+    assert exact.pattern_keys() == degenerate.pattern_keys()

@@ -28,6 +28,19 @@ class TestRelaxation:
         assert set(relaxed.kept_keywords) == {"microsoft", "revenu"}
         assert relaxed.result.num_answers > 0
 
+    def test_caller_context_does_not_leak_into_retries(self, example_indexes):
+        # A shared per-query context resolves the *full* query; subset
+        # retries must not inherit it, or they would search the original
+        # keywords again and relaxation could never recover answers.
+        from repro.search.context import EnumerationContext
+
+        query = "microsoft revenue xylophone"
+        context = EnumerationContext(example_indexes, query)
+        relaxed = relaxed_search(example_indexes, query, k=5, context=context)
+        assert relaxed.was_relaxed
+        assert relaxed.dropped_keywords == ("xylophon",)
+        assert relaxed.result.num_answers > 0
+
     def test_prefers_fewer_drops(self, example_indexes):
         relaxed = relaxed_search(
             example_indexes, "microsoft revenue qqq zzz", k=5

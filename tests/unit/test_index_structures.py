@@ -276,6 +276,34 @@ class TestPostingStore:
         store.add_entry("databas", pid_a, make_entry((10, 12), (0,)))
         assert rf.path_count("databas", 10) == 2
 
+    def test_form_tree_matches_entries_on_non_simple_paths(self):
+        # Builder-enumerated paths are always simple, but add_path accepts
+        # hand-constructed ones; the single-path fast path must agree with
+        # entries_form_tree on them too.
+        _interner, store, pid_a, _pid_b = self.make_store()
+        cases = [
+            ((10, 11, 12), (0, 1)),        # simple: valid alone
+            ((10, 11, 10), (0, 1)),        # re-enters its own root
+            ((10, 11, 12, 11), (0, 1, 2)), # node 11 gets two parent edges
+        ]
+        for nodes, attrs in cases:
+            path_id = store.add_path(nodes, attrs, False, pid_a, 0.5)
+            entry = store.make_entry(path_id, 1.0)
+            expected = entries_form_tree((entry,))
+            assert store.form_tree([path_id]) == expected, nodes
+            checker = store.pairs_checker()
+            assert checker(((path_id, 1.0),)) == expected, nodes
+
+    def test_form_tree_cache_refreshes_after_append(self):
+        # append_path bumps the store version, so the query-acceleration
+        # columns may not serve stale state across interleaved appends.
+        _interner, store, pid_a, _pid_b = self.make_store()
+        first = store.add_path((10, 11), (0,), False, pid_a, 0.5)
+        assert store.form_tree([first])
+        second = store.append_path((10, 12), (0,), False, pid_a, 0.5)
+        assert store.form_tree([second])
+        assert store.form_tree([first, second])
+
 
 class TestPostingList:
     def build(self):
