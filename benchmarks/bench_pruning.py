@@ -1,0 +1,94 @@
+"""BENCH 3: bound-driven pruning — pruned vs unpruned top-k latency.
+
+Times PETopK and LETopK at k=10 on the bench wiki synthetic (800
+entities, d=3) with pruning on and off, over the pruning-regime workload
+(1-3 keyword queries in the heavy answer-set group; light queries run
+unpruned by design via the adaptive gate and are covered by fig07).
+Each bench asserts the two variants return identical top-k answers and
+records p50/p95 latency plus the pruning counters into the bench JSON.
+
+The standalone ``benchmarks/smoke_pruning.py`` produces the same numbers
+as a ``BENCH_3.json`` artifact (CI runs its ``smoke`` profile and fails
+on oracle divergence); this module keeps the measurement inside the
+pytest-benchmark suite for release-over-release tracking.
+"""
+
+import time
+
+import pytest
+
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+
+# Same workload selection and percentile as the BENCH_3.json emitter, so
+# both measurements stay aligned by construction.
+from smoke_pruning import heavy_workload, percentile
+
+ENGINES = {
+    "PETopK": pattern_enum_search,
+    "LETopK": linear_topk_search,
+}
+
+K = 10
+MIN_SUBTREES = 4096
+
+
+@pytest.fixture(scope="module")
+def pruning_queries(wiki_indexes):
+    """1-3 keyword wiki queries heavy enough for pruning to engage."""
+    queries = heavy_workload(wiki_indexes, MIN_SUBTREES, max_queries=8)
+    assert queries, "bench wiki config produced no heavy queries"
+    return queries
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pruning_speedup_profile(
+    benchmark, wiki_indexes, pruning_queries, engine
+):
+    """One pass per variant over the heavy workload; p50/p95 + counters.
+
+    Pruned and unpruned answers are asserted identical per query — the
+    recorded speedup is never bought with a wrong result.
+    """
+    search = ENGINES[engine]
+    wiki_indexes.store.bound_columns()  # warm the one-time aggregates
+
+    counters = {"roots_skipped": 0, "prefixes_skipped": 0, "pairs_skipped": 0}
+    for query in pruning_queries:
+        pruned = search(
+            wiki_indexes, query, k=K, prune=True, keep_subtrees=False
+        )
+        unpruned = search(
+            wiki_indexes, query, k=K, prune=False, keep_subtrees=False
+        )
+        assert pruned.scores() == unpruned.scores()
+        assert pruned.pattern_keys() == unpruned.pattern_keys()
+        for field in counters:
+            counters[field] += getattr(pruned.stats, field)
+    assert counters["roots_skipped"] > 0
+    assert counters["prefixes_skipped"] > 0
+
+    def sweep():
+        latencies = {True: [], False: []}
+        for query in pruning_queries:
+            for prune in (True, False):
+                started = time.perf_counter()
+                search(
+                    wiki_indexes, query, k=K, prune=prune,
+                    keep_subtrees=False,
+                )
+                latencies[prune].append(time.perf_counter() - started)
+        return latencies
+
+    latencies = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    pruned = sorted(latencies[True])
+    unpruned = sorted(latencies[False])
+    for label, fraction in (("p50", 0.5), ("p95", 0.95)):
+        pruned_ms = percentile(pruned, fraction) * 1000
+        unpruned_ms = percentile(unpruned, fraction) * 1000
+        benchmark.extra_info[f"{label}_ms_pruned"] = pruned_ms
+        benchmark.extra_info[f"{label}_ms_unpruned"] = unpruned_ms
+        benchmark.extra_info[f"speedup_{label}"] = unpruned_ms / pruned_ms
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["queries"] = len(pruning_queries)
+    benchmark.extra_info["k"] = K

@@ -1,0 +1,219 @@
+"""BENCH_3: bound-driven pruning — speedup profile + oracle divergence gate.
+
+Measures PETopK and LETopK at k=10 on the wiki synthetic (d=3), pruned
+vs unpruned, over the *pruning-regime* workload: 1-3 keyword queries
+(the paper's Bing-log keyword distribution) whose answer sets are large
+enough that top-k selection discards most of the candidate space — the
+regime Figures 7/8 call the heavy groups, and the one bound-driven
+pruning targets.  Light queries run unpruned by design (the adaptive
+gate in the algorithms), so they are measured by the existing fig07/
+fig08 benches, not here.
+
+Emits a ``BENCH_3.json`` with per-algorithm p50/p95 latencies for both
+variants, the speedups, and the pruning counters, and **fails (exit 1)
+if the pruned top-k diverges** from the unpruned run or from the frozen
+entry-based reference oracle (``repro.search.reference``) on any query.
+CI runs the ``smoke`` profile and uploads the JSON as an artifact; the
+``full`` profile reproduces the acceptance numbers (800 entities)::
+
+    PYTHONPATH=src python benchmarks/smoke_pruning.py --profile full \
+        --out BENCH_3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.datasets.queries import WorkloadConfig, generate_workload
+from repro.datasets.wiki import WikiConfig, generate_wiki_graph
+from repro.index.builder import build_indexes
+from repro.search.linear_enum import count_answers
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+from repro.search.reference import (
+    reference_linear_topk_search,
+    reference_pattern_enum_search,
+)
+
+PROFILES = {
+    # ~seconds in CI; mirrors the old quick-bench smoke graph.
+    "smoke": {
+        "wiki": WikiConfig(
+            num_entities=120, num_types=8, num_attrs=12,
+            vocabulary_size=60, seed=5,
+        ),
+        "min_subtrees": 64,
+        "repeats": 3,
+        "max_queries": 8,
+    },
+    # The acceptance configuration: wiki synthetic, 800 entities, d=3.
+    "full": {
+        "wiki": WikiConfig(
+            num_entities=800, num_types=24, num_attrs=36,
+            vocabulary_size=240, seed=23,
+        ),
+        "min_subtrees": 4096,
+        "repeats": 5,
+        "max_queries": 10,
+    },
+}
+
+ALGORITHMS = {
+    "petopk": (pattern_enum_search, reference_pattern_enum_search),
+    "letopk": (linear_topk_search, reference_linear_topk_search),
+}
+
+PRUNING_COUNTERS = ("roots_skipped", "prefixes_skipped", "pairs_skipped")
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, round(fraction * (len(sorted_values) - 1))),
+    )
+    return sorted_values[rank]
+
+
+def heavy_workload(indexes, min_subtrees, max_queries):
+    """Deduplicated 1-3 keyword queries in the heavy answer-set group."""
+    seen = set()
+    heavy = []
+    for seed in (23, 29, 31, 37, 41):
+        for query in generate_workload(
+            indexes,
+            WorkloadConfig(
+                queries_per_size=6, min_keywords=1, max_keywords=3, seed=seed
+            ),
+        ):
+            if query in seen:
+                continue
+            seen.add(query)
+            _patterns, subtrees = count_answers(indexes, query)
+            if subtrees >= min_subtrees:
+                heavy.append(query)
+        if len(heavy) >= max_queries:
+            break
+    return heavy[:max_queries]
+
+
+def answers_match(a, b):
+    return (
+        a.scores() == b.scores()
+        and a.pattern_keys() == b.pattern_keys()
+        and [ans.num_subtrees for ans in a.answers]
+        == [ans.num_subtrees for ans in b.answers]
+    )
+
+
+def run(profile_name: str, k: int, out_path: str) -> int:
+    profile = PROFILES[profile_name]
+    graph = generate_wiki_graph(profile["wiki"])
+    indexes = build_indexes(graph, d=3)
+    queries = heavy_workload(
+        indexes, profile["min_subtrees"], profile["max_queries"]
+    )
+    if not queries:
+        print("error: no heavy queries in the workload", file=sys.stderr)
+        return 1
+    indexes.store.bound_columns()  # warm the one-time aggregate build
+    repeats = profile["repeats"]
+    report = {
+        "bench": "BENCH_3",
+        "profile": profile_name,
+        "k": k,
+        "d": indexes.d,
+        "num_entities": profile["wiki"].num_entities,
+        "min_subtrees": profile["min_subtrees"],
+        "queries": [" ".join(query) for query in queries],
+        "algorithms": {},
+    }
+    divergent = False
+    for name, (search, reference) in ALGORITHMS.items():
+        pruned_latencies = []
+        unpruned_latencies = []
+        counters = {field: 0 for field in PRUNING_COUNTERS}
+        oracle_match = True
+        for query in queries:
+            pruned = search(
+                indexes, query, k=k, prune=True, keep_subtrees=False
+            )
+            unpruned = search(
+                indexes, query, k=k, prune=False, keep_subtrees=False
+            )
+            oracle = reference(indexes, query, k=k, keep_subtrees=False)
+            if not (
+                answers_match(pruned, unpruned)
+                and answers_match(pruned, oracle)
+            ):
+                oracle_match = False
+                divergent = True
+                print(
+                    f"DIVERGENCE: {name} on {' '.join(query)!r}",
+                    file=sys.stderr,
+                )
+            for field in PRUNING_COUNTERS:
+                counters[field] += getattr(pruned.stats, field)
+            best_pruned = best_unpruned = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                search(indexes, query, k=k, prune=True, keep_subtrees=False)
+                best_pruned = min(best_pruned, time.perf_counter() - started)
+                started = time.perf_counter()
+                search(indexes, query, k=k, prune=False, keep_subtrees=False)
+                best_unpruned = min(
+                    best_unpruned, time.perf_counter() - started
+                )
+            pruned_latencies.append(best_pruned)
+            unpruned_latencies.append(best_unpruned)
+        pruned_latencies.sort()
+        unpruned_latencies.sort()
+        entry = {
+            "queries": len(queries),
+            "oracle_match": oracle_match,
+            "counters": counters,
+        }
+        for label, fraction in (("p50", 0.5), ("p95", 0.95)):
+            pruned_ms = percentile(pruned_latencies, fraction) * 1000
+            unpruned_ms = percentile(unpruned_latencies, fraction) * 1000
+            entry[f"{label}_ms_pruned"] = pruned_ms
+            entry[f"{label}_ms_unpruned"] = unpruned_ms
+            entry[f"speedup_{label}"] = (
+                unpruned_ms and unpruned_ms / pruned_ms or 0.0
+            )
+        report["algorithms"][name] = entry
+        print(
+            f"{name}: p50 {entry['p50_ms_unpruned']:.2f} -> "
+            f"{entry['p50_ms_pruned']:.2f} ms "
+            f"({entry['speedup_p50']:.2f}x), p95 "
+            f"{entry['p95_ms_unpruned']:.2f} -> "
+            f"{entry['p95_ms_pruned']:.2f} ms "
+            f"({entry['speedup_p95']:.2f}x), counters={counters}, "
+            f"oracle_match={oracle_match}"
+        )
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {out_path}")
+    if divergent:
+        print("FAIL: pruned top-k diverged from the oracle", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="smoke"
+    )
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--out", default="BENCH_3.json")
+    args = parser.parse_args(argv)
+    return run(args.profile, args.k, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

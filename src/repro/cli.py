@@ -60,6 +60,34 @@ def _format_store_line(indexes) -> str:
     )
 
 
+#: Search algorithms whose hot loops take the ``prune`` switch (the
+#: baseline and the full-enumeration ranker have nothing to prune: their
+#: contract is the complete answer set).
+_PRUNABLE_ALGORITHMS = (
+    "pattern_enum", "petopk", "linear", "letopk", "linear_topk",
+)
+
+
+def _explain_pruning(stats) -> str:
+    """The ``--explain`` lines: pruning counters + threshold trajectory."""
+    lines = [
+        "pruning: "
+        f"roots_skipped={stats.roots_skipped} "
+        f"prefixes_skipped={stats.prefixes_skipped} "
+        f"pairs_skipped={stats.pairs_skipped}"
+    ]
+    if stats.threshold_first is not None:
+        lines.append(
+            "k-th score trajectory: "
+            f"{stats.threshold_first:.6g} -> {stats.threshold_last:.6g}"
+        )
+    else:
+        lines.append(
+            "k-th score trajectory: queue never filled (nothing pruned)"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     indexes = load_indexes(args.index)
     engine = TableAnswerEngine(indexes.graph, indexes=indexes)
@@ -68,11 +96,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
         params["sampling_rate"] = args.sampling_rate
     if args.sampling_threshold is not None:
         params["sampling_threshold"] = args.sampling_threshold
+    if args.algorithm in _PRUNABLE_ALGORITHMS:
+        params["prune"] = not args.no_prune
     result = engine.search(
         args.query, k=args.k, algorithm=args.algorithm, **params
     )
     if not result.answers:
         print("no answers")
+        if args.explain:
+            print(result.stats.format())
+            print(_explain_pruning(result.stats))
         return 1
     for rank, answer in enumerate(result.answers, start=1):
         print(
@@ -84,6 +117,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             print(answer.to_table(engine.graph).to_ascii(args.max_rows))
         print()
     print(result.stats.format())
+    if args.explain:
+        print(_explain_pruning(result.stats))
     return 0
 
 
@@ -119,11 +154,24 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--algorithm",
         default="pattern_enum",
-        choices=("pattern_enum", "petopk", "linear", "letopk", "baseline"),
+        choices=(
+            "pattern_enum", "petopk", "linear", "letopk", "linear_topk",
+            "linear_full", "baseline",
+        ),
     )
     search.add_argument("--sampling-rate", type=float, default=None)
     search.add_argument("--sampling-threshold", type=float, default=None)
     search.add_argument("--max-rows", type=int, default=10)
+    search.add_argument(
+        "--explain",
+        action="store_true",
+        help="print pruning counters and the k-th-score trajectory",
+    )
+    search.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable bound-driven top-k pruning (exhaustive enumeration)",
+    )
     search.set_defaults(handler=_cmd_search)
 
     stats = commands.add_parser("stats", help="inspect a persisted index")

@@ -127,3 +127,66 @@ class TopKQueue(Generic[T]):
         if not self._heap:
             raise SearchError("queue is empty")
         return self._heap[0][0]
+
+
+class TopKThreshold:
+    """Bound-admission gate over a :class:`TopKQueue`, with trajectory.
+
+    The bound-driven search loops ask one question per candidate unit of
+    work: *given an admissible upper bound on everything this unit could
+    contribute, can it still change the queue?*  :meth:`admits` answers
+    it — always ``True`` while the queue is not full (any score can still
+    enter), and ``upper_bound >= k-th score`` afterwards.  Equality is
+    admitted because a score tying the k-th may still be retained under
+    the queue's tie keys, so skipping requires the bound *strictly*
+    below the threshold; pruned and unpruned runs then keep identical
+    answers (see ``docs/pruning.md``).
+
+    The gate also records the k-th-score trajectory — the threshold the
+    first time the queue was observed full, and the final one — which
+    ``SearchStats`` and ``repro search --explain`` surface so the
+    "threshold tightens fast" claim is inspectable per query.
+
+    >>> queue = TopKQueue(1)
+    >>> gate = TopKThreshold(queue)
+    >>> gate.admits(0.1)  # queue not full: everything admitted
+    True
+    >>> _ = queue.push(2.0, "a")
+    >>> gate.admits(1.5), gate.admits(2.0)
+    (False, True)
+    """
+
+    __slots__ = ("queue", "first_threshold", "last_threshold")
+
+    def __init__(self, queue: TopKQueue) -> None:
+        self.queue = queue
+        self.first_threshold: Optional[float] = None
+        self.last_threshold: Optional[float] = None
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the queue is full (only then can anything be pruned)."""
+        return self.queue.is_full
+
+    def observe(self) -> Optional[float]:
+        """Record the current k-th score into the trajectory."""
+        if not self.queue.is_full:
+            return None
+        kth = self.queue.threshold()
+        if self.first_threshold is None:
+            self.first_threshold = kth
+        self.last_threshold = kth
+        return kth
+
+    def admits(self, upper_bound: float) -> bool:
+        """Whether work bounded by ``upper_bound`` could change the queue."""
+        kth = self.observe()
+        if kth is None:
+            return True
+        return upper_bound >= kth
+
+    def write_stats(self, stats) -> None:
+        """Snapshot the final threshold trajectory into ``SearchStats``."""
+        self.observe()
+        stats.threshold_first = self.first_threshold
+        stats.threshold_last = self.last_threshold

@@ -228,6 +228,9 @@ class PostingStore:
         # Query-time acceleration columns (see _query_columns).
         self._query_cache: Optional[tuple] = None
         self._query_cache_version = -1
+        # Aggregate bound columns for score pruning (see bound_columns).
+        self._bound_cache: Optional[tuple] = None
+        self._bound_cache_version = -1
 
     @classmethod
     def scratch(cls, interner: Optional[PatternInterner] = None) -> "PostingStore":
@@ -610,10 +613,110 @@ class PostingStore:
 
         The cache trades resident memory for query speed and persists
         after the first query; long-lived processes that query rarely can
-        call this to reclaim it — the next query pays one rebuild.
+        call this to reclaim it — the next query pays one rebuild.  The
+        aggregate bound columns (:meth:`bound_columns`) are dropped with
+        it: they are derived from the same boxed path columns.
         """
         self._query_cache = None
         self._query_cache_version = -1
+        self._bound_cache = None
+        self._bound_cache_version = -1
+
+    def path_columns(self) -> Tuple[List[int], List[float]]:
+        """``(sizes, prs)`` boxed per-path columns for bound arithmetic.
+
+        The same lists the query-acceleration cache holds (built lazily,
+        version-guarded); exposed so the bound-driven enumeration loops
+        can accumulate partial subtree sums without re-boxing array
+        elements per access.
+        """
+        _roots, sizes, prs, _edges, _self_invalid = self._query_columns()
+        return sizes, prs
+
+    def bound_columns(self) -> tuple:
+        """Aggregate columns backing admissible score upper bounds.
+
+        Returns ``(root_bounds, pattern_bounds)`` where::
+
+            root_bounds[word][root]          -> Bound  (over all patterns)
+            pattern_bounds[word][pid][root]  -> Bound  (one index leaf)
+
+        and a ``Bound`` is the 7-tuple ``(count, size_lo, size_hi, pr_lo,
+        pr_hi, sim_lo, sim_hi)`` aggregating that posting group: posting
+        count, min/max path size, min/max PageRank term, min/max
+        similarity term.  :class:`repro.search.bounds.QueryBounds` turns
+        these into admissible upper bounds on subtree and pattern scores
+        (see ``docs/pruning.md``).
+
+        Cached like the query-acceleration columns: built lazily on the
+        first pruning query, version-guarded, so any mutation
+        (:meth:`append_path` / :meth:`add_posting`) invalidates it.  Cost
+        is one pass over the posting columns; size is one tuple per index
+        leaf plus one per ``(word, root)`` group.
+        """
+        cache = self._bound_cache
+        if cache is not None and self._bound_cache_version == self.version:
+            return cache
+        self.finalize()
+        _roots, sizes, prs, _edges, _self_invalid = self._query_columns()
+        root_bounds: Dict[str, Dict[NodeId, tuple]] = {}
+        pattern_bounds: Dict[str, Dict[PatternId, Dict[NodeId, tuple]]] = {}
+        for word, by_pattern in self._pattern_view.items():
+            ids = self._posting_ids[word]
+            sim_col = self._posting_sims[word]
+            word_root: Dict[NodeId, tuple] = {}
+            word_pat: Dict[PatternId, Dict[NodeId, tuple]] = {}
+            for pid, by_root in by_pattern.items():
+                pid_map: Dict[NodeId, tuple] = {}
+                for root, leaf in by_root.items():
+                    start = leaf._start
+                    stop = leaf._stop
+                    path_id = ids[start]
+                    size_lo = size_hi = sizes[path_id]
+                    pr_lo = pr_hi = prs[path_id]
+                    sim_lo = sim_hi = sim_col[start]
+                    for i in range(start + 1, stop):
+                        path_id = ids[i]
+                        size = sizes[path_id]
+                        if size < size_lo:
+                            size_lo = size
+                        elif size > size_hi:
+                            size_hi = size
+                        pr = prs[path_id]
+                        if pr < pr_lo:
+                            pr_lo = pr
+                        elif pr > pr_hi:
+                            pr_hi = pr
+                        sim = sim_col[i]
+                        if sim < sim_lo:
+                            sim_lo = sim
+                        elif sim > sim_hi:
+                            sim_hi = sim
+                    bound = (
+                        stop - start,
+                        size_lo, size_hi, pr_lo, pr_hi, sim_lo, sim_hi,
+                    )
+                    pid_map[root] = bound
+                    merged = word_root.get(root)
+                    if merged is None:
+                        word_root[root] = bound
+                    else:
+                        word_root[root] = (
+                            merged[0] + bound[0],
+                            min(merged[1], size_lo),
+                            max(merged[2], size_hi),
+                            min(merged[3], pr_lo),
+                            max(merged[4], pr_hi),
+                            min(merged[5], sim_lo),
+                            max(merged[6], sim_hi),
+                        )
+                word_pat[pid] = pid_map
+            root_bounds[word] = word_root
+            pattern_bounds[word] = word_pat
+        cache = (root_bounds, pattern_bounds)
+        self._bound_cache = cache
+        self._bound_cache_version = self.version
+        return cache
 
     def form_tree(self, path_ids: Sequence[int]) -> bool:
         """Store-native :func:`repro.index.entry.entries_form_tree`.

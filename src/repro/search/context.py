@@ -23,12 +23,14 @@ identical id-based loop in :mod:`repro.search.expand`.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import SearchError
-from repro.core.types import NodeId, TypeId
+from repro.core.types import NodeId, PatternId, TypeId
 from repro.index.builder import PathIndexes
 from repro.index.store import PostingStore
+from repro.search.bounds import QueryBounds
 
 _EMPTY_MAP: Mapping = {}
 
@@ -49,6 +51,7 @@ class EnumerationContext:
         "_candidates",
         "_by_type",
         "_viable_types",
+        "_bounds",
     )
 
     def __init__(self, indexes: PathIndexes, query) -> None:
@@ -59,6 +62,7 @@ class EnumerationContext:
         self._candidates: Optional[List[NodeId]] = None
         self._by_type: Optional[Dict[TypeId, List[NodeId]]] = None
         self._viable_types: Optional[Set[TypeId]] = None
+        self._bounds: Optional[tuple] = None
 
     @classmethod
     def from_root_maps(
@@ -85,6 +89,7 @@ class EnumerationContext:
         context._candidates = candidate_roots
         context._by_type = None
         context._viable_types = None
+        context._bounds = None
         return context
 
     # ------------------------------------------------------------ root-first
@@ -142,6 +147,55 @@ class EnumerationContext:
             )
         pattern_map = self.root_maps[word_index].get(root, _EMPTY_MAP)
         return sum(len(rows) for rows in pattern_map.values())
+
+    # ------------------------------------------------------------- pruning
+
+    def query_bounds(self, scoring) -> Optional[QueryBounds]:
+        """Admissible score upper bounds for this query under ``scoring``.
+
+        Built lazily from the store's aggregate bound columns and cached
+        for the context's lifetime (multi-algorithm drivers share one
+        bounds object per query, like the root maps).  ``None`` when
+        ``scoring`` falls outside the bounded class — callers then run
+        unpruned.
+        """
+        cached = self._bounds
+        if cached is not None and cached[0] is scoring:
+            return cached[1]
+        bounds = QueryBounds.create(self.store, scoring, self.words)
+        self._bounds = (scoring, bounds)
+        return bounds
+
+    def root_upper_bound(self, root: NodeId, scoring) -> float:
+        """Upper bound on any pattern's score confined to subtrees at
+        ``root`` (and on any single subtree there, under MAX).
+
+        Convenience wrapper over :class:`~repro.search.bounds.QueryBounds`
+        for explain tooling and tests; the hot loops use the bounds
+        object directly.  ``inf`` when bounds are unavailable.
+        """
+        bounds = self.query_bounds(scoring)
+        if bounds is None:
+            return math.inf
+        term = bounds.root_term(root)
+        if term is None:
+            return 0.0
+        count, combo_upper = term
+        return bounds._finish(count, count * combo_upper, combo_upper)
+
+    def prefix_upper_bound(
+        self,
+        pids: Sequence[PatternId],
+        roots: Sequence[NodeId],
+        scoring,
+    ) -> float:
+        """Upper bound over all patterns completing the path-pattern
+        prefix ``pids`` with root set within ``roots`` (``inf`` when
+        bounds are unavailable)."""
+        bounds = self.query_bounds(scoring)
+        if bounds is None:
+            return math.inf
+        return bounds.prefix_upper(pids, len(pids), roots)
 
     # --------------------------------------------------------- pattern-first
 

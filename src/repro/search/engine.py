@@ -125,7 +125,9 @@ class TableAnswerEngine:
         * ``baseline`` — Section 2.3's enumeration-aggregation.
 
         Extra keyword ``params`` are forwarded to the algorithm (e.g.
-        ``keep_subtrees=False``, ``seed=...``).  Multi-algorithm callers
+        ``keep_subtrees=False``, ``seed=...``, ``prune=False`` to disable
+        the bound-driven top-k pruning of ``pattern_enum``/``linear``/
+        ``letopk`` — see ``docs/pruning.md``).  Multi-algorithm callers
         can pass ``context=`` (see :meth:`context`) to share the
         per-query setup across calls; otherwise the algorithm builds its
         own.
@@ -166,9 +168,13 @@ class TableAnswerEngine:
         result = self.search(query, k=k, algorithm=algorithm, **params)
         return result.tables(self.graph, max_rows=max_rows)
 
-    def individual(self, query, k: int = 100) -> IndividualResult:
+    def individual(
+        self, query, k: int = 100, prune: bool = True
+    ) -> IndividualResult:
         """Top-k *individual* valid subtrees (the Section 5.3 comparison)."""
-        return individual_topk(self.indexes, query, k=k, scoring=self.scoring)
+        return individual_topk(
+            self.indexes, query, k=k, scoring=self.scoring, prune=prune
+        )
 
     def context(self, query) -> EnumerationContext:
         """A fresh shared per-query context (resolution, root maps, ...).
@@ -190,7 +196,13 @@ class TableAnswerEngine:
             self.indexes, query, k=k, scoring=self.scoring, **params
         )
 
-    def search_mixed(self, query, k: int = 10, pattern_weight: float = 1.0):
+    def search_mixed(
+        self,
+        query,
+        k: int = 10,
+        pattern_weight: float = 1.0,
+        prune: bool = True,
+    ):
         """Universal ranking mixing tables and individual subtrees.
 
         Implements the Section 5.3 open problem; see
@@ -204,6 +216,7 @@ class TableAnswerEngine:
             k=k,
             scoring=self.scoring,
             pattern_weight=pattern_weight,
+            prune=prune,
         )
 
     def coverage(self, query, k: int = 100) -> CoverageMetrics:

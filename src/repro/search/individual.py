@@ -16,11 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
-from repro.core.topk import TopKQueue
+from repro.core.topk import TopKQueue, TopKThreshold
 from repro.index.builder import PathIndexes
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
 from repro.search.context import EnumerationContext, ensure_context
-from repro.search.expand import expand_root, pair_scorer
+from repro.search.expand import expand_root, expand_root_topk, pair_scorer
 from repro.search.result import (
     ComboRef,
     EntryCombo,
@@ -68,9 +68,22 @@ def individual_topk(
     query,
     k: int = 100,
     scoring: ScoringFunction = PAPER_DEFAULT,
+    prune: bool = True,
     context: Optional[EnumerationContext] = None,
 ) -> IndividualResult:
-    """Rank individual valid subtrees by their tree score (Equation 3)."""
+    """Rank individual valid subtrees by their tree score (Equation 3).
+
+    Because every enumerated combination is ranked on its own (no
+    pattern aggregation), this is the classic bounded top-k join: with
+    ``prune=True`` (default) candidate roots are visited in descending
+    single-subtree upper-bound order and the loop stops outright once the
+    best remaining root cannot beat the k-th score; within a root,
+    pattern combinations, path-product suffixes, and descending-sim
+    posting runs are cut by the same bound (see
+    :func:`repro.search.expand.expand_root_topk`).  Ties at the k-th
+    score are broken by a canonical (pattern key, pairs) tie key, so
+    pruned and unpruned runs return identical rankings.
+    """
     watch = Stopwatch()
     stats = SearchStats(algorithm="individual")
     context = ensure_context(indexes, query, context)
@@ -79,17 +92,51 @@ def individual_topk(
     stats.candidate_roots = len(candidates)
 
     queue: TopKQueue = TopKQueue(k)
+    threshold = TopKThreshold(queue)
+    bounds = context.query_bounds(scoring) if prune else None
     score = pair_scorer(store, scoring)
 
     def sink(key_combo, pairs) -> None:
         # Raw pairs into the queue; only the k survivors get wrapped in
-        # ComboRef below, not every enumerated subtree.
-        queue.push(score(pairs), (key_combo, pairs))
+        # ComboRef below, not every enumerated subtree.  The tie key
+        # makes retention independent of enumeration order (pruning
+        # reorders roots and posting runs).
+        queue.push(score(pairs), (key_combo, pairs), tie_key=(key_combo, pairs))
 
     form_tree = store.pairs_checker()
-    for root in candidates:
-        stats.roots_expanded += 1
-        expand_root(store, context.pattern_maps(root), sink, stats, form_tree)
+    if bounds is None:
+        for root in candidates:
+            stats.roots_expanded += 1
+            expand_root(
+                store, context.pattern_maps(root), sink, stats, form_tree
+            )
+    else:
+        ordered = []
+        for root in candidates:
+            term = bounds.root_term(root)
+            if term is not None:
+                ordered.append((term[1], root))
+        ordered.sort(key=lambda item: (-item[0], item[1]))
+        sorted_pairs_memo: dict = {}
+        for index, (root_upper, root) in enumerate(ordered):
+            if not threshold.admits(root_upper):
+                # Descending bound order: no later root can reach the
+                # k-th score either.
+                stats.roots_skipped += len(ordered) - index
+                break
+            stats.roots_expanded += 1
+            expand_root_topk(
+                store,
+                root,
+                context.pattern_maps(root),
+                bounds,
+                threshold,
+                sink,
+                stats,
+                form_tree,
+                sorted_pairs_memo,
+            )
+        threshold.write_stats(stats)
 
     ranked = [
         (subtree_score, key, ComboRef(store, pairs))

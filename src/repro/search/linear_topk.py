@@ -30,11 +30,12 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import SearchError
-from repro.core.topk import TopKQueue
+from repro.core.topk import TopKQueue, TopKThreshold
 from repro.core.types import PatternId
 from repro.index.builder import PathIndexes
-from repro.scoring.aggregate import RunningAggregate
+from repro.scoring.aggregate import AVG, RunningAggregate
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.bounds import SAFETY
 from repro.search.context import EnumerationContext, ensure_context
 from repro.search.expand import expand_root, join_pattern_roots, pair_scorer
 from repro.search.result import (
@@ -50,6 +51,12 @@ from repro.search.result import (
 
 PatternKey = Tuple[PatternId, ...]
 
+_NEG_INF = float("-inf")
+
+#: Queries whose estimated subtree count (N_R, Algorithm 4 line 4) stays
+#: below this run unpruned: bound bookkeeping would dominate.
+_PRUNE_MIN_SUBTREES = 512
+
 
 def linear_topk_search(
     indexes: PathIndexes,
@@ -60,6 +67,7 @@ def linear_topk_search(
     sampling_rate: float = 1.0,
     seed: Optional[int] = 0,
     keep_subtrees: bool = True,
+    prune: bool = True,
     context: Optional[EnumerationContext] = None,
 ) -> SearchResult:
     """Find the top-k d-height tree patterns (LINEARENUM-TOPK(Λ, ρ)).
@@ -76,6 +84,15 @@ def linear_topk_search(
     seed:
         Seed for the sampling RNG; pass ``None`` for nondeterministic
         sampling.
+    prune:
+        Bound-driven top-k early termination (default on): root types
+        are processed in descending upper-bound order and skipped — all
+        their roots with them — once their bound falls below the running
+        k-th score, and within an unsampled type a pattern whose
+        whole-index upper bound cannot reach the k-th score is skipped at
+        every root.  Sampling decisions are pre-drawn in the canonical
+        type/root order, so answers are bit-identical to ``prune=False``
+        even under sampling — only the work differs (``docs/pruning.md``).
     """
     if not 0.0 < sampling_rate <= 1.0:
         raise SearchError(
@@ -99,6 +116,18 @@ def linear_topk_search(
     form_tree = store.pairs_checker()
 
     queue: TopKQueue = TopKQueue(k)
+    threshold = TopKThreshold(queue)
+    bounds = context.query_bounds(scoring) if prune else None
+    #: Per keyword: pids proven unable to reach the k-th score.  A dead
+    #: pid is excluded from every later pattern product; patterns already
+    #: holding partial aggregates through it are swept at type flush.
+    dead_pids: List[set] = [set() for _ in words]
+
+    # Per-type plans are prepared in the canonical (sorted type, sorted
+    # root) order so the sampling RNG stream is identical with and
+    # without pruning; pruning only reorders *processing*.
+    plans = []
+    total_work = 0
     for root_type in sorted(by_type):
         roots = sorted(by_type[root_type])
 
@@ -113,7 +142,34 @@ def linear_topk_search(
         else:
             rate = 1.0
         if rate < 1.0:
+            expanded = [root for root in roots if rng.random() < rate]
+        else:
+            expanded = roots
+        total_work += subtree_count
+        plans.append([root_type, roots, rate, expanded, 0.0])
+    if bounds is not None and total_work < _PRUNE_MIN_SUBTREES:
+        # Adaptive gate: the whole query enumerates fewer subtrees than
+        # the bound bookkeeping would cost — run exhaustively.
+        bounds = None
+    if bounds is not None:
+        # Best types first: the k-th score tightens before the bulk of
+        # the candidate roots is ever expanded.
+        for plan in plans:
+            plan[4] = SAFETY * sum(
+                bounds.root_mass(root) for root in plan[1]
+            )
+        plans.sort(key=lambda plan: (-plan[4], plan[0]))
+
+    for root_type, roots, rate, expanded, type_upper in plans:
+        if bounds is not None and not threshold.admits(type_upper):
+            # No pattern rooted in this type can reach the k-th score.
+            stats.roots_skipped += len(roots)
+            continue
+        if rate < 1.0:
             stats.sampled_types += 1
+        # Within-type filters pay off only when patterns span enough
+        # roots to amortize their one-time bound; small types run the
+        # plain loop (the type-level skip above still applies).
 
         aggregates: Dict[PatternKey, RunningAggregate] = {}
         trees_by_pattern: Dict[PatternKey, List[EntryCombo]] = {}
@@ -129,13 +185,114 @@ def linear_topk_search(
             if store_trees:
                 trees_by_pattern[key_combo].append(ComboRef(store, pairs))
 
-        for root in roots:
-            if rate < 1.0 and rng.random() >= rate:
-                continue
+        pattern_filter = None
+        key_filter = None
+        cut = _NEG_INF
+        if bounds is not None and rate >= 1.0:
+            # Exact mode only: a pattern whose upper bound over *all* its
+            # roots falls below ``cut`` — a proven lower bound on the
+            # *final* k-th score — can be dropped, partial aggregate and
+            # all: its exact score can never be retained by the global
+            # queue.  ``cut`` starts at the k-th score carried over from
+            # earlier types and, for monotone aggregators, is raised
+            # mid-type from the running partial sums: the k-th largest
+            # partial is a lower bound on the final k-th largest score,
+            # so pruning activates *inside* the very first (largest)
+            # type, before anything was ever flushed.  Under sampling the
+            # per-type top-k is chosen by *estimate* and dropping a
+            # pattern would change which live patterns are selected — so
+            # sampled types always enumerate fully.
+            if queue.is_full:
+                cut = queue.threshold()
+            dead = -1.0  # sentinel: upper bounds are strictly positive
+            verdicts: Dict[PatternKey, float] = {}
+
+            if 2 <= len(words) <= 3:
+                # The per-pattern bound amortizes over a pattern's roots.
+                # With one keyword the pid filter below is the same test;
+                # past ~3 keywords pattern combinations are mostly unique
+                # per root and their joins are as cheap as the bound, so
+                # bounding them is a measured net loss — only the pid
+                # filter runs there.
+                def pattern_filter(
+                    key_combo, _product_size, verdicts=verdicts
+                ) -> bool:
+                    if cut == _NEG_INF:
+                        return True  # nothing to prune against yet
+                    upper = verdicts.get(key_combo)
+                    if upper == dead:
+                        return False
+                    if upper is None:
+                        upper = verdicts[key_combo] = (
+                            bounds.full_pattern_upper(key_combo, max_roots=32)
+                        )
+                    if upper < cut:
+                        verdicts[key_combo] = dead
+                        if aggregates.pop(key_combo, None) is not None:
+                            trees_by_pattern.pop(key_combo, None)
+                        return False
+                    return True
+
+            pid_caches = [
+                bounds.pid_upper_cache(i) for i in range(len(words))
+            ]
+
+            def key_filter(word_index, pid, pid_caches=pid_caches) -> bool:
+                # A dead pid removes a whole slice of the pattern product
+                # before it is formed; patterns already aggregating
+                # through it are swept before the flush below.
+                if cut == _NEG_INF:
+                    return True
+                upper = pid_caches[word_index].get(pid)
+                if upper is None:
+                    upper = bounds.pid_upper(word_index, pid)
+                if upper >= cut:
+                    return True
+                dead_pids[word_index].add(pid)
+                return False
+
+        # Partial sums only grow for sum/max/count aggregation, so their
+        # running k-th largest value is a valid lower bound on the final
+        # k-th score; avg partials can shrink and must not raise the cut.
+        partials_grow = scoring.aggregator != AVG
+
+        for index, root in enumerate(expanded):
+            # Geometric early refreshes (the cut rises fastest at the
+            # start), then a fixed stride so the O(live patterns) scan
+            # stays a small fraction of the type's work.
+            if (
+                key_filter is not None
+                and partials_grow
+                and index
+                and ((index & (index - 1)) == 0 or index % 16 == 0)
+                and len(aggregates) >= k
+            ):
+                kth_partial = heapq.nlargest(
+                    k, (agg.value() for agg in aggregates.values())
+                )[-1]
+                if kth_partial > cut:
+                    cut = kth_partial
             stats.roots_expanded += 1
             expand_root(
-                store, context.pattern_maps(root), sink, stats, form_tree
+                store,
+                context.pattern_maps(root),
+                sink,
+                stats,
+                form_tree,
+                pattern_filter=pattern_filter,
+                key_filter=key_filter,
             )
+        if key_filter is not None and any(dead_pids):
+            # Sweep partial aggregates orphaned by a pid that died after
+            # they started accumulating: their exact score is provably
+            # below the final k-th, so dropping them cannot change the
+            # global queue (docs/pruning.md).
+            for key_combo in list(aggregates):
+                if any(
+                    pid in dead_pids[i] for i, pid in enumerate(key_combo)
+                ):
+                    del aggregates[key_combo]
+                    trees_by_pattern.pop(key_combo, None)
         if not aggregates:
             continue
         stats.nonempty_patterns += len(aggregates)
@@ -179,6 +336,8 @@ def linear_topk_search(
                     tie_key=canonical,
                 )
 
+    if bounds is not None:
+        threshold.write_stats(stats)
     answers = []
     for score, (key, count, trees, estimate) in queue.ranked():
         answers.append(

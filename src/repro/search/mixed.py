@@ -70,14 +70,17 @@ def mixed_search(
     k: int = 10,
     scoring: ScoringFunction = PAPER_DEFAULT,
     pattern_weight: float = 1.0,
+    prune: bool = True,
     context: Optional[EnumerationContext] = None,
 ) -> MixedResult:
     """Produce a universal ranking of tables and individual subtrees.
 
     ``pattern_weight`` in [0, 1] scales the patterns' normalized scores.
     One :class:`EnumerationContext` is shared by the two underlying
-    searches, so query resolution and the candidate-root intersection are
-    computed once.
+    searches, so query resolution, the candidate-root intersection, and
+    (with ``prune=True``) the score-bound columns are computed once;
+    ``prune`` is forwarded to both searches, whose answers are
+    bit-identical either way.
     """
     if not 0.0 <= pattern_weight <= 1.0:
         raise SearchError(
@@ -86,10 +89,10 @@ def mixed_search(
     context = ensure_context(indexes, query, context)
     patterns = pattern_enum_search(
         indexes, query, k=k, scoring=scoring, keep_subtrees=True,
-        context=context,
+        prune=prune, context=context,
     )
     individual = individual_topk(
-        indexes, query, k=k, scoring=scoring, context=context
+        indexes, query, k=k, scoring=scoring, prune=prune, context=context
     )
 
     best_pattern = max((a.score for a in patterns.answers), default=0.0)

@@ -19,7 +19,16 @@ Engineering refinements over the pseudo-code:
 * the per-root path join is id-based: posting lists are iterated as
   ``(path_id, sim)`` scalar pairs, validity and scoring go through the
   columnar store, and no :class:`~repro.index.entry.PathEntry` is
-  materialized during enumeration.
+  materialized during enumeration;
+* with ``prune=True`` (default), admissible score upper bounds drive
+  top-k early termination: root types are visited in descending
+  upper-bound order (so the k-th score tightens fast) and skipped
+  outright once their bound falls below it, and inside the depth-first
+  pattern walk every prefix carries an upper bound over all its
+  completions — a failing prefix prunes its whole subtree of pattern
+  combinations before any path join runs.  Pruned and unpruned searches
+  return bit-identical answers (``docs/pruning.md``; differential tests
+  in ``tests/search/test_pruning.py``).
 
 Fast in practice (no online aggregation dictionary; subtrees of a pattern
 are produced all at once) but worst-case exponential, unlike LINEARENUM.
@@ -30,8 +39,9 @@ from __future__ import annotations
 from itertools import product
 from typing import List, Mapping, Optional, Sequence
 
-from repro.core.topk import TopKQueue
+from repro.core.topk import TopKQueue, TopKThreshold
 from repro.index.builder import PathIndexes
+from repro.search.bounds import SAFETY
 from repro.search.context import EnumerationContext, ensure_context
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
 from repro.search.expand import pair_rows, pair_scorer
@@ -46,15 +56,28 @@ from repro.search.result import (
 )
 
 
+#: Queries whose estimated subtree count (N_R, from posting counts alone)
+#: stays below this run unpruned: bound bookkeeping would dominate.
+_PRUNE_MIN_SUBTREES = 256
+
+
 def pattern_enum_search(
     indexes: PathIndexes,
     query,
     k: int = 100,
     scoring: ScoringFunction = PAPER_DEFAULT,
     keep_subtrees: bool = True,
+    prune: bool = True,
     context: Optional[EnumerationContext] = None,
 ) -> SearchResult:
-    """Find the top-k d-height tree patterns by pattern enumeration."""
+    """Find the top-k d-height tree patterns by pattern enumeration.
+
+    ``prune=True`` (default) enables bound-driven top-k early
+    termination; answers are bit-identical either way, only the work (and
+    the stats counters) differ.  ``prune=False`` reproduces the
+    exhaustive walk — the shape the worst-case analyses and the
+    entry-based reference oracle count.
+    """
     watch = Stopwatch()
     stats = SearchStats(algorithm="pattern_enum")
     context = ensure_context(indexes, query, context)
@@ -70,6 +93,22 @@ def pattern_enum_search(
     viable_types = context.viable_types()
 
     queue: TopKQueue = TopKQueue(k)
+    threshold = TopKThreshold(queue)
+    bounds = context.query_bounds(scoring) if prune else None
+    if bounds is not None:
+        # Adaptive gate: below a few hundred candidate subtrees (the
+        # paper's N_R estimate, counts only) the whole query costs less
+        # than the bound bookkeeping — run exhaustively.
+        total_work = 0
+        for root in context.candidate_roots:
+            per_root = 1
+            for i in range(m):
+                per_root *= context.path_count(i, root)
+            total_work += per_root
+            if total_work >= _PRUNE_MIN_SUBTREES:
+                break
+        if total_work < _PRUNE_MIN_SUBTREES:
+            bounds = None
     seen_roots = set()
 
     def evaluate_leaf(
@@ -110,7 +149,29 @@ def pattern_enum_search(
             tie_key=canonical,
         )
 
-    for root_type in sorted(viable_types):
+    if bounds is not None:
+        # Visit types best-first so the k-th score tightens fast; once a
+        # type's bound falls below it, every pattern of that type is out.
+        by_type = context.roots_by_type(indexes.graph)
+        type_uppers = {
+            root_type: SAFETY * sum(
+                bounds.root_mass(root)
+                for root in by_type.get(root_type, ())
+            )
+            for root_type in viable_types
+        }
+        type_order = sorted(
+            viable_types, key=lambda t: (-type_uppers[t], t)
+        )
+    else:
+        type_order = sorted(viable_types)
+
+    for root_type in type_order:
+        if bounds is not None and not threshold.admits(
+            type_uppers[root_type]
+        ):
+            stats.roots_skipped += len(by_type.get(root_type, ()))
+            continue
         per_word_patterns = [
             pattern_first.patterns_rooted_at(word, root_type)
             for word in words
@@ -126,6 +187,7 @@ def pattern_enum_search(
 
         pid_combo: List[int] = [0] * m
         root_maps: List[Mapping[int, Sequence]] = [{}] * m
+        root_mass = bounds.root_mass if bounds is not None else None
 
         def descend(depth: int, roots) -> None:
             if depth == m:
@@ -133,8 +195,27 @@ def pattern_enum_search(
                 return
             word = words[depth]
             for pid in per_word_patterns[depth]:
+                pruning = root_mass is not None and queue.is_full
+                if pruning and not threshold.admits(
+                    bounds.pid_upper(depth, pid)
+                ):
+                    # No pattern through this path pattern can reach the
+                    # k-th score: the whole product slice dies before the
+                    # intersection is even computed.
+                    stats.prefixes_skipped += suffix_combos[depth + 1]
+                    continue
                 root_map = pattern_first.roots(word, pid)
-                if depth == 0:
+                if pruning:
+                    # Fold the cheap per-root mass bound into the
+                    # intersection pass itself: one cached lookup and one
+                    # add per surviving root.
+                    new_roots = []
+                    mass = 0.0
+                    for root in (root_map if depth == 0 else roots):
+                        if depth == 0 or root in root_map:
+                            new_roots.append(root)
+                            mass += root_mass(root)
+                elif depth == 0:
                     new_roots = list(root_map)
                 else:
                     new_roots = [r for r in roots if r in root_map]
@@ -147,11 +228,31 @@ def pattern_enum_search(
                     stats.empty_patterns += skipped
                     continue
                 pid_combo[depth] = pid
+                if pruning:
+                    # Cheap admissible bound over *every* completion of
+                    # this prefix: below the k-th score, the whole
+                    # subtree of pattern combinations is dead (counted,
+                    # not checked).
+                    if not threshold.admits(mass * SAFETY):
+                        stats.prefixes_skipped += suffix_combos[depth + 1]
+                        continue
+                    if depth + 1 == m:
+                        # The join is imminent: pay one tight per-keyword
+                        # bound to skip it when the pattern cannot reach
+                        # the k-th score.
+                        upper = bounds.pattern_upper_at_roots(
+                            pid_combo, m, new_roots
+                        )
+                        if not threshold.admits(upper):
+                            stats.prefixes_skipped += 1
+                            continue
                 root_maps[depth] = root_map
                 descend(depth + 1, new_roots)
 
         descend(0, None)
 
+    if bounds is not None:
+        threshold.write_stats(stats)
     stats.candidate_roots = len(seen_roots)
     answers = []
     for score, (pid_combo_key, count, trees) in queue.ranked():

@@ -117,6 +117,16 @@ class SearchStats:
     tree_check_rejections: int = 0
     sampled_types: int = 0
     rescored_patterns: int = 0
+    #: Bound-driven pruning counters (0 / None when pruning is off or
+    #: never triggered; semantics in ``docs/pruning.md``).
+    roots_skipped: int = 0
+    prefixes_skipped: int = 0
+    pairs_skipped: int = 0
+    #: k-th-score trajectory: the threshold when the top-k queue first
+    #: filled, and the final one.  None when the queue never filled (or
+    #: pruning was off).
+    threshold_first: Optional[float] = None
+    threshold_last: Optional[float] = None
 
     def format(self) -> str:
         parts = [f"{self.algorithm}: {self.elapsed_seconds * 1000:.1f} ms"]
@@ -130,9 +140,16 @@ class SearchStats:
             ("non-tree", self.tree_check_rejections),
             ("sampled-types", self.sampled_types),
             ("rescored", self.rescored_patterns),
+            ("roots-skipped", self.roots_skipped),
+            ("prefixes-skipped", self.prefixes_skipped),
+            ("pairs-skipped", self.pairs_skipped),
         ):
             if value:
                 parts.append(f"{label}={value}")
+        if self.threshold_first is not None:
+            parts.append(
+                f"kth={self.threshold_first:.6g}->{self.threshold_last:.6g}"
+            )
         return " ".join(parts)
 
 

@@ -33,7 +33,12 @@ from repro.search.reference import (
     reference_pattern_enum_search,
 )
 
-#: (production, reference) per algorithm, with any extra kwargs.
+#: (production, reference) per algorithm, with any extra kwargs.  The
+#: production algorithms run with ``prune=False`` where they accept it:
+#: this suite pins the *exhaustive* id-based walk — including every stats
+#: counter — against the entry-based oracle; the bound-driven pruned path
+#: is differentially tested against the unpruned one (answers, not work
+#: counters) in ``tests/search/test_pruning.py``.
 PAIRS = {
     "pattern_enum": (pattern_enum_search, reference_pattern_enum_search, {}),
     "linear_enum": (linear_enum_search, reference_linear_enum_search, {}),
@@ -44,6 +49,13 @@ PAIRS = {
         reference_linear_topk_search,
         {"sampling_threshold": 0, "sampling_rate": 0.5, "seed": 11},
     ),
+}
+
+#: Production-only kwargs (the frozen reference has no pruning switch).
+PROD_ONLY = {
+    "pattern_enum": {"prune": False},
+    "linear_topk": {"prune": False},
+    "linear_topk_sampled": {"prune": False},
 }
 
 #: Counters that must agree exactly (elapsed_seconds obviously excluded).
@@ -88,8 +100,9 @@ def assert_identical(actual, expected):
 def run_pair(indexes, query, name, k=20, **kwargs):
     production, reference, extra = PAIRS[name]
     params = {**extra, **kwargs}
+    prod_params = {**params, **PROD_ONLY.get(name, {})}
     assert_identical(
-        production(indexes, query, k=k, **params),
+        production(indexes, query, k=k, **prod_params),
         reference(indexes, query, k=k, **params),
     )
 

@@ -1,7 +1,10 @@
 """Query relaxation: dropping keywords to recover answers."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
 
+from repro.index.builder import build_indexes
+from repro.search.pattern_enum import pattern_enum_search
 from repro.search.relaxation import relaxed_search
 
 
@@ -70,6 +73,103 @@ class TestRelaxation:
         relaxed = relaxed_search(example_indexes, "qqq zzz", k=5)
         assert not relaxed.was_relaxed
         assert relaxed.result.num_answers == 0
+
+
+class TestRelaxationOrdering:
+    """The candidate order is (fewest drops, most-frequent dropped first),
+    screened by root-set intersections before any search runs."""
+
+    @pytest.fixture(scope="class")
+    def disconnected_indexes(self):
+        """Two disjoint components; 'common' is far more frequent than
+        'rare', and neither co-occurs with the other component's words."""
+        from repro.kg.graph import KnowledgeGraph
+
+        graph = KnowledgeGraph()
+        for _ in range(4):
+            a = graph.add_node("T0", "common filler")
+            b = graph.add_node("T1", "common other")
+            graph.add_edge(a, "rel", b)
+        x = graph.add_node("T2", "rare")
+        y = graph.add_node("T3", "target")
+        graph.add_edge(x, "rel", y)
+        return build_indexes(graph, d=2)
+
+    def test_most_frequent_keyword_dropped_first(self, disconnected_indexes):
+        # 'common target' has no joint answers; both single-keyword
+        # subsets are answerable.  The relaxer must drop the *more
+        # frequent* keyword ('common', 8 postings) and keep 'target'.
+        relaxed = relaxed_search(disconnected_indexes, "common target", k=5)
+        assert relaxed.was_relaxed
+        assert relaxed.dropped_keywords == ("common",)
+        assert relaxed.kept_keywords == ("target",)
+        assert relaxed.result.num_answers > 0
+
+    def test_fewest_drops_beat_frequency(self, disconnected_indexes):
+        # Dropping one keyword suffices; a two-drop subset with even
+        # higher dropped frequency must not be preferred.
+        relaxed = relaxed_search(
+            disconnected_indexes, "common rare target", k=5
+        )
+        assert relaxed.was_relaxed
+        assert len(relaxed.dropped_keywords) == 1
+        assert relaxed.dropped_keywords == ("common",)
+
+    def test_unanswerable_subsets_screened_without_search(
+        self, disconnected_indexes, monkeypatch
+    ):
+        # The screening uses root-set intersections only: the engine must
+        # run once for the full query and once for the winning subset —
+        # never for the unanswerable intermediate ones.
+        import repro.search.relaxation as relaxation_module
+
+        calls = []
+        real_search = relaxation_module.pattern_enum_search
+
+        def counting_search(indexes, query, **kwargs):
+            result = real_search(indexes, query, **kwargs)
+            calls.append(tuple(result.query))
+            return result
+
+        monkeypatch.setattr(
+            relaxation_module, "pattern_enum_search", counting_search
+        )
+        relaxed = relaxed_search(disconnected_indexes, "common rare", k=5)
+        assert relaxed.was_relaxed
+        assert len(calls) == 2  # full query + the one screened survivor
+
+
+from tests.search.test_id_enumeration import random_graph_and_query
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_graph_and_query())
+def test_relaxation_never_shadows_exact_matches(graph_and_query):
+    """Property: when the unrelaxed query has answers, relaxation must
+    return exactly those answers — a relaxed (subset) query, whose
+    patterns cover fewer keywords, must never replace or outrank an
+    unrelaxed exact match."""
+    graph, query = graph_and_query
+    indexes = build_indexes(graph, d=2)
+    exact = pattern_enum_search(indexes, query, k=10)
+    relaxed = relaxed_search(indexes, query, k=10)
+    if exact.num_answers:
+        assert not relaxed.was_relaxed
+        assert relaxed.result.scores() == exact.scores()
+        assert relaxed.result.pattern_keys() == exact.pattern_keys()
+    elif relaxed.was_relaxed:
+        # A relaxation happened: it searched a strict keyword subset and
+        # actually recovered something.
+        assert set(relaxed.kept_keywords) < set(exact.query)
+        assert relaxed.result.num_answers > 0
+        # Every relaxed answer covers exactly the kept keywords, never
+        # a superset scoring above the (empty) exact result.
+        for answer in relaxed.result.answers:
+            assert answer.pattern.num_keywords == len(relaxed.kept_keywords)
 
 
 class TestExports:

@@ -91,6 +91,49 @@ class TestSearch:
         )
         assert code == 0
 
+    def test_search_linear_full(self, index_file, capsys):
+        code = main(
+            ["search", str(index_file), "software company",
+             "--algorithm", "linear_full"]
+        )
+        assert code == 0
+        assert "linear_enum" in capsys.readouterr().out
+
+    def test_search_explain_prints_pruning(self, index_file, capsys):
+        code = main(
+            ["search", str(index_file), "software company", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruning: roots_skipped=" in out
+        assert "prefixes_skipped=" in out
+        assert "k-th score trajectory" in out
+
+    def test_search_explain_on_empty_result(self, index_file, capsys):
+        code = main(
+            ["search", str(index_file), "xylophone", "--explain"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no answers" in out
+        assert "pruning:" in out
+
+    def test_search_no_prune_matches_pruned(self, index_file, capsys):
+        code = main(
+            ["search", str(index_file), "software company", "--no-prune"]
+        )
+        assert code == 0
+        unpruned = capsys.readouterr().out
+        code = main(["search", str(index_file), "software company"])
+        assert code == 0
+        pruned = capsys.readouterr().out
+        # Identical answers either way; only the stats line may differ.
+        strip = lambda text: [
+            line for line in text.splitlines()
+            if not line.startswith("pattern_enum:")
+        ]
+        assert strip(unpruned) == strip(pruned)
+
 
 class TestStats:
     def test_stats(self, index_file, capsys):
