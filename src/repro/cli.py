@@ -4,9 +4,19 @@ Subcommands mirror the production flow:
 
 * ``build``  — parse a knowledge base (JSON or N-Triples), build the path
   indexes for a height threshold d, and persist them;
-* ``search`` — load persisted indexes and answer keyword queries with any
-  of the paper's algorithms, printing table answers;
+* ``search`` — load persisted indexes and answer one keyword query with
+  any of the paper's algorithms, printing table answers;
+* ``plan``   — print the :class:`~repro.search.plan.QueryPlan` a query
+  would execute, without running it;
+* ``serve``  — load once, then answer a query *stream* interactively
+  through a cached :class:`~repro.search.service.SearchService`;
+* ``batch``  — load once, answer a file of queries (optionally on a
+  thread pool) through the same service;
 * ``stats``  — inspect a persisted index bundle.
+
+``search`` loads the index per invocation (cold single-shot); ``serve``
+and ``batch`` amortize one load across every query — see
+``docs/serving.md``.
 
 Examples::
 
@@ -14,6 +24,9 @@ Examples::
     python -m repro.cli search kb.idx "database software company revenue"
     python -m repro.cli search kb.idx "movies gibson" --algorithm letopk \
         --sampling-rate 0.2 --sampling-threshold 1000
+    python -m repro.cli plan kb.idx "database software company"
+    echo "software company" | python -m repro.cli serve kb.idx
+    python -m repro.cli batch kb.idx queries.txt --threads 4
     python -m repro.cli stats kb.idx
 """
 
@@ -21,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.errors import ReproError
@@ -31,7 +45,7 @@ from repro.kg.builder import build_graph
 from repro.kg.loaders.jsonkb import load_json_kb
 from repro.kg.loaders.ntriples import load_ntriples
 from repro.kg.statistics import compute_statistics
-from repro.search.engine import TableAnswerEngine
+from repro.search.service import SearchService
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -67,6 +81,13 @@ _PRUNABLE_ALGORITHMS = (
     "pattern_enum", "petopk", "linear", "letopk", "linear_topk",
 )
 
+#: Algorithms that accept the sampling flags (the LINEARENUM-TOPK
+#: family).  One-shot commands pass mismatched flags through so plan-time
+#: validation rejects them loudly; only the ``serve`` REPL drops
+#: inapplicable flags (see ``_cmd_serve``), so an ``:algorithm`` switch
+#: mid-session is not poisoned by a once-given ``--sampling-rate``.
+_SAMPLING_ALGORITHMS = ("linear", "letopk", "linear_topk")
+
 
 def _explain_pruning(stats) -> str:
     """The ``--explain`` lines: pruning counters + threshold trajectory."""
@@ -88,22 +109,31 @@ def _explain_pruning(stats) -> str:
     return "\n".join(lines)
 
 
-def _cmd_search(args: argparse.Namespace) -> int:
-    indexes = load_indexes(args.index)
-    engine = TableAnswerEngine(indexes.graph, indexes=indexes)
+def _search_params(args: argparse.Namespace) -> dict:
+    """Collect algorithm parameters from the shared search/serve flags.
+
+    Sampling flags pass through for *any* algorithm: a mismatch (e.g.
+    ``--sampling-rate`` with ``pattern_enum``) is a loud plan-time
+    error, not a silently inert flag.  ``--no-prune`` keeps its
+    pre-existing per-algorithm gating (prune simply has no meaning for
+    the complete-answer-set algorithms).
+    """
     params = {}
-    if args.sampling_rate is not None:
+    if getattr(args, "sampling_rate", None) is not None:
         params["sampling_rate"] = args.sampling_rate
-    if args.sampling_threshold is not None:
+    if getattr(args, "sampling_threshold", None) is not None:
         params["sampling_threshold"] = args.sampling_threshold
     if args.algorithm in _PRUNABLE_ALGORITHMS:
-        params["prune"] = not args.no_prune
-    result = engine.search(
-        args.query, k=args.k, algorithm=args.algorithm, **params
-    )
+        params["prune"] = not getattr(args, "no_prune", False)
+    return params
+
+
+def _print_result(service, result, max_rows: int, explain: bool) -> int:
+    """Render one SearchResult (shared by search and serve)."""
+    graph = service.snapshot().graph
     if not result.answers:
         print("no answers")
-        if args.explain:
+        if explain:
             print(result.stats.format())
             print(_explain_pruning(result.stats))
         return 1
@@ -112,13 +142,171 @@ def _cmd_search(args: argparse.Namespace) -> int:
             f"--- #{rank}  score={answer.score:.4f} "
             f"rows={answer.num_subtrees} ---"
         )
-        print(answer.pattern.format(engine.graph, result.query))
+        print(answer.pattern.format(graph, result.query))
         if answer.subtrees:
-            print(answer.to_table(engine.graph).to_ascii(args.max_rows))
+            print(answer.to_table(graph).to_ascii(max_rows))
         print()
     print(result.stats.format())
-    if args.explain:
+    if explain:
         print(_explain_pruning(result.stats))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    # Single-shot serving: one service, one query — identical cold
+    # behavior to the pre-service CLI, but through the same plan/execute
+    # path `serve` and `batch` use.
+    service = SearchService.from_file(args.index)
+    plan = service.plan(
+        args.query, k=args.k, algorithm=args.algorithm,
+        **_search_params(args),
+    )
+    if args.explain:
+        print(plan.describe(service.snapshot()))
+    result = service.search(plan=plan)
+    return _print_result(service, result, args.max_rows, args.explain)
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    service = SearchService.from_file(args.index)
+    plan = service.plan(
+        args.query, k=args.k, algorithm=args.algorithm,
+        **_search_params(args),
+    )
+    print(plan.describe(service.snapshot()))
+    return 0
+
+
+#: ``serve`` REPL meta-commands (anything else is a query).
+_SERVE_HELP = """\
+commands:
+  :k N            set the answer count (current value shown in the prompt)
+  :algorithm A    switch algorithm (pattern_enum, linear, letopk, ...)
+  :explain        toggle plan + pruning diagnostics
+  :stats          print service cache statistics
+  :help           this text
+  :quit           exit (EOF works too)
+anything else is searched as a keyword query."""
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = SearchService.from_file(args.index)
+    store = service.indexes.store
+    print(
+        f"serving {args.index}: {store.num_postings()} postings over "
+        f"{store.num_paths} paths; type a query (:help for commands)"
+    )
+    k = args.k
+    algorithm = args.algorithm
+    explain = args.explain
+    interactive = sys.stdin.isatty()
+
+    def plan_params() -> dict:
+        # Recomputed per query (:algorithm changes mid-session), and —
+        # unlike the one-shot commands — inapplicable sampling flags are
+        # dropped rather than rejected: a flag given for the starting
+        # algorithm must not poison the session after a switch.
+        shadow = argparse.Namespace(**{**vars(args), "algorithm": algorithm})
+        params = _search_params(shadow)
+        if algorithm not in _SAMPLING_ALGORITHMS:
+            params.pop("sampling_rate", None)
+            params.pop("sampling_threshold", None)
+        return params
+    while True:
+        if interactive:
+            print(f"[{algorithm} k={k}]> ", end="", flush=True)
+        line = sys.stdin.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(":"):
+            command, _, value = line.partition(" ")
+            if command in (":quit", ":q", ":exit"):
+                break
+            elif command == ":help":
+                print(_SERVE_HELP)
+            elif command == ":stats":
+                print(service.stats.format())
+                print(f"cache sizes: {service.cache_sizes()}")
+            elif command == ":explain":
+                explain = not explain
+                print(f"explain {'on' if explain else 'off'}")
+            elif command == ":k":
+                try:
+                    k = int(value)
+                except ValueError:
+                    print(f"error: :k needs an integer, got {value!r}")
+            elif command == ":algorithm":
+                from repro.search.plan import canonical_algorithm
+
+                try:
+                    # Same validation (incl. case-insensitivity) as every
+                    # other entry point; keep the user's alias spelling.
+                    canonical_algorithm(value.strip())
+                    algorithm = value.strip().lower()
+                except ReproError as exc:
+                    print(f"error: {exc}")
+            else:
+                print(f"error: unknown command {command!r} (:help)")
+            continue
+        try:
+            plan = service.plan(
+                line, k=k, algorithm=algorithm, **plan_params()
+            )
+            if explain:
+                print(plan.describe(service.snapshot()))
+            result = service.search(plan=plan)
+            _print_result(service, result, args.max_rows, explain)
+        except ReproError as exc:
+            print(f"error: {exc}")
+    print(service.stats.format())
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        with open(args.queries) as handle:
+            queries = [
+                stripped
+                for stripped in (line.strip() for line in handle)
+                if stripped and not stripped.startswith("#")
+            ]
+    except OSError as exc:
+        print(f"error: cannot read {args.queries!r}: {exc}", file=sys.stderr)
+        return 2
+    if not queries:
+        print(f"error: no queries in {args.queries!r}", file=sys.stderr)
+        return 2
+    service = SearchService.from_file(args.index)
+    params = _search_params(args)
+    if args.processes:
+        params["keep_subtrees"] = False
+    started = time.perf_counter()
+    results = service.search_many(
+        queries,
+        k=args.k,
+        algorithm=args.algorithm,
+        threads=args.threads,
+        processes=args.processes,
+        **params,
+    )
+    elapsed = time.perf_counter() - started
+    for query, result in zip(queries, results):
+        top = f"{result.answers[0].score:.4f}" if result.answers else "-"
+        cached = " (cached)" if result.stats.from_result_cache else ""
+        print(
+            f"{query!r}: {result.num_answers} answers, top={top}, "
+            f"{result.stats.elapsed_seconds * 1000:.1f} ms{cached}"
+        )
+    qps = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"batch: {len(queries)} queries in {elapsed:.3f} s "
+        f"({qps:.1f} QPS, threads={args.threads}, "
+        f"processes={args.processes})"
+    )
+    print(service.stats.format())
     return 0
 
 
@@ -147,32 +335,77 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("-o", "--output", required=True, help="index file")
     build.set_defaults(handler=_cmd_build)
 
+    def add_query_flags(sub, with_query: bool = True) -> None:
+        """The flags search/plan/serve/batch share."""
+        sub.add_argument("index", help="persisted index file")
+        if with_query:
+            sub.add_argument("query", help="keyword query")
+        sub.add_argument("-k", type=int, default=5)
+        sub.add_argument(
+            "--algorithm",
+            default="pattern_enum",
+            choices=(
+                "pattern_enum", "petopk", "linear", "letopk", "linear_topk",
+                "linear_full", "baseline",
+            ),
+        )
+        sub.add_argument("--sampling-rate", type=float, default=None)
+        sub.add_argument("--sampling-threshold", type=float, default=None)
+        sub.add_argument(
+            "--no-prune",
+            action="store_true",
+            help="disable bound-driven top-k pruning "
+            "(exhaustive enumeration)",
+        )
+
     search = commands.add_parser("search", help="answer a keyword query")
-    search.add_argument("index", help="persisted index file")
-    search.add_argument("query", help="keyword query")
-    search.add_argument("-k", type=int, default=5)
-    search.add_argument(
-        "--algorithm",
-        default="pattern_enum",
-        choices=(
-            "pattern_enum", "petopk", "linear", "letopk", "linear_topk",
-            "linear_full", "baseline",
-        ),
-    )
-    search.add_argument("--sampling-rate", type=float, default=None)
-    search.add_argument("--sampling-threshold", type=float, default=None)
+    add_query_flags(search)
     search.add_argument("--max-rows", type=int, default=10)
     search.add_argument(
         "--explain",
         action="store_true",
-        help="print pruning counters and the k-th-score trajectory",
-    )
-    search.add_argument(
-        "--no-prune",
-        action="store_true",
-        help="disable bound-driven top-k pruning (exhaustive enumeration)",
+        help="print the query plan, pruning counters, and the "
+        "k-th-score trajectory",
     )
     search.set_defaults(handler=_cmd_search)
+
+    plan = commands.add_parser(
+        "plan", help="print a query's execution plan without running it"
+    )
+    add_query_flags(plan)
+    plan.set_defaults(handler=_cmd_plan)
+
+    serve = commands.add_parser(
+        "serve",
+        help="interactive query REPL: load the index once, serve a "
+        "query stream through the caching SearchService",
+    )
+    add_query_flags(serve, with_query=False)
+    serve.add_argument("--max-rows", type=int, default=10)
+    serve.add_argument(
+        "--explain",
+        action="store_true",
+        help="start with plan/pruning diagnostics on (:explain toggles)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    batch = commands.add_parser(
+        "batch",
+        help="answer a file of queries (one per line) through one "
+        "shared SearchService",
+    )
+    add_query_flags(batch, with_query=False)
+    batch.add_argument("queries", help="query file, one query per line")
+    batch.add_argument(
+        "--threads", type=int, default=0,
+        help="thread-pool size for batch execution (0 = inline)",
+    )
+    batch.add_argument(
+        "--processes", type=int, default=0,
+        help="fork-pool size for parallel execution "
+        "(implies keep_subtrees=False; 0 = off)",
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     stats = commands.add_parser("stats", help="inspect a persisted index")
     stats.add_argument("index", help="persisted index file")

@@ -17,13 +17,13 @@ word-level term (similarity) with each posting.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import PathIndexError, QueryError
 from repro.core.types import Keyword
 from repro.index.interner import PatternInterner
-from repro.index.store import PostingStore
+from repro.index.store import PostingStore, StoreSnapshot
 from repro.index.lexicon import GraphLexicon
 from repro.index.path_enum import interleaved_labels, iter_paths_from
 from repro.index.pattern_first import PatternFirstIndex
@@ -34,6 +34,54 @@ from repro.kg.synonyms import SynonymTable
 from repro.kg.text import DEFAULT_NORMALIZER, TextNormalizer
 
 DEFAULT_HEIGHT = 3
+
+
+class TermResolutionCache:
+    """Version-guarded cache of query -> resolved keyword tuples.
+
+    Keyword resolution (tokenize, stem, synonym-canonicalize against the
+    index vocabulary) is pure given the store version — the vocabulary
+    only changes when postings are added, which bumps
+    :attr:`~repro.index.store.PostingStore.version`.  Before this cache
+    only the stemmer's ``lru_cache`` memoized anything; the resolution
+    above it was recomputed on every search, every shared-context sanity
+    check, and every relaxation probe.  One entry per distinct query
+    text, tagged with the version it was resolved against; a stale entry
+    is recomputed in place.  Bounded FIFO; plain dict operations are
+    GIL-atomic, so concurrent readers at worst duplicate a cheap
+    resolution (counters are best-effort under races).
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_data")
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._data: Dict[object, Tuple[int, Tuple[Keyword, ...]]] = {}
+
+    def get(self, query, version: int) -> Optional[Tuple[Keyword, ...]]:
+        slot = self._data.get(query)
+        if slot is not None and slot[0] == version:
+            self.hits += 1
+            return slot[1]
+        self.misses += 1
+        return None
+
+    def put(self, query, version: int, words: Tuple[Keyword, ...]) -> None:
+        data = self._data
+        if len(data) >= self.max_entries and query not in data:
+            try:
+                del data[next(iter(data))]
+            except (StopIteration, KeyError):  # pragma: no cover - racy
+                pass
+        data[query] = (version, words)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class ResolvedQuery(tuple):
@@ -64,6 +112,7 @@ class PathIndexes:
     build_seconds: float = 0.0
     synonyms: Optional[SynonymTable] = None
     store: Optional[PostingStore] = None
+    resolution_cache: Optional[TermResolutionCache] = None
     _notes: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -71,6 +120,8 @@ class PathIndexes:
         # hand-constructed bundles keep working.
         if self.store is None:
             self.store = self.root_first.store
+        if self.resolution_cache is None:
+            self.resolution_cache = TermResolutionCache()
 
     def resolve_query(self, query) -> Tuple[Keyword, ...]:
         """Parse and canonicalize a query against this index's vocabulary.
@@ -81,9 +132,32 @@ class PathIndexes:
         kept as-is — they simply retrieve nothing, which correctly yields an
         empty answer set.  A :class:`ResolvedQuery` is returned unchanged
         (normalization is not idempotent).
+
+        Results are memoized in :attr:`resolution_cache` keyed by the
+        query value and the store version (the vocabulary, and with it
+        synonym canonicalization, can change under incremental updates).
         """
         if isinstance(query, ResolvedQuery):
             return tuple(query)
+        cache = self.resolution_cache
+        cacheable = cache is not None and isinstance(query, (str, tuple))
+        if cacheable:
+            version = self.store.version
+            words = cache.get(query, version)
+            if words is not None:
+                return words
+        words = self._resolve_uncached(query)
+        # Only cache if the store did not move during resolution: a
+        # racing writer could have changed the vocabulary mid-resolution,
+        # and tagging that result with the pre-update version would serve
+        # a stale resolution to version-pinned snapshots.  Skipping the
+        # put just costs one recomputation.
+        if cacheable and self.store.version == version:
+            cache.put(query, version, words)
+        return words
+
+    def _resolve_uncached(self, query) -> Tuple[Keyword, ...]:
+        """The raw resolution pipeline behind :meth:`resolve_query`."""
         words = self.normalizer.parse_query(query)
         if self.synonyms is None:
             return words
@@ -100,6 +174,55 @@ class PathIndexes:
         if not unique:
             raise QueryError(f"query {query!r} is empty after normalization")
         return tuple(unique)
+
+    def snapshot(self) -> "PathIndexes":
+        """A version-pinned, read-only view of this bundle for serving.
+
+        Returns a :class:`PathIndexes` whose two index views are bound to
+        a :class:`~repro.index.store.StoreSnapshot` pinned to the store's
+        current version: concurrent readers keep a coherent vocabulary,
+        grouping, and bound columns while incremental updates mutate the
+        live bundle (see ``docs/serving.md``).  Graph, interner, PageRank
+        vector, and the resolution cache are shared — all are append-only
+        for existing ids, so pinned path ids keep resolving identically.
+
+        Cheap (reference captures under the store lock); take a fresh one
+        whenever ``store.version`` has moved.  Snapshotting a snapshot
+        returns it unchanged.
+        """
+        store = self.store
+        if isinstance(store, StoreSnapshot):
+            return self
+        with store.lock:
+            store.finalize()
+            snap_store = StoreSnapshot(store)
+            pattern_first = PatternFirstIndex(self.interner, snap_store)
+            root_first = RootFirstIndex(self.interner, snap_store)
+            # Adopt the live view's grouping instead of rebuilding it:
+            # PatternFirstIndex.finalize re-derives the per-word
+            # root-type grouping over the whole vocabulary, which would
+            # make every post-update snapshot O(vocabulary x patterns).
+            # Bringing the live view up to date here is the same work
+            # the next live query would do anyway, and under the store
+            # lock it is race-free and guaranteed to land on the pinned
+            # version.
+            live_pf = self.pattern_first
+            live_pf.finalize()
+            pattern_first._data = live_pf._data
+            pattern_first._by_root_type = live_pf._by_root_type
+            pattern_first._built_version = snap_store.version
+            root_first.finalize()  # reference assignment, pinned store
+        return replace(
+            self,
+            pattern_first=pattern_first,
+            root_first=root_first,
+            store=snap_store,
+        )
+
+    @property
+    def is_snapshot(self) -> bool:
+        """Whether this bundle is a read-only :meth:`snapshot` view."""
+        return isinstance(self.store, StoreSnapshot)
 
     @property
     def num_entries(self) -> int:

@@ -20,6 +20,14 @@ from-scratch rebuild as the graph grows — call
 :func:`repro.index.builder.build_indexes` to refresh when exactness
 matters.  Structure (which patterns exist, which subtrees match) is always
 identical to a rebuild, which the equivalence tests verify.
+
+Concurrency: both update functions hold the store's mutation lock for
+the whole update, so a concurrent :meth:`PathIndexes.snapshot
+<repro.index.builder.PathIndexes.snapshot>` (what
+:class:`~repro.search.service.SearchService` serves from) observes
+either none or all of an update, never a half-applied one.  Readers on
+existing snapshots are unaffected — see ``docs/serving.md``.  Updates
+themselves are single-writer: run them from one thread.
 """
 
 from __future__ import annotations
@@ -49,20 +57,26 @@ def add_entity(
     ``0.15 / |V|`` (the rank of an unreferenced node).
     """
     graph = indexes.graph
-    node = graph.add_node(type_name, text, is_entity)
-    if pagerank is None:
-        pagerank = 0.15 / graph.num_nodes
-    indexes.pagerank_scores.append(pagerank)
-    word_sims = indexes.lexicon.register_node(node)
+    # One lock span for the whole update — graph, PageRank vector,
+    # lexicon, store — so a concurrent snapshot observes none or all of
+    # it (the none-or-all contract in the module docstring).
+    with indexes.store.lock:
+        node = graph.add_node(type_name, text, is_entity)
+        if pagerank is None:
+            pagerank = 0.15 / graph.num_nodes
+        indexes.pagerank_scores.append(pagerank)
+        word_sims = indexes.lexicon.register_node(node)
 
-    if word_sims:
-        labels = (graph.node_type(node),)
-        pid = indexes.interner.intern(labels, ends_at_edge=False)
-        path_id = indexes.store.add_path((node,), (), False, pid, pagerank)
-        for word, sim in word_sims:
-            indexes.store.add_posting(word, path_id, sim)
-        indexes.pattern_first.finalize()
-        indexes.root_first.finalize()
+        if word_sims:
+            labels = (graph.node_type(node),)
+            pid = indexes.interner.intern(labels, ends_at_edge=False)
+            path_id = indexes.store.add_path(
+                (node,), (), False, pid, pagerank
+            )
+            for word, sim in word_sims:
+                indexes.store.add_posting(word, path_id, sim)
+            indexes.pattern_first.finalize()
+            indexes.root_first.finalize()
     return node
 
 
@@ -83,10 +97,6 @@ def add_relationship(
         raise PathIndexError(
             f"edge endpoints ({source}, {target}) must be existing nodes"
         )
-    attr = graph.intern_attr(attr_name)
-    indexes.lexicon.register_attrs()
-    graph.add_edge_typed(source, attr, target)
-
     d = indexes.d
     lexicon = indexes.lexicon
     ranks = indexes.pagerank_scores
@@ -96,36 +106,50 @@ def add_relationship(
 
     # All new bounded simple paths traverse the new edge exactly once and
     # decompose uniquely as prefix(root..source) + edge + suffix(target..).
-    prefixes = list(iter_reverse_paths_to(graph, source, d - 1)) if d >= 2 else []
-    suffixes = list(iter_paths_from(graph, target, d - 1)) if d >= 2 else []
-    for prefix_nodes, prefix_attrs in prefixes:
-        prefix_set = set(prefix_nodes)
-        for suffix_nodes, suffix_attrs in suffixes:
-            if len(prefix_nodes) + len(suffix_nodes) > d:
-                continue
-            if prefix_set & set(suffix_nodes):
-                continue  # would repeat a node: not a simple path
-            nodes = prefix_nodes + suffix_nodes
-            attrs = prefix_attrs + (attr,) + suffix_attrs
-            labels = interleaved_labels(graph, nodes, attrs)
-            endpoint = nodes[-1]
-            node_word_sims = lexicon.node_matches(endpoint)
-            if node_word_sims:
-                pid = interner.intern(labels, ends_at_edge=False)
-                pr = ranks[endpoint]
-                path_id = store.add_path(nodes, attrs, False, pid, pr)
-                for word, sim in node_word_sims:
-                    store.add_posting(word, path_id, sim)
-                    added += 1
-            attr_word_sims = lexicon.attr_matches(attrs[-1])
-            if attr_word_sims:
-                pid = interner.intern(labels[:-1], ends_at_edge=True)
-                pr = ranks[nodes[-2]]
-                path_id = store.add_path(nodes, attrs, True, pid, pr)
-                for word, sim in attr_word_sims:
-                    store.add_posting(word, path_id, sim)
-                    added += 1
-    if added:
-        indexes.pattern_first.finalize()
-        indexes.root_first.finalize()
+    # The whole update — graph edge, lexicon, path enumeration, postings,
+    # finalize — applies under one lock span: a concurrent snapshot sees
+    # the index before or after this edge, never partway through.  (The
+    # baseline's online graph walks are outside this protection; see the
+    # baseline caveat in docs/serving.md.)
+    with store.lock:
+        attr = graph.intern_attr(attr_name)
+        indexes.lexicon.register_attrs()
+        graph.add_edge_typed(source, attr, target)
+        prefixes = (
+            list(iter_reverse_paths_to(graph, source, d - 1))
+            if d >= 2 else []
+        )
+        suffixes = (
+            list(iter_paths_from(graph, target, d - 1)) if d >= 2 else []
+        )
+        for prefix_nodes, prefix_attrs in prefixes:
+            prefix_set = set(prefix_nodes)
+            for suffix_nodes, suffix_attrs in suffixes:
+                if len(prefix_nodes) + len(suffix_nodes) > d:
+                    continue
+                if prefix_set & set(suffix_nodes):
+                    continue  # would repeat a node: not a simple path
+                nodes = prefix_nodes + suffix_nodes
+                attrs = prefix_attrs + (attr,) + suffix_attrs
+                labels = interleaved_labels(graph, nodes, attrs)
+                endpoint = nodes[-1]
+                node_word_sims = lexicon.node_matches(endpoint)
+                if node_word_sims:
+                    pid = interner.intern(labels, ends_at_edge=False)
+                    pr = ranks[endpoint]
+                    path_id = store.add_path(nodes, attrs, False, pid, pr)
+                    for word, sim in node_word_sims:
+                        store.add_posting(word, path_id, sim)
+                        added += 1
+                attr_word_sims = lexicon.attr_matches(attrs[-1])
+                if attr_word_sims:
+                    pid = interner.intern(labels[:-1], ends_at_edge=True)
+                    pr = ranks[nodes[-2]]
+                    path_id = store.add_path(nodes, attrs, True, pid, pr)
+                    for word, sim in attr_word_sims:
+                        store.add_posting(word, path_id, sim)
+                        added += 1
+        if added:
+            indexes.pattern_first.finalize()
+            indexes.root_first.finalize()
     return added

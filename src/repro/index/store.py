@@ -26,6 +26,7 @@ intersections — never materialize an entry at all.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -225,12 +226,33 @@ class PostingStore:
         #: stored posting.  Benchmarks and the zero-materialization
         #: regression tests read deltas of this.
         self.entries_materialized = 0
-        # Query-time acceleration columns (see _query_columns).
+        # Query-time acceleration columns (see _query_columns) and
+        # aggregate bound columns for score pruning (see bound_columns).
+        # Each slot holds ``(version, cache)`` as ONE tuple swapped
+        # atomically: readers load the slot once and compare its version
+        # tag, so a concurrent donation (StoreSnapshot._build_and_donate)
+        # can never pair an old cache object with a new version tag.
         self._query_cache: Optional[tuple] = None
-        self._query_cache_version = -1
-        # Aggregate bound columns for score pruning (see bound_columns).
         self._bound_cache: Optional[tuple] = None
-        self._bound_cache_version = -1
+        #: Mutation lock for the snapshot protocol: writers that mutate a
+        #: *served* store (incremental maintenance) and readers taking a
+        #: :meth:`snapshot` both hold it, so a snapshot never observes a
+        #: half-applied update.  The bulk build path (:mod:`builder`) runs
+        #: before any concurrent serving and stays lock-free.
+        self.lock = threading.Lock()
+
+    def __getstate__(self):
+        # Locks are not picklable (and a pickled store starts a new life
+        # anyway); everything else round-trips.  Normal persistence goes
+        # through to_payload/from_payload — this only supports callers
+        # that pickle a whole bundle (e.g. legacy/diagnostic envelopes).
+        state = self.__dict__.copy()
+        state["lock"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self.lock = threading.Lock()
 
     @classmethod
     def scratch(cls, interner: Optional[PatternInterner] = None) -> "PostingStore":
@@ -574,9 +596,10 @@ class PostingStore:
         the first query after a mutation; size is bounded by the number
         of distinct paths, not postings.
         """
-        cache = self._query_cache
-        if cache is not None and self._query_cache_version == self.version:
-            return cache
+        slot = self._query_cache
+        version = self.version
+        if slot is not None and slot[0] == version:
+            return slot[1]
         offsets = self._node_offsets
         nodes = self._nodes
         attrs = self._attrs
@@ -604,8 +627,9 @@ class PostingStore:
                 path_edges.append((child, edge))
             edges[path_id] = tuple(path_edges)
         cache = (roots, sizes, prs, edges, self_invalid)
-        self._query_cache = cache
-        self._query_cache_version = self.version
+        # Tag with the version captured *before* the build: if a writer
+        # bumped mid-build the slot is immediately stale and rebuilt.
+        self._query_cache = (version, cache)
         return cache
 
     def release_query_columns(self) -> None:
@@ -618,9 +642,7 @@ class PostingStore:
         it: they are derived from the same boxed path columns.
         """
         self._query_cache = None
-        self._query_cache_version = -1
         self._bound_cache = None
-        self._bound_cache_version = -1
 
     def path_columns(self) -> Tuple[List[int], List[float]]:
         """``(sizes, prs)`` boxed per-path columns for bound arithmetic.
@@ -654,9 +676,10 @@ class PostingStore:
         is one pass over the posting columns; size is one tuple per index
         leaf plus one per ``(word, root)`` group.
         """
-        cache = self._bound_cache
-        if cache is not None and self._bound_cache_version == self.version:
-            return cache
+        slot = self._bound_cache
+        version = self.version
+        if slot is not None and slot[0] == version:
+            return slot[1]
         self.finalize()
         _roots, sizes, prs, _edges, _self_invalid = self._query_columns()
         root_bounds: Dict[str, Dict[NodeId, tuple]] = {}
@@ -714,8 +737,7 @@ class PostingStore:
             root_bounds[word] = word_root
             pattern_bounds[word] = word_pat
         cache = (root_bounds, pattern_bounds)
-        self._bound_cache = cache
-        self._bound_cache_version = self.version
+        self._bound_cache = (version, cache)  # see _query_columns tagging
         return cache
 
     def form_tree(self, path_ids: Sequence[int]) -> bool:
@@ -807,6 +829,33 @@ class PostingStore:
         """
         end = self._node_offsets[path_id + 1]
         return self._nodes[end - 2 if self._moe[path_id] else end - 1]
+
+    # ------------------------------------------------------------- snapshots
+
+    def snapshot(self) -> "StoreSnapshot":
+        """A read-only view pinned to the store's current version.
+
+        The snapshot protocol (see ``docs/serving.md``) rides on two
+        standing invariants of this class:
+
+        * the **path columns are append-only** — a ``path_id`` assigned
+          once maps to the same nodes/attrs/root/pr forever, so snapshot
+          readers may keep delegating path lookups to the live columns;
+        * :meth:`finalize` **replaces** the posting arrays and view dicts
+          instead of mutating them — readers holding the previous
+          generation keep a complete, internally consistent grouping.
+
+        A snapshot therefore only needs to capture *references* to the
+        current generation under :attr:`lock` (so it cannot observe a
+        half-applied incremental update); it costs a few dict copies, not
+        a data copy.  Writers proceed normally afterwards — they bump
+        :attr:`version`, and version-guarded caches (query columns, bound
+        columns, and every service-level cache keyed by ``version``)
+        invalidate, while existing snapshots stay coherent.
+        """
+        with self.lock:
+            self.finalize()
+            return StoreSnapshot(self)
 
     # ---------------------------------------------------------- persistence
 
@@ -968,3 +1017,196 @@ class PostingStore:
                 store._posting_sims[word] = column(FLOAT_TYPECODE, sims_raw)
             store.version += 1
         return store
+
+
+class StoreSnapshot:
+    """A version-pinned, read-only view of a :class:`PostingStore`.
+
+    Obtained via :meth:`PostingStore.snapshot`; duck-types the store's
+    *read* interface so every search algorithm runs against it unchanged
+    (an :class:`~repro.index.builder.PathIndexes` snapshot swaps this in
+    as the views' backing store).  Implementation-wise it is mostly
+    **borrowed methods**: the version-sensitive accessors reuse
+    :class:`PostingStore`'s own code bound to state captured at snapshot
+    time — pinned ``version``/``num_paths``, the finalized view dicts,
+    shallow copies of the posting-column dicts — so the two code paths
+    cannot drift.  The query-acceleration and bound columns are carried
+    over when already built for the pinned version, or built lazily over
+    the pinned state (never the live store's moving columns).
+
+    Mutators raise :class:`~repro.core.errors.PathIndexError`; anything
+    else (entry materialization, the counters it feeds) delegates to the
+    live store via ``__getattr__``.
+    """
+
+    def __init__(self, store: PostingStore) -> None:
+        # Caller holds store.lock and has finalized (PostingStore.snapshot).
+        self._store = store
+        self.interner = store.interner
+        self.version = store.version
+        self.num_paths = store.num_paths
+        # Path columns: append-only, so sharing the live arrays is safe —
+        # every id this snapshot can reach is < num_paths and immutable.
+        self._node_offsets = store._node_offsets
+        self._nodes = store._nodes
+        self._attrs = store._attrs
+        self._pids = store._pids
+        self._roots = store._roots
+        self._moe = store._moe
+        self._prs = store._prs
+        # Posting columns: finalize() *replaces* dict values, so a shallow
+        # dict copy pins this generation of sorted arrays.  Appends by
+        # add_posting land beyond every leaf's [start:stop) slice.
+        self._posting_ids = dict(store._posting_ids)
+        self._posting_sims = dict(store._posting_sims)
+        self._num_postings = {
+            word: len(ids) for word, ids in self._posting_ids.items()
+        }
+        # The finalized grouping (replaced wholesale by the next finalize).
+        self._pattern_view = store._pattern_view
+        self._root_view = store._root_view
+        self._root_counts = store._root_counts
+        # Derived caches: adopt when fresh, else rebuild over pinned
+        # state.  Each slot is a (version, cache) tuple read atomically.
+        slot = store._query_cache
+        self._query_cache = (
+            slot if slot is not None and slot[0] == store.version else None
+        )
+        slot = store._bound_cache
+        self._bound_cache = (
+            slot if slot is not None and slot[0] == store.version else None
+        )
+
+    # -------------------------------------------------- pinned-state reads
+    # Borrowed from PostingStore: these methods only touch attributes the
+    # snapshot pins (or the append-only path columns), so reusing the
+    # store's code gives bit-identical behavior by construction.
+
+    pattern_view = PostingStore.pattern_view
+    root_view = PostingStore.root_view
+    groups = PostingStore.groups
+    root_counts = PostingStore.root_counts
+    path_nodes = PostingStore.path_nodes
+    path_attrs = PostingStore.path_attrs
+    path_size = PostingStore.path_size
+    path_root = PostingStore.path_root
+    path_pattern = PostingStore.path_pattern
+    path_pr = PostingStore.path_pr
+    path_matched_on_edge = PostingStore.path_matched_on_edge
+    path_sort_key = PostingStore.path_sort_key
+    matched_node = PostingStore.matched_node
+    path_columns = PostingStore.path_columns
+    pairs_checker = PostingStore.pairs_checker
+    pairs_scorer = PostingStore.pairs_scorer
+    form_tree = PostingStore.form_tree
+    score_terms = PostingStore.score_terms
+    total_path_nodes = PostingStore.total_path_nodes
+    dedup_ratio = PostingStore.dedup_ratio
+    words = PostingStore.words
+    has_word = PostingStore.has_word
+
+    def finalize(self) -> None:
+        """No-op: a snapshot is finalized by construction."""
+
+    def _build_and_donate(self, builder, cache_attr: str) -> tuple:
+        """Build a derived cache over pinned state, donating it back.
+
+        Runs the borrowed ``builder`` (a :class:`PostingStore` method)
+        over the snapshot's pinned state; if this was a fresh build and
+        the live store has not moved past the pinned version, the
+        ``(version, cache)`` slot is written back in one atomic
+        assignment so the *next* snapshot (and forked batch workers,
+        which inherit the parent's heap) adopt it instead of rebuilding.
+        Because version tag and cache object travel in one tuple, a
+        live-store reader racing the donation either sees the whole
+        donated slot or the previous one — never a mixed pair.
+        """
+        had = getattr(self, cache_attr)
+        fresh = had is not None and had[0] == self.version
+        cache = builder(self)
+        if not fresh:
+            store = self._store
+            live = getattr(store, cache_attr)
+            if (
+                (live is None or live[0] != store.version)
+                and store.version == self.version
+            ):
+                setattr(store, cache_attr, (self.version, cache))
+        return cache
+
+    def _query_columns(self) -> tuple:
+        """Pinned query-acceleration columns, donated back on first build."""
+        return self._build_and_donate(
+            PostingStore._query_columns, "_query_cache"
+        )
+
+    def bound_columns(self) -> tuple:
+        """Pinned aggregate bound columns, donated back on first build."""
+        return self._build_and_donate(
+            PostingStore.bound_columns, "_bound_cache"
+        )
+
+    def warm_query_caches(self) -> None:
+        """Build the query-acceleration and bound columns now.
+
+        Batch drivers call this once before fanning out workers so the
+        one-time per-snapshot builds are not raced by every thread (a
+        benign but wasteful duplication) or repeated inside every forked
+        worker (a real serial cost per child).
+        """
+        self._query_columns()
+        self.bound_columns()
+
+    def num_postings(self, word: Optional[str] = None) -> int:
+        """Postings *at snapshot time* (live appends are not counted)."""
+        if word is not None:
+            return self._num_postings.get(word, 0)
+        return sum(self._num_postings.values())
+
+    def make_entry(self, path_id: int, sim: float) -> PathEntry:
+        """Delegates to the live store so the process-wide and per-store
+        materialization counters keep counting (the regression tests and
+        benchmarks read them there)."""
+        return self._store.make_entry(path_id, sim)
+
+    def release_query_columns(self) -> None:
+        self._query_cache = None
+        self._bound_cache = None
+
+    def snapshot(self) -> "StoreSnapshot":
+        """Snapshotting a snapshot is the identity (already pinned)."""
+        return self
+
+    # ------------------------------------------------------------ read-only
+
+    def _read_only(self, operation: str):
+        raise PathIndexError(
+            f"cannot {operation} through a StoreSnapshot: snapshots are "
+            "read-only views; mutate the live PostingStore instead"
+        )
+
+    def add_path(self, *args, **kwargs):
+        self._read_only("add a path")
+
+    def append_path(self, *args, **kwargs):
+        self._read_only("append a path")
+
+    def add_posting(self, *args, **kwargs):
+        self._read_only("add a posting")
+
+    def add_entry(self, *args, **kwargs):
+        self._read_only("add an entry")
+
+    def to_payload(self, *args, **kwargs):
+        self._read_only("serialize")
+
+    def __getattr__(self, name: str):
+        # Everything not version-sensitive (instrumentation counters,
+        # nbytes, scratch, ...) answers from the live store.
+        return getattr(self._store, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreSnapshot(version={self.version}, "
+            f"paths={self.num_paths})"
+        )

@@ -18,6 +18,13 @@ from repro.search.linear_enum import (
 from repro.search.linear_topk import linear_topk_search
 from repro.search.mixed import MixedAnswer, MixedResult, mixed_search
 from repro.search.pattern_enum import pattern_enum_search
+from repro.search.plan import (
+    ALGORITHM_ALIASES,
+    QueryPlan,
+    canonical_algorithm,
+    execute_plan,
+    plan_search,
+)
 from repro.search.relaxation import RelaxedResult, relaxed_search
 from repro.search.result import (
     ComboRef,
@@ -29,9 +36,18 @@ from repro.search.result import (
     pattern_from_labels,
 )
 
+from repro.search.service import SearchService, ServiceStats
+
 __all__ = [
     "ALGORITHMS",
+    "ALGORITHM_ALIASES",
     "ComboRef",
+    "QueryPlan",
+    "SearchService",
+    "ServiceStats",
+    "canonical_algorithm",
+    "execute_plan",
+    "plan_search",
     "CoverageMetrics",
     "Enumeration",
     "EntryCombo",

@@ -41,7 +41,15 @@ RootPatternMap = Mapping[object, Sequence]
 
 
 class EnumerationContext:
-    """Lazily-computed per-query state shared by all search algorithms."""
+    """Lazily-computed per-query state shared by all search algorithms.
+
+    Also shared *across* queries by the
+    :class:`~repro.search.service.SearchService` fragment cache (keyed by
+    the resolved keyword tuple, against one store snapshot).  Concurrent
+    readers are safe without locks: every memoized field is computed from
+    pinned inputs and idempotent, so the worst race is two threads doing
+    the same computation and one winning the (GIL-atomic) assignment.
+    """
 
     __slots__ = (
         "indexes",
@@ -54,12 +62,25 @@ class EnumerationContext:
         "_bounds",
     )
 
-    def __init__(self, indexes: PathIndexes, query) -> None:
+    def __init__(
+        self,
+        indexes: PathIndexes,
+        query,
+        candidate_roots: Optional[List[NodeId]] = None,
+    ) -> None:
+        """Fresh per-query state for ``query`` against ``indexes``.
+
+        ``candidate_roots`` (sorted) may be supplied when the caller
+        already knows the per-word root-set intersection — the
+        :class:`~repro.search.service.SearchService` fragment cache
+        shares it across queries over the same keyword set, since the
+        intersection depends only on the words, not their order.
+        """
         self.indexes: Optional[PathIndexes] = indexes
         self.words: Tuple[str, ...] = indexes.resolve_query(query)
         self.store: PostingStore = indexes.store
         self._root_maps: Optional[List[Mapping[NodeId, RootPatternMap]]] = None
-        self._candidates: Optional[List[NodeId]] = None
+        self._candidates: Optional[List[NodeId]] = candidate_roots
         self._by_type: Optional[Dict[TypeId, List[NodeId]]] = None
         self._viable_types: Optional[Set[TypeId]] = None
         self._bounds: Optional[tuple] = None
@@ -121,12 +142,18 @@ class EnumerationContext:
         return roots
 
     def roots_by_type(self, graph) -> Dict[TypeId, List[NodeId]]:
-        """Candidate roots partitioned by node type (Section 4.2.1)."""
+        """Candidate roots partitioned by node type (Section 4.2.1).
+
+        Built fully before the (GIL-atomic) memoizing assignment — a
+        concurrent reader of a shared context must never observe a
+        partial partition (see the class docstring's race contract).
+        """
         by_type = self._by_type
         if by_type is None:
-            by_type = self._by_type = {}
+            by_type = {}
             for root in self.candidate_roots:
                 by_type.setdefault(graph.node_type(root), []).append(root)
+            self._by_type = by_type
         return by_type
 
     def pattern_maps(self, root: NodeId) -> List[RootPatternMap]:

@@ -12,8 +12,7 @@ is the entry point the examples and benchmarks use.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import SearchError
 from repro.core.table import TableAnswer
@@ -23,7 +22,6 @@ from repro.kg.knowledge_base import KnowledgeBase
 from repro.kg.synonyms import SynonymTable
 from repro.kg.text import TextNormalizer
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
-from repro.search.baseline import baseline_search
 from repro.search.context import EnumerationContext
 from repro.search.individual import (
     CoverageMetrics,
@@ -31,22 +29,20 @@ from repro.search.individual import (
     coverage_metrics,
     individual_topk,
 )
-from repro.search.linear_enum import count_answers, linear_enum_search
-from repro.search.linear_topk import linear_topk_search
-from repro.search.pattern_enum import pattern_enum_search
+from repro.search.linear_enum import count_answers
+from repro.search.plan import (
+    ALGORITHM_ALIASES,
+    QueryPlan,
+    execute_plan,
+    plan_search,
+    reject_plan_overrides,
+)
 from repro.search.result import SearchResult
 
 #: Algorithm names accepted by :meth:`TableAnswerEngine.search`, with the
-#: paper's experiment labels as aliases.
-ALGORITHMS = (
-    "pattern_enum",
-    "petopk",
-    "linear",
-    "letopk",
-    "linear_topk",
-    "linear_full",
-    "baseline",
-)
+#: paper's experiment labels as aliases (see
+#: :data:`repro.search.plan.ALGORITHM_ALIASES`, the canonical registry).
+ALGORITHMS = tuple(ALGORITHM_ALIASES)
 
 
 class TableAnswerEngine:
@@ -103,15 +99,49 @@ class TableAnswerEngine:
 
     # ------------------------------------------------------------ searching
 
-    def search(
+    def plan(
         self,
         query,
-        k: int = 100,
-        algorithm: str = "pattern_enum",
+        k: Optional[int] = None,
+        algorithm: Optional[str] = None,
         scoring: Optional[ScoringFunction] = None,
+        **params,
+    ) -> QueryPlan:
+        """Plan a search without running it (the plan/execute split).
+
+        The returned :class:`~repro.search.plan.QueryPlan` is hashable
+        (the cache key :class:`~repro.search.service.SearchService` uses),
+        explainable (:meth:`~repro.search.plan.QueryPlan.describe`), and
+        executable via :meth:`search` with ``plan=``.  ``None`` falls
+        back to :func:`~repro.search.plan.plan_search`'s defaults (the
+        engine's own scoring for ``scoring``).
+        """
+        scoring = scoring if scoring is not None else self.scoring
+        return plan_search(
+            self.indexes, query, k=k, algorithm=algorithm,
+            scoring=scoring, **params,
+        )
+
+    def search(
+        self,
+        query=None,
+        k: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        scoring: Optional[ScoringFunction] = None,
+        context: Optional[EnumerationContext] = None,
+        plan: Optional[QueryPlan] = None,
         **params,
     ) -> SearchResult:
         """Top-k tree patterns for a keyword query.
+
+        Runs as *plan -> execute*: the request is first canonicalized
+        into a :class:`~repro.search.plan.QueryPlan` (keyword resolution
+        through the index's term-resolution cache, algorithm alias and
+        parameter canonicalization, plan-time validation), then
+        dispatched.  Pass a prebuilt ``plan`` to skip the planning step;
+        the plan then fixes every parameter, and passing ``k``/
+        ``algorithm``/``scoring`` or extra params alongside it is an
+        error rather than a silent no-op.
 
         ``algorithm`` is one of :data:`ALGORITHMS`:
 
@@ -132,29 +162,15 @@ class TableAnswerEngine:
         per-query setup across calls; otherwise the algorithm builds its
         own.
         """
-        scoring = scoring if scoring is not None else self.scoring
-        runner = self._runner(algorithm)
-        return runner(self.indexes, query, k=k, scoring=scoring, **params)
-
-    def _runner(self, algorithm: str) -> Callable[..., SearchResult]:
-        name = algorithm.lower()
-        if name in ("pattern_enum", "petopk"):
-            return pattern_enum_search
-        if name == "linear":
-            def exact_linear(indexes, query, **kwargs):
-                kwargs.setdefault("sampling_threshold", math.inf)
-                kwargs.setdefault("sampling_rate", 1.0)
-                return linear_topk_search(indexes, query, **kwargs)
-            return exact_linear
-        if name in ("letopk", "linear_topk"):
-            return linear_topk_search
-        if name == "linear_full":
-            return linear_enum_search
-        if name == "baseline":
-            return baseline_search
-        raise SearchError(
-            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
-        )
+        if plan is None:
+            if query is None:
+                raise SearchError("search needs a query (or a plan)")
+            plan = self.plan(
+                query, k=k, algorithm=algorithm, scoring=scoring, **params
+            )
+        else:
+            reject_plan_overrides(k, algorithm, scoring, params)
+        return execute_plan(self.indexes, plan, context=context)
 
     def tables(
         self,

@@ -1,0 +1,314 @@
+"""Query planning: the *plan* half of the plan/execute split.
+
+Until this refactor :class:`~repro.search.engine.TableAnswerEngine.search`
+resolved keywords, picked an algorithm, and ran it in one opaque call —
+nothing in between could be cached, compared, or explained.  This module
+splits that into an explicit :class:`QueryPlan` (what will run: resolved
+terms, canonical algorithm, k, the full execution parameter set, and the
+store version it was planned against) and :func:`execute_plan` (run it).
+Production keyword-search services are architected the same way — e.g.
+Pimplikar & Sarawagi's column-keyword table search (arXiv:1207.0132)
+separates query interpretation from ranked execution — because the plan
+is the natural **cache key**: two requests whose plans are equal must
+return identical results, however their raw query strings were spelled.
+
+The plan is hashable and canonical:
+
+* keywords are resolved (tokenize -> stem -> synonym-canonicalize)
+  through the index's version-guarded term-resolution cache;
+* algorithm aliases collapse (``petopk`` -> ``pattern_enum``, ``linear``/
+  ``letopk`` -> ``linear_topk`` with exactness-forcing defaults);
+* every execution parameter is present with its default applied, so
+  ``search(q)`` and ``search(q, prune=True)`` produce equal plans;
+* unknown algorithms and parameters fail *at plan time*, before any
+  enumeration work.
+
+:class:`~repro.search.service.SearchService` keys all of its cache tiers
+off plans; ``repro plan`` and ``repro search --explain`` print them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.core.errors import SearchError
+from repro.index.builder import PathIndexes, ResolvedQuery
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.baseline import baseline_search
+from repro.search.context import EnumerationContext
+from repro.search.linear_enum import linear_enum_search
+from repro.search.linear_topk import linear_topk_search
+from repro.search.pattern_enum import pattern_enum_search
+from repro.search.result import SearchResult
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One executable algorithm: entry point + canonical parameter set."""
+
+    name: str
+    runner: Callable[..., SearchResult]
+    defaults: Tuple[Tuple[str, object], ...]
+
+    def canonical_params(
+        self, overrides: Mapping[str, object]
+    ) -> Tuple[Tuple[str, object], ...]:
+        """The full parameter tuple with defaults applied, sorted by name.
+
+        Rejects unknown parameter names — planning is where a typo like
+        ``samplig_rate=...`` should fail, not deep inside an algorithm's
+        hot loop as a :class:`TypeError`.
+        """
+        params = dict(self.defaults)
+        for key, value in overrides.items():
+            if key not in params:
+                raise SearchError(
+                    f"algorithm {self.name!r} does not accept parameter "
+                    f"{key!r}; expected one of "
+                    f"{sorted(name for name, _ in self.defaults)}"
+                )
+            params[key] = value
+        return tuple(sorted(params.items()))
+
+
+#: Canonical algorithm registry — the single dispatch table behind the
+#: engine facade, the service, and the CLI.  ``linear`` maps to
+#: ``linear_topk`` with sampling forced off by default (Λ=inf, ρ=1 — the
+#: exact variant), which is precisely what the engine's old ``exact_linear``
+#: wrapper did; collapsing the alias lets differently-spelled requests
+#: share one cache entry.
+_SPECS: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        AlgorithmSpec(
+            name="pattern_enum",
+            runner=pattern_enum_search,
+            defaults=(("keep_subtrees", True), ("prune", True)),
+        ),
+        AlgorithmSpec(
+            name="linear_topk",
+            runner=linear_topk_search,
+            defaults=(
+                ("keep_subtrees", True),
+                ("prune", True),
+                ("sampling_threshold", math.inf),
+                ("sampling_rate", 1.0),
+                ("seed", 0),
+            ),
+        ),
+        AlgorithmSpec(
+            name="linear_full",
+            runner=linear_enum_search,
+            defaults=(("keep_subtrees", True),),
+        ),
+        AlgorithmSpec(
+            name="baseline",
+            runner=baseline_search,
+            defaults=(("keep_subtrees", True), ("d", None)),
+        ),
+    )
+}
+
+#: Accepted algorithm names (the paper's labels are aliases).
+ALGORITHM_ALIASES: Dict[str, str] = {
+    "pattern_enum": "pattern_enum",
+    "petopk": "pattern_enum",
+    "linear": "linear_topk",
+    "letopk": "linear_topk",
+    "linear_topk": "linear_topk",
+    "linear_full": "linear_full",
+    "baseline": "baseline",
+}
+
+
+def canonical_algorithm(name: str) -> str:
+    """Resolve an algorithm name or paper alias to its canonical form."""
+    canonical = ALGORITHM_ALIASES.get(name.lower())
+    if canonical is None:
+        raise SearchError(
+            f"unknown algorithm {name!r}; expected one of "
+            f"{tuple(ALGORITHM_ALIASES)}"
+        )
+    return canonical
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Everything about a search decided before execution starts.
+
+    Hashable and canonical: :attr:`cache_key` identifies the *result* —
+    two plans with equal keys executed against the same store version
+    return bit-identical answers, which is what makes the plan the cache
+    key for every tier of :class:`~repro.search.service.SearchService`.
+    ``query_text`` (the raw spelling) and :attr:`store_version` (what the
+    plan was resolved against) ride along for explainability and
+    staleness checks but are deliberately *not* part of the key.
+    """
+
+    words: Tuple[str, ...]
+    algorithm: str
+    k: int
+    d: int
+    scoring: ScoringFunction
+    params: Tuple[Tuple[str, object], ...]
+    store_version: int
+    query_text: str
+
+    @property
+    def cache_key(self) -> Tuple:
+        """Result identity: everything except spelling and store version."""
+        return (self.words, self.algorithm, self.k, self.scoring, self.params)
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether equal plans are guaranteed equal results.
+
+        The only nondeterministic configuration is LETopK with an
+        unseeded RNG *and* sampling actually able to trigger; everything
+        else in the repo is deterministic by construction.
+        """
+        if self.algorithm != "linear_topk":
+            return True
+        params = dict(self.params)
+        return not (
+            params.get("seed") is None
+            and params.get("sampling_threshold", math.inf) != math.inf
+            and params.get("sampling_rate", 1.0) < 1.0
+        )
+
+    def resolved_query(self) -> ResolvedQuery:
+        """The plan's keywords as a re-resolution-proof query object."""
+        return ResolvedQuery(self.words)
+
+    def describe(self, indexes: Optional[PathIndexes] = None) -> str:
+        """Human-readable plan, one fact per line (``repro plan``).
+
+        With ``indexes`` given, adds per-keyword index reach (posting,
+        root, and pattern counts — O(1) probes against the columnar
+        store, no enumeration).
+        """
+        lines = [
+            f"plan: algorithm={self.algorithm} k={self.k} d={self.d}",
+            f"query: {self.query_text!r} -> {' '.join(self.words)!r}",
+            f"planned against store version {self.store_version}",
+            "scoring: "
+            f"z1={self.scoring.z1:g} z2={self.scoring.z2:g} "
+            f"z3={self.scoring.z3:g} aggregator={self.scoring.aggregator}",
+            "params: "
+            + " ".join(f"{name}={value!r}" for name, value in self.params),
+            f"cacheable: {self.cacheable}",
+        ]
+        if indexes is not None:
+            for word in self.words:
+                lines.append(
+                    f"  {word!r}: "
+                    f"postings={indexes.root_first.num_entries(word)} "
+                    f"roots={len(indexes.root_first.roots(word))} "
+                    f"patterns={len(indexes.pattern_first.patterns(word))}"
+                )
+        return "\n".join(lines)
+
+
+#: Request-level defaults, applied here and nowhere else — the engine
+#: and service facades pass ``None`` through so there is one source of
+#: truth for what an unspecified k or algorithm means.
+DEFAULT_K = 100
+DEFAULT_ALGORITHM = "pattern_enum"
+
+
+def plan_search(
+    indexes: PathIndexes,
+    query,
+    k: Optional[int] = None,
+    algorithm: Optional[str] = None,
+    scoring: Optional[ScoringFunction] = None,
+    **params,
+) -> QueryPlan:
+    """Build the :class:`QueryPlan` for one search request.
+
+    Cheap (keyword resolution through the index's term-resolution cache
+    plus parameter canonicalization) and side-effect free; raises
+    :class:`~repro.core.errors.SearchError` on unknown algorithms or
+    parameters, so malformed requests die before execution.  ``None``
+    for ``k``/``algorithm``/``scoring`` means the defaults
+    (:data:`DEFAULT_K`, :data:`DEFAULT_ALGORITHM`, the paper's scoring).
+    """
+    if k is None:
+        k = DEFAULT_K
+    if algorithm is None:
+        algorithm = DEFAULT_ALGORITHM
+    if scoring is None:
+        scoring = PAPER_DEFAULT
+    canonical = canonical_algorithm(algorithm)
+    spec = _SPECS[canonical]
+    words = indexes.resolve_query(query)
+    return QueryPlan(
+        words=tuple(words),
+        algorithm=canonical,
+        k=k,
+        d=indexes.d,
+        scoring=scoring,
+        params=spec.canonical_params(params),
+        store_version=indexes.store.version,
+        query_text=query if isinstance(query, str) else " ".join(words),
+    )
+
+
+def reject_plan_overrides(k, algorithm, scoring, params) -> None:
+    """A prebuilt plan already fixes k/algorithm/scoring/params.
+
+    Accepting them alongside ``plan=`` and silently preferring the
+    plan's values would hand back the wrong answer count or algorithm
+    with no diagnostic, so every override is an error (the engine and
+    the service both call this on their ``plan=`` path).
+    """
+    overrides = sorted(params)
+    if k is not None:
+        overrides.append("k")
+    if algorithm is not None:
+        overrides.append("algorithm")
+    if scoring is not None:
+        overrides.append("scoring")
+    if overrides:
+        raise SearchError(
+            "a prebuilt plan already fixes the search parameters; got "
+            f"conflicting {overrides} (set them at plan time instead)"
+        )
+
+
+def execute_plan(
+    indexes: PathIndexes,
+    plan: QueryPlan,
+    context: Optional[EnumerationContext] = None,
+    allow_stale: bool = False,
+) -> SearchResult:
+    """Run a plan against ``indexes`` and return its :class:`SearchResult`.
+
+    The *execute* half of the split: pure dispatch into the algorithm's
+    entry point with the plan's canonical parameters; keywords are passed
+    pre-resolved (:class:`~repro.index.builder.ResolvedQuery`), so no
+    per-call stemming or synonym work happens here.
+
+    A plan is only guaranteed valid against the store version it was
+    planned at — the vocabulary (and therefore keyword resolution) may
+    have changed since.  Executing a stale plan raises unless
+    ``allow_stale=True`` (callers that know the vocabulary change cannot
+    affect them, e.g. benchmarks replaying plans).
+    """
+    if plan.store_version != indexes.store.version and not allow_stale:
+        raise SearchError(
+            f"plan was built against store version {plan.store_version}, "
+            f"but the index is now at {indexes.store.version}; replan "
+            "(or pass allow_stale=True)"
+        )
+    spec = _SPECS[plan.algorithm]
+    return spec.runner(
+        indexes,
+        plan.resolved_query(),
+        k=plan.k,
+        scoring=plan.scoring,
+        context=context,
+        **dict(plan.params),
+    )

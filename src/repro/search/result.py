@@ -127,9 +127,16 @@ class SearchStats:
     #: pruning was off).
     threshold_first: Optional[float] = None
     threshold_last: Optional[float] = None
+    #: Set by :class:`~repro.search.service.SearchService` when the result
+    #: was served from the result cache rather than executed; the service
+    #: stamps a stats *copy*, so the cached original (whose counters
+    #: describe the actual execution) is never mutated.
+    from_result_cache: bool = False
 
     def format(self) -> str:
         parts = [f"{self.algorithm}: {self.elapsed_seconds * 1000:.1f} ms"]
+        if self.from_result_cache:
+            parts.append("(cached)")
         for label, value in (
             ("roots", self.candidate_roots),
             ("expanded", self.roots_expanded),

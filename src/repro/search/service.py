@@ -1,0 +1,515 @@
+"""Long-lived search serving: the *execute* side of the plan/execute split.
+
+:class:`~repro.search.engine.TableAnswerEngine` is a per-process facade:
+every ``search()`` call resolves keywords, rebuilds root maps and
+candidate intersections, and enumerates from scratch — fine for scripts,
+wasteful for a service answering a query stream in which spellings repeat
+and keywords overlap.  :class:`SearchService` wraps one index bundle in
+the layered, store-version-guarded caches a production deployment needs
+(Section 6 of the paper measures exactly this interactive regime), and
+makes concurrent serving safe while the incremental index mutates:
+
+* **snapshot tier** — every request executes against a version-pinned
+  :meth:`~repro.index.builder.PathIndexes.snapshot`; a writer bumping
+  ``store.version`` triggers a new snapshot and flushes every cache
+  below, exactly like the store's own query-acceleration and bound
+  columns invalidate;
+* **term-resolution tier** — query text -> resolved keywords, shared
+  with the engine through the index's
+  :class:`~repro.index.builder.TermResolutionCache`;
+* **fragment tier** — per-keyword-tuple
+  :class:`~repro.search.context.EnumerationContext` objects (root maps,
+  candidate intersection, type partition, query bounds) plus per-keyword-
+  *set* candidate-root lists, shared across queries with overlapping
+  keywords in any order, across algorithms, and across ``k``;
+* **result tier** — a bounded LRU of full
+  :class:`~repro.search.result.SearchResult` objects keyed by
+  :attr:`~repro.search.plan.QueryPlan.cache_key`.
+
+Every cache entry is tagged with the store version it was computed at
+and ignored when it does not match the version being served, so a writer
+racing a reader can at worst cause recomputation, never a stale answer.
+
+Batch execution (:meth:`SearchService.search_many`) plans every query
+up front, deduplicates equal plans, and executes the remainder on a
+thread pool over one shared snapshot (CPython threads interleave rather
+than parallelize CPU-bound work, but the shared snapshot and caches are
+what matter; pass ``processes=N`` on fork-capable platforms for true
+parallel execution of ``keep_subtrees=False`` batches).
+
+Everything served is **bit-identical** to a cold
+``TableAnswerEngine.search()`` — caches only ever short-circuit pure
+recomputation — which the differential tests in
+``tests/search/test_service.py`` enforce.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.errors import SearchError
+from repro.index.builder import PathIndexes, build_indexes
+from repro.kg.graph import KnowledgeGraph
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.context import EnumerationContext
+from repro.search.plan import (
+    QueryPlan,
+    execute_plan,
+    plan_search,
+    reject_plan_overrides,
+)
+from repro.search.result import SearchResult
+
+
+@dataclass
+class ServiceStats:
+    """Per-tier cache counters for one :class:`SearchService`.
+
+    Counters are best-effort under concurrency (plain ints mutated under
+    the GIL); they instrument, they do not synchronize.
+    """
+
+    searches: int = 0
+    #: Result-cache tier.
+    result_hits: int = 0
+    result_misses: int = 0
+    #: Fragment tier (shared EnumerationContext per keyword tuple).
+    context_hits: int = 0
+    context_misses: int = 0
+    #: Candidate-root fragments reused across word orders.
+    candidate_hits: int = 0
+    #: Term-resolution tier (mirrored from the index's cache).
+    resolution_hits: int = 0
+    resolution_misses: int = 0
+    #: Snapshot tier.
+    snapshots_taken: int = 0
+    invalidations: int = 0
+    #: Batch execution.
+    batches: int = 0
+    batch_queries: int = 0
+    batch_deduped: int = 0
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def result_hit_rate(self) -> float:
+        return self._rate(self.result_hits, self.result_misses)
+
+    def context_hit_rate(self) -> float:
+        return self._rate(self.context_hits, self.context_misses)
+
+    def resolution_hit_rate(self) -> float:
+        return self._rate(self.resolution_hits, self.resolution_misses)
+
+    def format(self) -> str:
+        return (
+            f"service: {self.searches} searches, "
+            f"result cache {self.result_hits}/"
+            f"{self.result_hits + self.result_misses} hits "
+            f"({self.result_hit_rate():.0%}), "
+            f"context cache {self.context_hits}/"
+            f"{self.context_hits + self.context_misses} hits "
+            f"({self.context_hit_rate():.0%}), "
+            f"resolution cache {self.resolution_hit_rate():.0%}, "
+            f"{self.snapshots_taken} snapshots "
+            f"({self.invalidations} invalidations)"
+        )
+
+
+#: Module global for fork-based batch execution: workers inherit the
+#: service (snapshot, caches, and all) through the forked address space;
+#: nothing is pickled on the way in.
+_FORK_SERVICE: Optional["SearchService"] = None
+
+
+def _fork_execute(plan: QueryPlan) -> SearchResult:
+    return _FORK_SERVICE.execute(plan)
+
+
+class SearchService:
+    """Load once, serve many: cached, snapshot-consistent query serving."""
+
+    def __init__(
+        self,
+        indexes: PathIndexes,
+        scoring: ScoringFunction = PAPER_DEFAULT,
+        max_cached_results: int = 256,
+        max_cached_contexts: int = 128,
+    ) -> None:
+        if indexes.is_snapshot:
+            raise SearchError(
+                "SearchService owns the live index bundle and takes its "
+                "own snapshots; pass the live PathIndexes, not a snapshot"
+            )
+        self.indexes = indexes
+        self.scoring = scoring
+        self.max_cached_results = max_cached_results
+        self.max_cached_contexts = max_cached_contexts
+        self.stats = ServiceStats()
+        #: Guards snapshot swaps and cache-structure mutations.  Never
+        #: held across an execution — searches run lock-free against the
+        #: snapshot they grabbed.
+        self._lock = threading.Lock()
+        self._snapshot: Optional[PathIndexes] = None
+        # Cache values are (store_version, payload): an entry whose tag
+        # does not match the serving snapshot's version is a miss, so a
+        # writer racing these dicts can only cause recomputation.
+        self._results: "OrderedDict[Tuple, Tuple[int, SearchResult]]" = (
+            OrderedDict()
+        )
+        self._contexts: "OrderedDict[Tuple[str, ...], Tuple[int, EnumerationContext]]" = (
+            OrderedDict()
+        )
+        # Bounded like the context tier (it grows at the same rate: one
+        # entry per distinct keyword set served).
+        self._candidates: "OrderedDict[FrozenSet[str], Tuple[int, List[int]]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def from_graph(cls, graph: KnowledgeGraph, d: int = 3, **kwargs):
+        """Build indexes for ``graph`` and serve them."""
+        scoring = kwargs.pop("scoring", PAPER_DEFAULT)
+        return cls(build_indexes(graph, d=d, **kwargs), scoring=scoring)
+
+    @classmethod
+    def from_file(cls, path, **kwargs) -> "SearchService":
+        """Load a persisted index bundle (``repro build``) and serve it."""
+        from repro.index.serialize import load_indexes
+
+        return cls(load_indexes(path), **kwargs)
+
+    def snapshot(self) -> PathIndexes:
+        """The current serving snapshot, refreshed if the store moved.
+
+        Comparing the pinned version against the live ``store.version``
+        is the entire invalidation protocol: writers (incremental
+        updates) bump it, the next request notices, re-snapshots, and
+        flushes every version-dependent cache tier.  In-flight searches
+        keep the snapshot they grabbed and stay consistent.
+        """
+        live_version = self.indexes.store.version
+        snap = self._snapshot
+        if snap is not None and snap.store.version == live_version:
+            return snap
+        with self._lock:
+            snap = self._snapshot
+            if snap is not None and snap.store.version == live_version:
+                return snap  # another thread refreshed while we waited
+            if snap is not None:
+                self.stats.invalidations += 1
+            self._snapshot = self.indexes.snapshot()
+            self.stats.snapshots_taken += 1
+            self._results.clear()
+            self._contexts.clear()
+            self._candidates.clear()
+            return self._snapshot
+
+    def invalidate(self) -> None:
+        """Drop the snapshot and every cache tier (next request rebuilds)."""
+        with self._lock:
+            if self._snapshot is not None:
+                self.stats.invalidations += 1
+            self._snapshot = None
+            self._results.clear()
+            self._contexts.clear()
+            self._candidates.clear()
+
+    # ------------------------------------------------------------- planning
+
+    def plan(self, query, k: Optional[int] = None,
+             algorithm: Optional[str] = None,
+             scoring: Optional[ScoringFunction] = None, **params) -> QueryPlan:
+        """Plan ``query`` against the current snapshot.
+
+        Resolution goes through the shared term-resolution cache; the
+        service mirrors its counters into :attr:`stats`.
+        """
+        return self._plan_on(self.snapshot(), query, k, algorithm,
+                             scoring, params)
+
+    def _plan_on(self, snap: PathIndexes, query, k, algorithm,
+                 scoring, params) -> QueryPlan:
+        cache = snap.resolution_cache
+        before = (cache.hits, cache.misses) if cache is not None else (0, 0)
+        plan = plan_search(
+            snap, query, k=k, algorithm=algorithm,
+            scoring=scoring if scoring is not None else self.scoring,
+            **params,
+        )
+        if cache is not None:
+            self.stats.resolution_hits += cache.hits - before[0]
+            self.stats.resolution_misses += cache.misses - before[1]
+        return plan
+
+    # ------------------------------------------------------------ searching
+
+    def search(self, query=None, k: Optional[int] = None,
+               algorithm: Optional[str] = None,
+               scoring: Optional[ScoringFunction] = None,
+               plan: Optional[QueryPlan] = None, **params) -> SearchResult:
+        """Serve one query through every cache tier.
+
+        Same signature and bit-identical answers as
+        :meth:`TableAnswerEngine.search <repro.search.engine.\
+TableAnswerEngine.search>`; on a result-cache hit the returned object
+        shares the cached answers but carries a stats copy flagged
+        ``from_result_cache``.
+        """
+        snap = self.snapshot()
+        if plan is None:
+            if query is None:
+                raise SearchError("search needs a query (or a plan)")
+            plan = self._plan_on(snap, query, k, algorithm, scoring, params)
+        else:
+            reject_plan_overrides(k, algorithm, scoring, params)
+        self.stats.searches += 1
+        self._check_version(plan, snap)
+        cached = self._cached_result(plan)
+        if cached is not None:
+            return cached
+        result = self._execute_on(snap, plan)
+        self._store_result(plan, result)
+        return result
+
+    def execute(self, plan: QueryPlan) -> SearchResult:
+        """Execute a plan against the snapshot, bypassing the result cache
+        (but still sharing the fragment tier)."""
+        snap = self.snapshot()
+        self._check_version(plan, snap)
+        return self._execute_on(snap, plan)
+
+    def _check_version(self, plan: QueryPlan, snap: PathIndexes) -> None:
+        if plan.store_version != snap.store.version:
+            raise SearchError(
+                f"plan was built against store version {plan.store_version},"
+                f" but the service now serves {snap.store.version}; replan"
+            )
+
+    def _execute_on(self, snap: PathIndexes, plan: QueryPlan) -> SearchResult:
+        context = self._context_for(snap, plan)
+        result = execute_plan(snap, plan, context=context)
+        self._remember_candidates(plan, context)
+        return result
+
+    def search_many(
+        self,
+        queries: Sequence,
+        k: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        scoring: Optional[ScoringFunction] = None,
+        threads: int = 0,
+        processes: int = 0,
+        **params,
+    ) -> List[SearchResult]:
+        """Answer a batch of queries, returning results in input order.
+
+        All queries are planned up front against one shared snapshot,
+        equal plans are deduplicated (executed once, fanned out), result-
+        cache hits are served immediately, and the remaining unique plans
+        execute on a thread pool of ``threads`` workers (``0``/``1`` =
+        inline).  ``processes=N`` (N >= 1; always forks, so ``1`` is a
+        single isolated worker, not inline) instead forks workers for
+        genuinely parallel execution — requires ``keep_subtrees=False``
+        (subtree combos hold store references and must not be pickled)
+        and a platform with ``fork``.
+        """
+        if processes and threads:
+            raise SearchError("pass threads= or processes=, not both")
+        if processes and dict(params).get("keep_subtrees", True):
+            raise SearchError(
+                "processes= requires keep_subtrees=False: kept subtrees "
+                "reference the posting store and cannot cross processes"
+            )
+        self.stats.batches += 1
+        self.stats.batch_queries += len(queries)
+        snap = self.snapshot()
+        plans = [
+            self._plan_on(snap, query, k, algorithm, scoring, params)
+            for query in queries
+        ]
+        self.stats.searches += len(plans)
+
+        # Dedup equal plans and peel off result-cache hits.
+        slots: List[Optional[SearchResult]] = [None] * len(plans)
+        unique: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        for i, plan in enumerate(plans):
+            cached = self._cached_result(plan)
+            if cached is not None:
+                slots[i] = cached
+                continue
+            key = plan.cache_key if plan.cacheable else ("#uncached", i)
+            unique.setdefault(key, []).append(i)
+        pending = [plans[positions[0]] for positions in unique.values()]
+        self.stats.batch_deduped += sum(
+            len(positions) - 1 for positions in unique.values()
+        )
+
+        if pending:
+            run = lambda plan: self._execute_on(snap, plan)  # noqa: E731
+            if processes > 0 or threads > 1:
+                # One-time per-snapshot column builds happen before the
+                # fan-out: forked children would each rebuild them, and
+                # threads would race the same (idempotent) work.
+                snap.store.warm_query_caches()
+            if processes > 0:
+                results = self._execute_forked(pending, processes)
+            elif threads > 1:
+                with ThreadPoolExecutor(max_workers=threads) as pool:
+                    results = list(pool.map(run, pending))
+            else:
+                results = [run(plan) for plan in pending]
+            for plan, result, positions in zip(
+                pending, results, unique.values()
+            ):
+                self._store_result(plan, result)
+                slots[positions[0]] = result
+                for position in positions[1:]:
+                    slots[position] = self._flag_cached(result)
+        return slots
+
+    def _execute_forked(
+        self, pending: List[QueryPlan], processes: int
+    ) -> List[SearchResult]:
+        import multiprocessing
+
+        global _FORK_SERVICE
+        try:
+            fork = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-fork platform
+            raise SearchError(f"processes= requires fork: {exc}") from exc
+        _FORK_SERVICE = self
+        try:
+            with fork.Pool(processes=processes) as pool:
+                return pool.map(_fork_execute, pending)
+        finally:
+            _FORK_SERVICE = None
+
+    # -------------------------------------------------------------- caching
+
+    def _cached_result(self, plan: QueryPlan) -> Optional[SearchResult]:
+        if not plan.cacheable:
+            self.stats.result_misses += 1
+            return None
+        key = plan.cache_key
+        with self._lock:
+            slot = self._results.get(key)
+            if slot is None or slot[0] != plan.store_version:
+                self.stats.result_misses += 1
+                return None
+            self._results.move_to_end(key)
+            self.stats.result_hits += 1
+            result = slot[1]
+        return self._flag_cached(result)
+
+    @staticmethod
+    def _flag_cached(result: SearchResult) -> SearchResult:
+        """A served copy: shared answers, stats copy flagged as cached."""
+        return replace(
+            result, stats=replace(result.stats, from_result_cache=True)
+        )
+
+    def _store_result(self, plan: QueryPlan, result: SearchResult) -> None:
+        if not plan.cacheable or self.max_cached_results <= 0:
+            return
+        if self.indexes.store.version != plan.store_version:
+            # A writer ran while this result was being computed.  Index-
+            # backed algorithms stayed consistent (pinned snapshot), but
+            # the baseline walks the live graph and may have observed a
+            # mid-update state — and either way the entry would be
+            # evicted by the version flush momentarily.  Skip caching;
+            # the cost is one recomputation.
+            return
+        with self._lock:
+            self._results[plan.cache_key] = (plan.store_version, result)
+            self._results.move_to_end(plan.cache_key)
+            while len(self._results) > self.max_cached_results:
+                self._results.popitem(last=False)
+
+    def _context_for(
+        self, snap: PathIndexes, plan: QueryPlan
+    ) -> EnumerationContext:
+        """The fragment tier: one shared context per resolved keyword tuple.
+
+        Contexts memoize root maps, the candidate intersection, the type
+        partition, and query bounds — everything per-query that does not
+        depend on k, algorithm, or pruning flags — so repeat keywords pay
+        the setup once per snapshot.  For an unseen keyword *order*, the
+        candidate intersection is seeded from any previously-served
+        permutation of the same keyword set.
+        """
+        words = plan.words
+        version = snap.store.version
+        candidates = None
+        with self._lock:
+            slot = self._contexts.get(words)
+            if slot is not None and slot[0] == version:
+                self._contexts.move_to_end(words)
+                self.stats.context_hits += 1
+                return slot[1]
+            self.stats.context_misses += 1
+            fragment = self._candidates.get(frozenset(words))
+            if fragment is not None and fragment[0] == version:
+                candidates = fragment[1]
+                self.stats.candidate_hits += 1
+        context = EnumerationContext(
+            snap, plan.resolved_query(), candidate_roots=candidates
+        )
+        with self._lock:
+            slot = self._contexts.get(words)
+            if slot is not None and slot[0] == version:
+                return slot[1]  # lost a benign race; share the winner
+            self._contexts[words] = (version, context)
+            self._contexts.move_to_end(words)
+            while len(self._contexts) > self.max_cached_contexts:
+                self._contexts.popitem(last=False)
+        return context
+
+    def _remember_candidates(
+        self, plan: QueryPlan, context: EnumerationContext
+    ) -> None:
+        """Publish the context's candidate intersection for other word
+        orders of the same keyword set (computed by now: every algorithm
+        walks the candidate roots)."""
+        candidates = context._candidates
+        if candidates is None:
+            return
+        key = frozenset(plan.words)
+        with self._lock:
+            slot = self._candidates.get(key)
+            if slot is None or slot[0] != plan.store_version:
+                self._candidates[key] = (plan.store_version, candidates)
+                self._candidates.move_to_end(key)
+                while len(self._candidates) > self.max_cached_contexts:
+                    self._candidates.popitem(last=False)
+
+    # ------------------------------------------------------------ reporting
+
+    def cache_sizes(self) -> Dict[str, int]:
+        return {
+            "results": len(self._results),
+            "contexts": len(self._contexts),
+            "candidate_fragments": len(self._candidates),
+            "resolutions": (
+                len(self.indexes.resolution_cache)
+                if self.indexes.resolution_cache is not None
+                else 0
+            ),
+        }
+
+    def __repr__(self) -> str:
+        snap = self._snapshot
+        version = snap.store.version if snap is not None else None
+        return (
+            f"SearchService(store_version={version}, "
+            f"cached_results={len(self._results)}, "
+            f"cached_contexts={len(self._contexts)})"
+        )

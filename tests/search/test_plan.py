@@ -1,0 +1,197 @@
+"""The plan half of the plan/execute split: canonicalization and dispatch."""
+
+import math
+
+import pytest
+
+from repro.core.errors import SearchError
+from repro.index.builder import ResolvedQuery
+from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
+from repro.search.engine import TableAnswerEngine
+from repro.search.plan import (
+    ALGORITHM_ALIASES,
+    canonical_algorithm,
+    execute_plan,
+    plan_search,
+)
+
+QUERY = "database software company revenue"
+
+
+@pytest.fixture(scope="module")
+def engine(example_bundle):
+    graph, _nodes, indexes = example_bundle
+    return TableAnswerEngine(graph, indexes=indexes)
+
+
+class TestCanonicalization:
+    def test_aliases_collapse(self):
+        assert canonical_algorithm("petopk") == "pattern_enum"
+        assert canonical_algorithm("PETopK") == "pattern_enum"
+        assert canonical_algorithm("letopk") == "linear_topk"
+        assert canonical_algorithm("linear") == "linear_topk"
+        assert canonical_algorithm("baseline") == "baseline"
+
+    def test_unknown_algorithm_fails_at_plan_time(self, engine):
+        with pytest.raises(SearchError, match="unknown algorithm"):
+            plan_search(engine.indexes, QUERY, algorithm="quantum")
+
+    def test_unknown_parameter_fails_at_plan_time(self, engine):
+        with pytest.raises(SearchError, match="does not accept"):
+            plan_search(engine.indexes, QUERY, samplig_rate=0.5)
+
+    def test_default_params_are_explicit(self, engine):
+        plan = plan_search(engine.indexes, QUERY)
+        params = dict(plan.params)
+        assert params == {"keep_subtrees": True, "prune": True}
+
+    def test_linear_alias_forces_exactness(self, engine):
+        plan = plan_search(engine.indexes, QUERY, algorithm="linear")
+        params = dict(plan.params)
+        assert plan.algorithm == "linear_topk"
+        assert params["sampling_threshold"] == math.inf
+        assert params["sampling_rate"] == 1.0
+
+    def test_words_are_resolved(self, engine):
+        plan = plan_search(engine.indexes, QUERY)
+        assert plan.words == ("databas", "softwar", "compani", "revenu")
+        assert plan.query_text == QUERY
+        assert plan.d == engine.d
+        assert plan.store_version == engine.indexes.store.version
+
+
+class TestCacheKey:
+    def test_spelling_invariance(self, engine):
+        a = plan_search(engine.indexes, "Software Company!")
+        b = plan_search(engine.indexes, "software   company")
+        assert a.cache_key == b.cache_key
+        assert hash(a.cache_key) == hash(b.cache_key)
+
+    def test_defaults_vs_explicit(self, engine):
+        a = plan_search(engine.indexes, QUERY)
+        b = plan_search(engine.indexes, QUERY, prune=True,
+                        keep_subtrees=True)
+        assert a.cache_key == b.cache_key
+
+    def test_alias_invariance(self, engine):
+        a = plan_search(engine.indexes, QUERY, algorithm="letopk")
+        b = plan_search(engine.indexes, QUERY, algorithm="linear_topk")
+        assert a.cache_key == b.cache_key
+
+    def test_k_and_params_distinguish(self, engine):
+        base = plan_search(engine.indexes, QUERY, k=5)
+        assert base.cache_key != plan_search(
+            engine.indexes, QUERY, k=6
+        ).cache_key
+        assert base.cache_key != plan_search(
+            engine.indexes, QUERY, k=5, prune=False
+        ).cache_key
+        assert base.cache_key != plan_search(
+            engine.indexes, QUERY, k=5, algorithm="baseline"
+        ).cache_key
+
+    def test_scoring_distinguishes(self, engine):
+        a = plan_search(engine.indexes, QUERY)
+        b = plan_search(
+            engine.indexes, QUERY,
+            scoring=ScoringFunction(z1=-1.0, z2=1.0, z3=2.0),
+        )
+        assert a.scoring == PAPER_DEFAULT
+        assert a.cache_key != b.cache_key
+
+    def test_cacheable(self, engine):
+        assert plan_search(engine.indexes, QUERY).cacheable
+        assert plan_search(
+            engine.indexes, QUERY, algorithm="letopk", seed=None
+        ).cacheable  # sampling cannot trigger at the default threshold
+        assert not plan_search(
+            engine.indexes, QUERY, algorithm="letopk",
+            seed=None, sampling_threshold=1, sampling_rate=0.5,
+        ).cacheable
+        assert plan_search(
+            engine.indexes, QUERY, algorithm="letopk",
+            seed=7, sampling_threshold=1, sampling_rate=0.5,
+        ).cacheable
+
+
+class TestExecution:
+    @pytest.mark.parametrize("algorithm", sorted(set(ALGORITHM_ALIASES)))
+    def test_execute_matches_direct_search(self, engine, algorithm):
+        plan = plan_search(
+            engine.indexes, QUERY, k=3, algorithm=algorithm,
+            scoring=engine.scoring,
+        )
+        via_plan = execute_plan(engine.indexes, plan)
+        direct = engine.search(QUERY, k=3, algorithm=algorithm)
+        assert via_plan.scores() == direct.scores()
+        assert via_plan.pattern_keys() == direct.pattern_keys()
+
+    def test_engine_accepts_prebuilt_plan(self, engine):
+        plan = engine.plan(QUERY, k=2)
+        result = engine.search(plan=plan)
+        assert result.scores() == engine.search(QUERY, k=2).scores()
+
+    def test_engine_rejects_params_with_plan(self, engine):
+        plan = engine.plan(QUERY, k=2)
+        with pytest.raises(SearchError, match="plan time"):
+            engine.search(plan=plan, prune=False)
+
+    @pytest.mark.parametrize(
+        "override",
+        [{"k": 10}, {"algorithm": "baseline"}, {"scoring": PAPER_DEFAULT}],
+    )
+    def test_engine_rejects_named_overrides_with_plan(
+        self, engine, override
+    ):
+        # Silently preferring the plan's k/algorithm/scoring over an
+        # explicitly passed value would be a wrong-answer-count footgun.
+        plan = engine.plan(QUERY, k=2)
+        with pytest.raises(SearchError, match="plan time"):
+            engine.search(plan=plan, **override)
+
+    def test_service_rejects_named_overrides_with_plan(self, engine):
+        from repro.search.service import SearchService
+
+        service = SearchService(engine.indexes)
+        plan = service.plan(QUERY, k=2)
+        with pytest.raises(SearchError, match="plan time"):
+            service.search(plan=plan, k=10)
+
+    def test_engine_requires_query_or_plan(self, engine):
+        with pytest.raises(SearchError, match="query"):
+            engine.search()
+
+    def test_stale_plan_rejected(self, example_bundle):
+        from repro.datasets.example import example_graph_with_nodes
+        from repro.index.builder import build_indexes
+        from repro.index.incremental import add_entity
+        from repro.kg.pagerank import uniform_scores
+        from repro.datasets.example import EXAMPLE_NORMALIZER
+
+        graph, _nodes = example_graph_with_nodes()
+        indexes = build_indexes(
+            graph, d=2, normalizer=EXAMPLE_NORMALIZER,
+            pagerank_scores=uniform_scores(graph),
+        )
+        plan = plan_search(indexes, QUERY)
+        add_entity(indexes, "Company", "Mutation Corp")
+        with pytest.raises(SearchError, match="replan"):
+            execute_plan(indexes, plan)
+        # The escape hatch for callers that know better.
+        result = execute_plan(indexes, plan, allow_stale=True)
+        assert result.num_answers >= 0
+
+    def test_resolved_query_passthrough(self, engine):
+        plan = plan_search(engine.indexes, QUERY)
+        rq = plan.resolved_query()
+        assert isinstance(rq, ResolvedQuery)
+        assert engine.indexes.resolve_query(rq) == plan.words
+
+    def test_describe_mentions_everything(self, engine):
+        plan = plan_search(engine.indexes, QUERY, k=7)
+        text = plan.describe(engine.indexes)
+        assert "algorithm=pattern_enum" in text
+        assert "k=7" in text
+        assert "databas" in text
+        assert "postings=" in text
+        assert f"store version {plan.store_version}" in text

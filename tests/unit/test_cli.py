@@ -118,6 +118,18 @@ class TestSearch:
         assert "no answers" in out
         assert "pruning:" in out
 
+    def test_search_rejects_mismatched_sampling_flags(
+        self, index_file, capsys
+    ):
+        # One-shot commands keep loud plan-time validation: sampling
+        # flags with a non-sampling algorithm are an error, not inert.
+        code = main(
+            ["search", str(index_file), "software company",
+             "--algorithm", "pattern_enum", "--sampling-rate", "0.5"]
+        )
+        assert code == 2
+        assert "does not accept" in capsys.readouterr().err
+
     def test_search_no_prune_matches_pruned(self, index_file, capsys):
         code = main(
             ["search", str(index_file), "software company", "--no-prune"]
@@ -133,6 +145,153 @@ class TestSearch:
             if not line.startswith("pattern_enum:")
         ]
         assert strip(unpruned) == strip(pruned)
+
+
+class TestPlan:
+    def test_plan_prints_without_searching(self, index_file, capsys):
+        code = main(
+            ["plan", str(index_file), "database software company", "-k", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm=pattern_enum" in out
+        assert "k=7" in out
+        assert "'databas'" in out          # resolved (stemmed) keywords
+        assert "postings=" in out
+        assert "score=" not in out         # no answers were produced
+
+    def test_search_explain_includes_plan(self, index_file, capsys):
+        code = main(
+            ["search", str(index_file), "software company", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: algorithm=pattern_enum" in out
+        assert "pruning: roots_skipped=" in out
+
+    def test_plan_canonicalizes_alias(self, index_file, capsys):
+        code = main(
+            ["plan", str(index_file), "software", "--algorithm", "letopk"]
+        )
+        assert code == 0
+        assert "algorithm=linear_topk" in capsys.readouterr().out
+
+
+class TestServe:
+    def _serve(self, index_file, lines, monkeypatch, extra=()):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("\n".join(lines) + "\n")
+        )
+        return main(["serve", str(index_file), *extra])
+
+    def test_serve_answers_a_stream(self, index_file, capsys, monkeypatch):
+        code = self._serve(
+            index_file,
+            ["software company", "software company", ":stats", ":quit"],
+            monkeypatch,
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("--- #1") == 2
+        assert "(cached)" in out            # second answer came from cache
+        assert "result cache 1/2 hits" in out
+
+    def test_serve_meta_commands(self, index_file, capsys, monkeypatch):
+        code = self._serve(
+            index_file,
+            [
+                ":help", ":k 2", ":algorithm letopk", ":explain",
+                "software company", ":k x", ":algorithm quantum", ":wat",
+            ],
+            monkeypatch,
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "commands:" in out
+        assert "explain on" in out
+        assert "plan: algorithm=linear_topk k=2" in out
+        assert "error: :k needs an integer" in out
+        assert "error: unknown algorithm 'quantum'" in out
+        assert "error: unknown command ':wat'" in out
+
+    def test_serve_forwards_algorithm_flags(
+        self, index_file, capsys, monkeypatch
+    ):
+        # --no-prune (and the sampling flags) must reach the plans serve
+        # builds, not just search/batch.
+        code = self._serve(
+            index_file,
+            [":explain", "software company"],
+            monkeypatch,
+            extra=["--no-prune"],
+        )
+        assert code == 0
+        assert "prune=False" in capsys.readouterr().out
+
+    def test_serve_algorithm_switch_drops_inapplicable_flags(
+        self, index_file, capsys, monkeypatch
+    ):
+        # A --sampling-rate given for the starting letopk must not
+        # poison the session after :algorithm pattern_enum.
+        code = self._serve(
+            index_file,
+            [":algorithm pattern_enum", "software company"],
+            monkeypatch,
+            extra=["--algorithm", "letopk", "--sampling-rate", "0.5"],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "does not accept" not in out
+        assert "--- #1" in out
+
+    def test_serve_bad_query_keeps_serving(
+        self, index_file, capsys, monkeypatch
+    ):
+        code = self._serve(
+            index_file, ["???", "software company"], monkeypatch
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error:" in out
+        assert "--- #1" in out
+
+
+class TestBatch:
+    def test_batch_runs_a_file(self, index_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "software company\n"
+            "# a comment\n"
+            "  # an indented comment\n"
+            "\n"
+            "database revenue\n"
+            "software company\n"
+        )
+        code = main(
+            ["batch", str(index_file), str(queries), "--threads", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("answers") == 3    # blank + comment lines skipped
+        assert "(cached)" in out            # duplicate query deduplicated
+        assert "QPS" in out
+        assert "service:" in out
+
+    def test_batch_missing_file(self, index_file, tmp_path, capsys):
+        code = main(
+            ["batch", str(index_file), str(tmp_path / "absent.txt")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_empty_file(self, index_file, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("\n# only comments\n")
+        code = main(["batch", str(index_file), str(empty)])
+        assert code == 2
+        assert "no queries" in capsys.readouterr().err
 
 
 class TestStats:
