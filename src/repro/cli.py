@@ -37,7 +37,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, SearchError
 from repro.index.builder import build_indexes
 from repro.index.serialize import load_indexes, save_indexes
 from repro.index.stats import index_statistics
@@ -97,6 +97,17 @@ def _explain_pruning(stats) -> str:
         f"prefixes_skipped={stats.prefixes_skipped} "
         f"pairs_skipped={stats.pairs_skipped}"
     ]
+    if stats.shards_total:
+        line = (
+            "sharding: "
+            f"dispatched={stats.shards_total - stats.shards_skipped}"
+            f"/{stats.shards_total} shards "
+            f"(skipped={stats.shards_skipped}, "
+            f"order={list(stats.shard_dispatch_order)})"
+        )
+        if stats.shard_failovers:
+            line += f" failovers={stats.shard_failovers}"
+        lines.append(line)
     if stats.threshold_first is not None:
         lines.append(
             "k-th score trajectory: "
@@ -152,19 +163,36 @@ def _print_result(service, result, max_rows: int, explain: bool) -> int:
     return 0
 
 
+def _make_service(args: argparse.Namespace) -> SearchService:
+    """The service a command serves through: sharded when ``--shards``
+    asks for it, the plain single-store service otherwise (a sharded
+    index file still loads — its base bundle is a complete index)."""
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        from repro.search.sharding import ShardedSearchService
+
+        if shards < 1:
+            raise SearchError(f"--shards must be >= 1, got {shards}")
+        return ShardedSearchService.from_file(args.index, num_shards=shards)
+    return SearchService.from_file(args.index)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     # Single-shot serving: one service, one query — identical cold
     # behavior to the pre-service CLI, but through the same plan/execute
     # path `serve` and `batch` use.
-    service = SearchService.from_file(args.index)
-    plan = service.plan(
-        args.query, k=args.k, algorithm=args.algorithm,
-        **_search_params(args),
-    )
-    if args.explain:
-        print(plan.describe(service.snapshot()))
-    result = service.search(plan=plan)
-    return _print_result(service, result, args.max_rows, args.explain)
+    service = _make_service(args)
+    try:
+        plan = service.plan(
+            args.query, k=args.k, algorithm=args.algorithm,
+            **_search_params(args),
+        )
+        if args.explain:
+            print(plan.describe(service.snapshot()))
+        result = service.search(plan=plan)
+        return _print_result(service, result, args.max_rows, args.explain)
+    finally:
+        service.close()
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -190,7 +218,14 @@ anything else is searched as a keyword query."""
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    service = SearchService.from_file(args.index)
+    service = _make_service(args)
+    try:
+        return _serve_loop(service, args)
+    finally:
+        service.close()
+
+
+def _serve_loop(service: SearchService, args: argparse.Namespace) -> int:
     store = service.indexes.store
     print(
         f"serving {args.index}: {store.num_postings()} postings over "
@@ -279,19 +314,41 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not queries:
         print(f"error: no queries in {args.queries!r}", file=sys.stderr)
         return 2
-    service = SearchService.from_file(args.index)
+    if args.processes and not args.no_subtrees:
+        # Fail loudly instead of silently forcing keep_subtrees=False (the
+        # old behavior): users got fewer result fields than every other
+        # invocation with no indication why.
+        print(
+            "error: --processes forks batch workers, and kept subtrees "
+            "reference the posting store and cannot cross processes; "
+            "re-run with --no-subtrees to accept score-and-count-only "
+            "answers (or use --threads / --shards)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.processes and getattr(args, "shards", None):
+        print(
+            "error: --processes and --shards are mutually exclusive: the "
+            "shard worker pool is the sharded service's parallel path",
+            file=sys.stderr,
+        )
+        return 2
+    service = _make_service(args)
     params = _search_params(args)
-    if args.processes:
+    if args.no_subtrees:
         params["keep_subtrees"] = False
     started = time.perf_counter()
-    results = service.search_many(
-        queries,
-        k=args.k,
-        algorithm=args.algorithm,
-        threads=args.threads,
-        processes=args.processes,
-        **params,
-    )
+    try:
+        results = service.search_many(
+            queries,
+            k=args.k,
+            algorithm=args.algorithm,
+            threads=args.threads,
+            processes=args.processes,
+            **params,
+        )
+    finally:
+        service.close()
     elapsed = time.perf_counter() - started
     for query, result in zip(queries, results):
         top = f"{result.answers[0].score:.4f}" if result.answers else "-"
@@ -358,8 +415,18 @@ def build_parser() -> argparse.ArgumentParser:
             "(exhaustive enumeration)",
         )
 
+    def add_shards_flag(sub) -> None:
+        sub.add_argument(
+            "--shards", type=int, default=None, metavar="K",
+            help="serve through a K-shard scatter-gather worker pool "
+            "with bound-driven shard skipping (bit-identical answers; "
+            "a file written with a stored partition reuses it when K "
+            "matches)",
+        )
+
     search = commands.add_parser("search", help="answer a keyword query")
     add_query_flags(search)
+    add_shards_flag(search)
     search.add_argument("--max-rows", type=int, default=10)
     search.add_argument(
         "--explain",
@@ -381,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
         "query stream through the caching SearchService",
     )
     add_query_flags(serve, with_query=False)
+    add_shards_flag(serve)
     serve.add_argument("--max-rows", type=int, default=10)
     serve.add_argument(
         "--explain",
@@ -395,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         "shared SearchService",
     )
     add_query_flags(batch, with_query=False)
+    add_shards_flag(batch)
     batch.add_argument("queries", help="query file, one query per line")
     batch.add_argument(
         "--threads", type=int, default=0,
@@ -403,7 +472,13 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--processes", type=int, default=0,
         help="fork-pool size for parallel execution "
-        "(implies keep_subtrees=False; 0 = off)",
+        "(requires --no-subtrees; 0 = off)",
+    )
+    batch.add_argument(
+        "--no-subtrees", action="store_true",
+        help="run with keep_subtrees=False: answers keep exact scores "
+        "and row counts but drop the subtree rows (required by "
+        "--processes)",
     )
     batch.set_defaults(handler=_cmd_batch)
 

@@ -65,12 +65,12 @@ def _atomic_write_bytes(path: Path, data: bytes) -> None:
         raise
 
 
-def save_indexes(indexes: PathIndexes, path: Union[str, Path]) -> int:
-    """Write indexes to ``path`` (v2, atomic); returns the bytes written."""
+def _v2_envelope(indexes: PathIndexes) -> dict:
+    """The v2 columnar envelope for one bundle (shared by both kinds)."""
     store = indexes.store
     if store is None:  # pragma: no cover - PathIndexes always has a store
         raise PathIndexError("cannot serialize indexes without a store")
-    envelope = {
+    return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "d": indexes.d,
@@ -85,6 +85,9 @@ def save_indexes(indexes: PathIndexes, path: Union[str, Path]) -> int:
         "interner": indexes.interner.to_payload(),
         "store": store.to_payload(indexes.pagerank_scores),
     }
+
+
+def _write_envelope(envelope: dict, path: Union[str, Path]) -> int:
     data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
     try:
         _atomic_write_bytes(Path(path), data)
@@ -93,6 +96,33 @@ def save_indexes(indexes: PathIndexes, path: Union[str, Path]) -> int:
             f"cannot write index to {str(path)!r}: {exc}"
         ) from exc
     return len(data)
+
+
+def save_indexes(indexes: PathIndexes, path: Union[str, Path]) -> int:
+    """Write indexes to ``path`` (v2, atomic); returns the bytes written."""
+    return _write_envelope(_v2_envelope(indexes), path)
+
+
+def save_sharded_indexes(sharded, path: Union[str, Path]) -> int:
+    """Write a partitioned bundle: one v2 base envelope + K shard stores.
+
+    The shards share the base's graph/interner/lexicon/PageRank, so only
+    their posting stores are serialized — each as the same columnar
+    payload :func:`save_indexes` writes, reassembled against the base's
+    interner on load.  A sharded file *is* a valid index file:
+    :func:`load_indexes` on it returns the base bundle (sharding is a
+    serving-side accelerator, not a different index), while
+    :func:`load_sharded_indexes` restores the full partition without
+    re-running :func:`repro.index.shards.partition_indexes`.
+    """
+    envelope = _v2_envelope(sharded.base)
+    envelope["kind"] = "sharded"
+    envelope["num_shards"] = sharded.num_shards
+    envelope["shard_stores"] = [
+        shard.store.to_payload(sharded.base.pagerank_scores)
+        for shard in sharded.shards
+    ]
+    return _write_envelope(envelope, path)
 
 
 def _load_v2(path: Path, envelope: dict) -> PathIndexes:
@@ -171,13 +201,8 @@ def _migrate_v1(path: Path, payload: object) -> PathIndexes:
     )
 
 
-def load_indexes(path: Union[str, Path]) -> PathIndexes:
-    """Load indexes previously written by :func:`save_indexes`.
-
-    Reads both the current v2 columnar format and legacy v1 object-graph
-    pickles (transparently migrated to the columnar store).
-    """
-    path = Path(path)
+def _read_envelope(path: Path) -> dict:
+    """Read and format-check an index file's outer envelope."""
     if not path.exists():
         raise PathIndexError(f"no such index file: {str(path)!r}")
     try:
@@ -192,7 +217,21 @@ def load_indexes(path: Union[str, Path]) -> PathIndexes:
             f"{str(path)!r} has format version {version}, this build reads "
             f"versions {READABLE_VERSIONS}"
         )
-    if version == 1:
+    return envelope
+
+
+def load_indexes(path: Union[str, Path]) -> PathIndexes:
+    """Load indexes previously written by :func:`save_indexes`.
+
+    Reads both the current v2 columnar format and legacy v1 object-graph
+    pickles (transparently migrated to the columnar store).  A sharded
+    file (:func:`save_sharded_indexes`) loads as its base bundle — the
+    partition is extra serving-side state, not a different index; use
+    :func:`load_sharded_indexes` to restore the shards too.
+    """
+    path = Path(path)
+    envelope = _read_envelope(path)
+    if envelope.get("version") == 1:
         indexes = _migrate_v1(path, envelope.get("payload"))
     else:
         indexes = _load_v2(path, envelope)
@@ -203,3 +242,45 @@ def load_indexes(path: Union[str, Path]) -> PathIndexes:
             f"{indexes.num_entries}"
         )
     return indexes
+
+
+def load_sharded_indexes(path: Union[str, Path]):
+    """Load a partitioned bundle written by :func:`save_sharded_indexes`.
+
+    Returns a :class:`~repro.index.shards.ShardedIndexes`: the base
+    bundle plus its K shard bundles, reassembled against the base's
+    interner/graph exactly as :func:`partition_indexes` would build them.
+    """
+    from repro.index.shards import wrap_shard_stores
+
+    path = Path(path)
+    envelope = _read_envelope(path)
+    if envelope.get("kind") != "sharded":
+        raise PathIndexError(
+            f"{str(path)!r} is not a sharded index file; load it with "
+            "load_indexes() and partition_indexes() instead"
+        )
+    base = _load_v2(path, envelope)
+    payloads = envelope.get("shard_stores")
+    num_shards = envelope.get("num_shards")
+    if not isinstance(payloads, list) or len(payloads) != num_shards:
+        raise PathIndexError(
+            f"{str(path)!r} sharded envelope is inconsistent: "
+            f"num_shards={num_shards!r}, "
+            f"{len(payloads) if isinstance(payloads, list) else 'no'} "
+            "shard stores"
+        )
+    pagerank = array("d")
+    pagerank.frombytes(envelope["pagerank"])
+    stores = [
+        PostingStore.from_payload(base.interner, payload, pagerank)
+        for payload in payloads
+    ]
+    sharded = wrap_shard_stores(base, stores)
+    total = sum(shard.num_entries for shard in sharded.shards)
+    if total != base.num_entries:
+        raise PathIndexError(
+            f"{str(path)!r} shard postings do not cover the base: "
+            f"{total} vs {base.num_entries}"
+        )
+    return sharded

@@ -535,6 +535,19 @@ class PostingStore:
             return len(ids) if ids is not None else 0
         return sum(len(ids) for ids in self._posting_ids.values())
 
+    def postings(self, word: str) -> Iterable[Tuple[int, float]]:
+        """One word's raw ``(path_id, sim)`` posting pairs, column order.
+
+        The bulk-transfer accessor behind store partitioning
+        (:mod:`repro.index.shards`): order is whatever the columns
+        currently hold — callers that need the grouped order must
+        :meth:`finalize` the receiving store themselves.
+        """
+        ids = self._posting_ids.get(word)
+        if ids is None:
+            return iter(())
+        return zip(ids, self._posting_sims[word])
+
     def total_path_nodes(self) -> int:
         """``sum_p |p| * |text(p)|`` of Theorem 2, without materialization."""
         offsets = self._node_offsets
@@ -643,6 +656,17 @@ class PostingStore:
         """
         self._query_cache = None
         self._bound_cache = None
+
+    def warm_query_caches(self) -> None:
+        """Build the query-acceleration and bound columns now.
+
+        Live-store twin of :meth:`StoreSnapshot.warm_query_caches`: shard
+        worker processes call it once at pool start so every later query
+        finds the one-time per-version builds already done.
+        """
+        self.finalize()
+        self._query_columns()
+        self.bound_columns()
 
     def path_columns(self) -> Tuple[List[int], List[float]]:
         """``(sizes, prs)`` boxed per-path columns for bound arithmetic.
@@ -1104,6 +1128,7 @@ class StoreSnapshot:
     dedup_ratio = PostingStore.dedup_ratio
     words = PostingStore.words
     has_word = PostingStore.has_word
+    postings = PostingStore.postings
 
     def finalize(self) -> None:
         """No-op: a snapshot is finalized by construction."""

@@ -213,6 +213,18 @@ class SearchService:
             self._candidates.clear()
             return self._snapshot
 
+    def close(self) -> None:
+        """Release serving resources; a no-op here, overridden by
+        :class:`~repro.search.sharding.ShardedSearchService` (worker
+        pool).  Callers that may hold either flavor (the CLI) can call
+        it unconditionally."""
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def invalidate(self) -> None:
         """Drop the snapshot and every cache tier (next request rebuilds)."""
         with self._lock:

@@ -305,3 +305,93 @@ class TestStats:
     def test_stats_missing_index(self, tmp_path, capsys):
         code = main(["stats", str(tmp_path / "absent.idx")])
         assert code == 2
+
+
+class TestSharding:
+    def test_search_with_shards_explains_dispatch(self, index_file, capsys):
+        code = main(
+            ["search", str(index_file), "software company",
+             "--shards", "2", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharding: dispatched=" in out
+        assert "/2 shards" in out
+
+    def test_search_matches_unsharded(self, index_file, capsys):
+        assert main(["search", str(index_file), "software company"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["search", str(index_file), "software company", "--shards", "3"]
+        ) == 0
+        sharded = capsys.readouterr().out
+
+        def answer_lines(text):
+            # Drop the stats footer: timings and shard counters differ.
+            return [line for line in text.splitlines()
+                    if " ms roots=" not in line]
+
+        assert answer_lines(sharded) == answer_lines(plain)
+
+    def test_search_rejects_bad_shard_count(self, index_file, capsys):
+        code = main(
+            ["search", str(index_file), "software company", "--shards", "0"]
+        )
+        assert code == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_batch_with_shards(self, index_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("software company\ndatabase revenue\n")
+        code = main(
+            ["batch", str(index_file), str(queries), "--shards", "2"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.count("answers") == 2
+
+    def test_batch_processes_without_no_subtrees_fails(
+        self, index_file, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("software company\n")
+        code = main(
+            ["batch", str(index_file), str(queries), "--processes", "2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot cross processes" in err
+        assert "--no-subtrees" in err
+
+    def test_batch_processes_with_no_subtrees_runs(
+        self, index_file, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("software company\ndatabase revenue\n")
+        code = main(
+            ["batch", str(index_file), str(queries),
+             "--processes", "1", "--no-subtrees"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.count("answers") == 2
+
+    def test_batch_processes_and_shards_conflict(
+        self, index_file, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("software company\n")
+        code = main(
+            ["batch", str(index_file), str(queries),
+             "--processes", "2", "--no-subtrees", "--shards", "2"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_with_shards(self, index_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("software company\n")
+        )
+        code = main(["serve", str(index_file), "--shards", "2"])
+        assert code == 0
+        assert "--- #1" in capsys.readouterr().out

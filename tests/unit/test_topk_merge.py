@@ -1,0 +1,148 @@
+"""Property tests for scatter–gather top-k merge semantics.
+
+The sharded coordinator merges per-shard top-k lists into one global
+:class:`TopKQueue` guarded by a :class:`TopKThreshold`.  Exactness rests
+on three properties, each checked here against the single-queue oracle:
+
+1. **Truncation suffices** — merging per-partition *top-k* lists (not
+   the full per-partition streams) loses nothing, because a globally
+   retained item is in its own partition's top k.
+2. **Order invariance** — the merged ranking does not depend on the
+   order partitions are gathered in, or on the order items arrived
+   within a partition, because tie conflicts are settled by canonical
+   tie keys, not insertion order.
+3. **Skip admissibility** — a partition whose score upper bound fails
+   ``threshold.admits`` (strictly below the current k-th score) can be
+   dropped without changing the result; equality must be admitted
+   because a tied score can still win on its tie key.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import TopKQueue, TopKThreshold
+
+# A small score palette forces frequent exact-equality ties, and a small
+# tie-key range forces (score, tie_key) duplicates — the hard cases.
+SCORES = (0.125, 0.25, 0.5, 0.75, 1.0)
+
+
+@st.composite
+def merge_cases(draw):
+    items = draw(
+        st.lists(
+            st.tuples(st.sampled_from(SCORES), st.integers(0, 5)),
+            max_size=40,
+        )
+    )
+    k = draw(st.integers(1, 6))
+    num_parts = draw(st.integers(1, 5))
+    assignment = [draw(st.integers(0, num_parts - 1)) for _ in items]
+    gather_order = draw(st.permutations(range(num_parts)))
+    return items, k, num_parts, assignment, gather_order
+
+
+def global_ranking(items, k):
+    queue = TopKQueue(k)
+    for score, tie_key in items:
+        queue.push(score, (score, tie_key), tie_key=tie_key)
+    return [value for _score, value in queue.ranked()]
+
+
+def partition(items, num_parts, assignment):
+    parts = [[] for _ in range(num_parts)]
+    for item, part in zip(items, assignment):
+        parts[part].append(item)
+    return parts
+
+
+def local_topk(part, k):
+    queue = TopKQueue(k)
+    for score, tie_key in part:
+        queue.push(score, (score, tie_key), tie_key=tie_key)
+    return queue.ranked()
+
+
+def merge(local_lists, k, *, skip_by_bound=False):
+    """The coordinator's gather loop, optionally with bound skipping."""
+    queue = TopKQueue(k)
+    threshold = TopKThreshold(queue)
+    skipped = 0
+    for ranked in local_lists:
+        if skip_by_bound:
+            upper = ranked[0][0] if ranked else 0.0
+            if not ranked or not threshold.admits(upper):
+                skipped += 1
+                continue
+        for score, value in ranked:
+            queue.push(score, value, tie_key=value[1])
+    return [value for _score, value in queue.ranked()], skipped
+
+
+@given(case=merge_cases())
+@settings(max_examples=300, deadline=None)
+def test_merged_topk_equals_single_global_run(case):
+    items, k, num_parts, assignment, gather_order = case
+    parts = partition(items, num_parts, assignment)
+    local_lists = [local_topk(parts[p], k) for p in gather_order]
+    merged, _ = merge(local_lists, k)
+    assert merged == global_ranking(items, k)
+
+
+@given(case=merge_cases())
+@settings(max_examples=200, deadline=None)
+def test_merge_is_gather_order_invariant(case):
+    items, k, num_parts, assignment, gather_order = case
+    parts = partition(items, num_parts, assignment)
+    forward = [local_topk(parts[p], k) for p in range(num_parts)]
+    permuted = [local_topk(parts[p], k) for p in gather_order]
+    assert merge(forward, k)[0] == merge(permuted, k)[0]
+
+
+@given(case=merge_cases())
+@settings(max_examples=200, deadline=None)
+def test_merge_invariant_to_arrival_order_within_partition(case):
+    items, k, num_parts, assignment, gather_order = case
+    parts = partition(items, num_parts, assignment)
+    local_lists = [local_topk(parts[p], k) for p in gather_order]
+    reversed_lists = [local_topk(list(reversed(parts[p])), k)
+                      for p in gather_order]
+    assert merge(local_lists, k)[0] == merge(reversed_lists, k)[0]
+
+
+@given(case=merge_cases())
+@settings(max_examples=300, deadline=None)
+def test_bound_skipping_never_changes_the_merge(case):
+    # Best-bound-first gather, skipping partitions whose max retained
+    # score fails the admission gate — exactly the shard protocol, with
+    # the partition max standing in for the shard's upper bound.
+    items, k, num_parts, assignment, _ = case
+    parts = partition(items, num_parts, assignment)
+    local_lists = [local_topk(part, k) for part in parts]
+    local_lists.sort(key=lambda ranked: -(ranked[0][0] if ranked else 0.0))
+    merged, skipped = merge(local_lists, k, skip_by_bound=True)
+    assert merged == global_ranking(items, k)
+    assert 0 <= skipped <= num_parts
+
+
+@given(case=merge_cases())
+@settings(max_examples=200, deadline=None)
+def test_statically_dropping_below_threshold_partitions_is_safe(case):
+    # The offline variant: once the exact k-th score is known, any
+    # partition whose upper bound is *strictly* below it contributes
+    # nothing.  (Equal bounds must be kept: tie keys can still win.)
+    items, k, num_parts, assignment, _ = case
+    parts = partition(items, num_parts, assignment)
+    reference = global_ranking(items, k)
+    if len(reference) < k:
+        kth = float("-inf")
+    else:
+        kth = reference[-1][0]
+    kept = [
+        local_topk(part, k)
+        for part in parts
+        if part and max(score for score, _ in part) >= kth
+    ]
+    assert merge(kept, k)[0] == reference
