@@ -74,6 +74,35 @@ def _format_store_line(indexes) -> str:
     )
 
 
+def _format_file_stats(path) -> str:
+    """Multi-line summary of the index *file*: format version, total
+    bytes, and per-store (base + shards) sizes for sharded bundles."""
+    from repro.index.serialize import describe_index_file
+
+    info = describe_index_file(path)
+    lines = [
+        f"file: {info['file_bytes'] / 1e6:.1f} MB, "
+        f"format v{info['version']}, kind={info['kind']}"
+        + (
+            f" ({info['num_shards']} shards)"
+            if info["kind"] == "sharded"
+            else ""
+        )
+    ]
+    for entry in info["stores"]:
+        lines.append(
+            f"  {entry['name']}: {entry['num_postings']} postings over "
+            f"{entry['num_paths']} paths, "
+            f"{entry['store_bytes'] / 1e6:.1f} MB on disk"
+        )
+    return "\n".join(lines)
+
+
+def _format_cold_start(service) -> str:
+    """One line on how long the bundle took to come off disk."""
+    return f"cold start: index loaded in {service.stats.load_seconds * 1000.0:.1f} ms"
+
+
 #: Search algorithms whose hot loops take the ``prune`` switch (the
 #: baseline and the full-enumeration ranker have nothing to prune: their
 #: contract is the complete answer set).
@@ -188,6 +217,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             **_search_params(args),
         )
         if args.explain:
+            print(_format_cold_start(service))
             print(plan.describe(service.snapshot()))
         result = service.search(plan=plan)
         return _print_result(service, result, args.max_rows, args.explain)
@@ -231,6 +261,7 @@ def _serve_loop(service: SearchService, args: argparse.Namespace) -> int:
         f"serving {args.index}: {store.num_postings()} postings over "
         f"{store.num_paths} paths; type a query (:help for commands)"
     )
+    print(_format_cold_start(service))
     k = args.k
     algorithm = args.algorithm
     explain = args.explain
@@ -368,7 +399,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    print(_format_file_stats(args.index))
     indexes = load_indexes(args.index)
+    print(f"load: {indexes.load_seconds * 1000.0:.1f} ms")
     print(compute_statistics(indexes.graph).format())
     print(index_statistics(indexes).format())
     print(_format_store_line(indexes))

@@ -160,6 +160,31 @@ def generate_workload(
     return queries
 
 
+def zipfian_requests(
+    queries: Sequence[Query],
+    num_requests: int,
+    alpha: float = 0.9,
+    seed: int = 0,
+) -> List[Query]:
+    """An open-loop request stream with Zipfian query popularity.
+
+    Real search traffic repeats a few hot queries constantly and the
+    long tail rarely; serving benchmarks that replay each distinct query
+    once overstate cold-path cost and understate cache value.  Draws
+    ``num_requests`` from ``queries`` with popularity ``1/(rank+1)^alpha``
+    (rank = position in ``queries``), seeded for reproducibility.
+    """
+    from repro.datasets.synthetic import zipf_index
+
+    if not queries:
+        raise QueryError("zipfian_requests needs a non-empty query pool")
+    rng = random.Random(seed)
+    return [
+        queries[zipf_index(rng, len(queries), alpha)]
+        for _ in range(num_requests)
+    ]
+
+
 def filter_answerable(
     indexes: PathIndexes, queries: Sequence[Query]
 ) -> List[Query]:

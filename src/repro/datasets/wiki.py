@@ -162,6 +162,28 @@ def _zipf_type(rng: random.Random, config: WikiConfig) -> int:
     return zipf_index(rng, config.num_types, config.type_alpha)
 
 
+def scaled_wiki_config(num_entities: int, seed: int = 97) -> WikiConfig:
+    """A :class:`WikiConfig` for large-scale runs (50k–500k entities).
+
+    The paper's Wiki ratios, scaled down proportionally: entities per
+    infobox type (~550:1), per attribute name, and per vocabulary word
+    all grow with the entity count so the index's shape — patterns per
+    keyword, postings per pattern — stays wiki-like instead of
+    degenerating into a few giant types.  Fill probabilities are lowered
+    to keep edges-per-entity near the real dataset's ~18 in+out.
+    """
+    return WikiConfig(
+        num_entities=num_entities,
+        num_types=max(16, min(400, num_entities // 125)),
+        num_attrs=max(24, min(600, num_entities // 80)),
+        vocabulary_size=max(160, min(4000, num_entities // 12)),
+        slots_per_type=(2, 3),
+        fill_probability=0.6,
+        text_probability=0.3,
+        seed=seed,
+    )
+
+
 def wiki_entity_fraction_graph(
     config: WikiConfig, fraction: float
 ) -> KnowledgeGraph:

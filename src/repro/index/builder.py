@@ -113,6 +113,9 @@ class PathIndexes:
     synonyms: Optional[SynonymTable] = None
     store: Optional[PostingStore] = None
     resolution_cache: Optional[TermResolutionCache] = None
+    #: Wall-clock seconds the deserializer spent producing this bundle
+    #: (0.0 for freshly built bundles); set by ``load_indexes``.
+    load_seconds: float = 0.0
     _notes: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:

@@ -82,6 +82,18 @@ RootFirstIndex` to share every posting between the two indexes.
         if self._built_version == store.version:
             return
         data = store.pattern_view()  # shared with the store, not copied
+        # Mapped stores (index/mmapstore.py) deserialize their views one
+        # word at a time; eagerly grouping every word here would force the
+        # whole vocabulary off disk, so they supply a lazy per-word
+        # grouping instead.
+        view_hook = getattr(store, "by_root_type_view", None)
+        if view_hook is not None:
+            lazy_grouping = view_hook(self.interner)
+            if lazy_grouping is not None:
+                self._data = data
+                self._by_root_type = lazy_grouping
+                self._built_version = store.version
+                return
         by_root_type: Dict[str, Dict[TypeId, List[PatternId]]] = {}
         for word, by_pattern in data.items():
             grouping: Dict[TypeId, List[PatternId]] = {}

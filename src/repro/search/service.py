@@ -92,6 +92,9 @@ class ServiceStats:
     batches: int = 0
     batch_queries: int = 0
     batch_deduped: int = 0
+    #: Cold-start: wall-clock seconds the deserializer spent on the served
+    #: bundle (0.0 when it was built in-process rather than loaded).
+    load_seconds: float = 0.0
 
     @staticmethod
     def _rate(hits: int, misses: int) -> float:
@@ -108,8 +111,13 @@ class ServiceStats:
         return self._rate(self.resolution_hits, self.resolution_misses)
 
     def format(self) -> str:
+        cold_start = (
+            f"cold start {self.load_seconds * 1000.0:.1f} ms, "
+            if self.load_seconds
+            else ""
+        )
         return (
-            f"service: {self.searches} searches, "
+            f"service: {cold_start}{self.searches} searches, "
             f"result cache {self.result_hits}/"
             f"{self.result_hits + self.result_misses} hits "
             f"({self.result_hit_rate():.0%}), "
@@ -151,7 +159,9 @@ class SearchService:
         self.scoring = scoring
         self.max_cached_results = max_cached_results
         self.max_cached_contexts = max_cached_contexts
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(
+            load_seconds=getattr(indexes, "load_seconds", 0.0)
+        )
         #: Guards snapshot swaps and cache-structure mutations.  Never
         #: held across an execution — searches run lock-free against the
         #: snapshot they grabbed.

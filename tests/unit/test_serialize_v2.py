@@ -221,7 +221,7 @@ class TestSizeWin:
         """Acceptance: the wiki synthetic d=3 index shrinks >= 2x."""
         indexes = wiki_indexes_small
         v1_bytes = len(make_legacy_v1_bytes(indexes))
-        v2_bytes = save_indexes(indexes, tmp_path / "wiki.idx")
+        v2_bytes = save_indexes(indexes, tmp_path / "wiki.idx", version=2)
         assert v2_bytes * 2 <= v1_bytes, (
             f"v2 {v2_bytes} bytes vs v1 {v1_bytes}: "
             f"only {v1_bytes / v2_bytes:.2f}x"
