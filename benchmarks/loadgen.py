@@ -1,0 +1,248 @@
+"""Open-loop HTTP load generator for the ``repro serve --http`` tier.
+
+Replays a :mod:`repro.serve.workload` JSONL stream against a running
+server at a **fixed arrival rate**: request *i* is due at ``start +
+i/rate`` whether or not earlier requests have completed, so a slow
+server accumulates queueing delay instead of silently slowing the
+clients down (the closed-loop fallacy / coordinated omission).  Client
+thread *c* owns requests ``i % clients == c`` on one keep-alive
+connection; latency is measured **from the scheduled arrival time**, so
+client-side lag counts against the server, never for it.
+
+Usable as a library (``benchmarks/smoke_load.py``) or a CLI::
+
+    PYTHONPATH=src python benchmarks/loadgen.py 127.0.0.1:8080 \
+        --workload wl.jsonl --rate 50 --clients 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlencode
+
+from repro.serve.workload import WorkloadRequest, load_workload
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, round(fraction * (len(sorted_values) - 1))),
+    )
+    return sorted_values[rank]
+
+
+def request_path(request: WorkloadRequest, k: Optional[int] = None) -> str:
+    """The request line a :class:`WorkloadRequest` maps to."""
+    if request.is_mutation:
+        return "/admin/invalidate"
+    query: List[Tuple[str, str]] = [("q", request.query)]
+    if request.k is not None:
+        query.append(("k", str(request.k)))
+    elif k is not None:
+        query.append(("k", str(k)))
+    if request.algorithm is not None:
+        query.append(("algorithm", request.algorithm))
+    for name, value in request.params:
+        query.append((name, str(value)))
+    return "/search?" + urlencode(query)
+
+
+@dataclass
+class Observation:
+    """One completed (or failed) request."""
+
+    index: int
+    path: str
+    status: int
+    #: Seconds from *scheduled arrival* to response (None on transport
+    #: failure).
+    latency: Optional[float]
+    coalesced: bool = False
+    body: Optional[bytes] = None
+
+
+@dataclass
+class LoadResult:
+    """Everything one open-loop run produced."""
+
+    offered_rate: float
+    wall_seconds: float = 0.0
+    observations: List[Observation] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.observations if o.status > 0)
+
+    @property
+    def achieved_qps(self) -> float:
+        return (
+            self.completed / self.wall_seconds if self.wall_seconds else 0.0
+        )
+
+    def status_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for obs in self.observations:
+            counts[obs.status] = counts.get(obs.status, 0) + 1
+        return counts
+
+    def latencies(self, statuses: Tuple[int, ...] = (200,)) -> List[float]:
+        """Sorted latencies of responses with the given statuses."""
+        return sorted(
+            obs.latency
+            for obs in self.observations
+            if obs.status in statuses and obs.latency is not None
+        )
+
+    def quantiles_ms(
+        self, statuses: Tuple[int, ...] = (200,)
+    ) -> Dict[str, float]:
+        window = self.latencies(statuses)
+        return {
+            "p50_ms": percentile(window, 0.50) * 1000,
+            "p95_ms": percentile(window, 0.95) * 1000,
+            "p99_ms": percentile(window, 0.99) * 1000,
+        }
+
+    def summary(self) -> dict:
+        counts = self.status_counts()
+        return {
+            "offered_rate": self.offered_rate,
+            "wall_seconds": self.wall_seconds,
+            "requests": len(self.observations),
+            "achieved_qps": self.achieved_qps,
+            "status_counts": {str(s): n for s, n in sorted(counts.items())},
+            "shed_503": counts.get(503, 0),
+            "expired_504": counts.get(504, 0),
+            "transport_errors": counts.get(0, 0),
+            "coalesced": sum(1 for o in self.observations if o.coalesced),
+            "latency_200": self.quantiles_ms(),
+        }
+
+
+def run_open_loop(
+    address: str,
+    requests: List[WorkloadRequest],
+    rate: float,
+    clients: int = 4,
+    k: Optional[int] = None,
+    timeout: float = 30.0,
+    capture_bodies: bool = False,
+) -> LoadResult:
+    """Fire ``requests`` at ``rate``/s; returns every observation."""
+    host, _, port_text = address.partition(":")
+    port = int(port_text)
+    paths = [request_path(request, k=k) for request in requests]
+    result = LoadResult(offered_rate=rate)
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client(client_id: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        barrier.wait()
+        for index in range(client_id, len(paths), clients):
+            due = start + index / rate
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            path = paths[index]
+            method = (
+                "POST" if requests[index].is_mutation else "GET"
+            )
+            try:
+                conn.request(method, path)
+                response = conn.getresponse()
+                body = response.read()
+                obs = Observation(
+                    index=index,
+                    path=path,
+                    status=response.status,
+                    latency=time.monotonic() - due,
+                    coalesced=response.getheader("X-Coalesced") == "1",
+                    body=body if capture_bodies else None,
+                )
+            except (OSError, http.client.HTTPException):
+                # Transport failure: reconnect and record status 0.
+                conn.close()
+                conn = http.client.HTTPConnection(
+                    host, port, timeout=timeout
+                )
+                obs = Observation(
+                    index=index, path=path, status=0, latency=None
+                )
+            with lock:
+                result.observations.append(obs)
+        conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(c,), daemon=True)
+        for c in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start = time.monotonic() + 0.05  # let every client reach the barrier
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+    result.wall_seconds = time.monotonic() - start
+    result.observations.sort(key=lambda obs: obs.index)
+    return result
+
+
+def fetch_metrics(address: str, timeout: float = 10.0) -> Dict[str, float]:
+    """Scrape ``/metrics`` into ``{"name{labels}": value}``."""
+    host, _, port_text = address.partition(":")
+    conn = http.client.HTTPConnection(host, int(port_text), timeout=timeout)
+    conn.request("GET", "/metrics")
+    response = conn.getresponse()
+    text = response.read().decode("utf-8")
+    conn.close()
+    if response.status != 200:
+        raise RuntimeError(f"/metrics answered {response.status}")
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            continue
+    return samples
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("address", help="HOST:PORT of a running server")
+    parser.add_argument(
+        "--workload", required=True,
+        help="JSONL workload file (repro.serve.workload format)",
+    )
+    parser.add_argument(
+        "--rate", type=float, required=True, help="arrival rate (req/s)"
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("-k", type=int, default=None)
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="replay the workload this many times back to back",
+    )
+    args = parser.parse_args(argv)
+    requests = load_workload(args.workload) * args.repeat
+    result = run_open_loop(
+        args.address, requests, args.rate, clients=args.clients, k=args.k
+    )
+    print(json.dumps(result.summary(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

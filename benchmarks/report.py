@@ -24,6 +24,18 @@ def _fmt_ms(value) -> str:
 
 def _headline(name: str, data: dict) -> str:
     """The one number this bench exists to track, best-effort per schema."""
+    if "sustained" in data and "baseline" in data:  # BENCH_8 (HTTP tier)
+        sustained = data["sustained"]
+        ratio = sustained.get("ratio_vs_baseline")
+        ratio_text = (
+            f" ({ratio:.1f}x serial REPL)"
+            if isinstance(ratio, (int, float))
+            else ""
+        )
+        return (
+            f"sustained {sustained.get('achieved_qps', 0):.0f} QPS"
+            f"{ratio_text}, {sustained.get('coalesced', 0)} coalesced"
+        )
     if "per_scale" in data:  # BENCH_7 (mmap cold start)
         largest = data["per_scale"][-1]
         return (
@@ -34,9 +46,10 @@ def _headline(name: str, data: dict) -> str:
     if "per_shard_count" in data:  # BENCH_5 (sharding)
         skipped = data.get("total_shards_skipped")
         return f"{skipped} shards skipped across the grid"
-    if "warm" in data and "cold" in data:  # BENCH_4 (serving)
-        warm = data["warm"].get("p50_ms")
-        cold = data["cold"].get("p50_ms")
+    if "single_query" in data:  # BENCH_4 (serving)
+        single = data["single_query"]
+        warm = single.get("warm_p50_ms")
+        cold = single.get("cold_p50_ms")
         if isinstance(warm, (int, float)) and isinstance(cold, (int, float)):
             return (
                 f"warm p50 {_fmt_ms(warm)} vs cold {_fmt_ms(cold)} "
@@ -56,6 +69,34 @@ def _headline(name: str, data: dict) -> str:
     return "-"
 
 
+def _serving_columns(data: dict) -> dict:
+    """Best-effort QPS / p99 / shed-rate columns, per schema.
+
+    BENCH_8 (the HTTP tier) populates all three; older serving benches
+    surface what they have; figure benches print dashes.
+    """
+    qps = p99 = shed = None
+    if "sustained" in data and "overload" in data:  # BENCH_8
+        sustained = data["sustained"]
+        qps = sustained.get("achieved_qps")
+        p99 = sustained.get("latency_200", {}).get("p99_ms")
+        overload = data["overload"]
+        total = overload.get("requests")
+        if total:
+            shed = overload.get("shed_503", 0) / total
+    elif "batch_threads" in data:  # BENCH_4
+        runs = data["batch_threads"]
+        best = runs.get("1") or runs.get(1) or {}
+        qps = best.get("qps")
+    return {
+        "qps": f"{qps:.0f}" if isinstance(qps, (int, float)) else "-",
+        "p99": _fmt_ms(p99) if isinstance(p99, (int, float)) else "-",
+        "shed": (
+            f"{shed * 100:.0f}%" if isinstance(shed, (int, float)) else "-"
+        ),
+    }
+
+
 def collect(directory: Path) -> list:
     rows = []
     for path in sorted(directory.glob("BENCH_*.json")):
@@ -69,6 +110,9 @@ def collect(directory: Path) -> list:
                     "profile": "-",
                     "gates": f"error: {exc}",
                     "headline": "-",
+                    "qps": "-",
+                    "p99": "-",
+                    "shed": "-",
                     "ok": False,
                 }
             )
@@ -88,6 +132,7 @@ def collect(directory: Path) -> list:
                 "profile": data.get("profile", "-"),
                 "gates": gates,
                 "headline": _headline(path.stem, data),
+                **_serving_columns(data),
                 "ok": all(acceptance.values()) if acceptance else True,
             }
         )
@@ -97,7 +142,10 @@ def collect(directory: Path) -> list:
 def format_table(rows: list) -> str:
     if not rows:
         return "no BENCH_*.json files found"
-    headers = ("file", "bench", "profile", "headline", "gates")
+    headers = (
+        "file", "bench", "profile", "headline", "qps", "p99", "shed",
+        "gates",
+    )
     table = [headers] + [
         tuple(str(row[name]) for name in headers) for row in rows
     ]

@@ -1,0 +1,374 @@
+"""BENCH_8: HTTP serving tier — latency under open-loop load.
+
+Measures ``repro.serve.http`` end to end on the wiki synthetic (d=3,
+BENCH_4's heavy-query workload) with the open-loop generator from
+``benchmarks/loadgen.py`` (fixed arrival rate, latency measured from the
+*scheduled* arrival, so queueing is charged to the server):
+
+* **serial baseline** — the pre-HTTP serving story: the ``serve`` REPL
+  loop (search + ASCII table rendering) replaying the Zipf stream on one
+  thread;
+* **coalescing burst** — 16 simultaneous identical cold requests against
+  a one-worker server: one execution, every response's answers
+  bit-identical, ``X-Coalesced`` on the followers;
+* **sustained phase** — the Zipf stream (writer ticks every 250
+  requests) at ``sustained_ratio``× the baseline rate: achieved QPS,
+  p50/p95/p99, coalescing count, and a **divergence gate** — every 200
+  response is fingerprinted (scores, pattern keys, row counts; floats
+  survive the JSON round trip exactly) against a cold single-shot
+  ``TableAnswerEngine`` run;
+* **overload phase** — a one-worker, ``max_queue=4`` server at 2× its
+  measured capacity over distinct cold plans: the server must shed
+  (503s + ``requests_shed``) while the p99 of *admitted* requests stays
+  bounded by queue math instead of growing with offered load;
+* **/metrics gate** — the scrape must expose QPS, latency quantiles,
+  queue depth, shed/coalesced/expired counts, cache tiers, and search
+  work counters.
+
+Emits ``BENCH_8.json``; exit 1 if any gate fails.  CI runs ``smoke``::
+
+    PYTHONPATH=src python benchmarks/smoke_load.py --out BENCH_8.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import random
+import sys
+import time
+
+from repro.cli import _print_result
+from repro.datasets.queries import zipfian_requests
+from repro.datasets.wiki import WikiConfig, generate_wiki_graph
+from repro.index.builder import build_indexes
+from repro.search.engine import TableAnswerEngine
+from repro.search.service import SearchService
+from repro.serve import start_http_server
+from repro.serve.workload import WorkloadRequest, zipf_workload
+
+from loadgen import fetch_metrics, run_open_loop
+from smoke_serving import fingerprint, heavy_workload
+
+PROFILES = {
+    "smoke": {
+        "wiki": WikiConfig(
+            num_entities=120, num_types=8, num_attrs=12,
+            vocabulary_size=60, seed=5,
+        ),
+        "min_subtrees": 64,
+        "max_queries": 8,
+        "baseline_requests": 120,
+        "sustained_requests": 2000,
+        "overload_seconds": 2.0,
+    },
+    "full": {
+        "wiki": WikiConfig(
+            num_entities=800, num_types=24, num_attrs=36,
+            vocabulary_size=240, seed=23,
+        ),
+        "min_subtrees": 4096,
+        "max_queries": 10,
+        "baseline_requests": 200,
+        "sustained_requests": 4000,
+        "overload_seconds": 3.0,
+    },
+}
+
+#: Offered sustained rate as a multiple of the serial baseline; the gate
+#: requires achieved >= REQUIRED_RATIO x baseline.  Calibrated headroom:
+#: the tier floods at ~3.8x baseline on the smoke profile, so 3.25x
+#: offered holds a stable queue while clearing the 3x acceptance floor.
+SUSTAINED_RATIO = 3.25
+REQUIRED_RATIO = 3.0
+#: Sustained-phase SLO on answered requests.
+SLO_P95_MS = 200.0
+#: Overload server shape: one executor, four admission slots.
+OVERLOAD_QUEUE = 4
+#: Admitted p99 under 2x-capacity overload must stay within queue math:
+#: (queue depth + 2) service times, with 3x slack for GIL contention
+#: between the in-process clients and the server, floored absolutely.
+OVERLOAD_P99_SLACK = 3.0
+OVERLOAD_P99_FLOOR_MS = 250.0
+
+
+def http_fingerprint(body: bytes):
+    payload = json.loads(body)
+    return (
+        [answer["score"] for answer in payload["answers"]],
+        [tuple(answer["pattern_key"]) for answer in payload["answers"]],
+        [answer["num_subtrees"] for answer in payload["answers"]],
+    )
+
+
+def check_responses(stage, observations, oracle, divergences):
+    """Fingerprint every 200 /search response against the cold oracle."""
+    checked = 0
+    for obs in observations:
+        if obs.status != 200 or obs.body is None:
+            continue
+        if not obs.path.startswith("/search"):
+            continue
+        payload = json.loads(obs.body)
+        query = payload["query"]
+        if http_fingerprint(obs.body) != oracle[query]:
+            divergences.append({"stage": stage, "query": query})
+        checked += 1
+    return checked
+
+
+def run(profile_name: str, k: int, out_path: str) -> int:
+    profile = PROFILES[profile_name]
+    graph = generate_wiki_graph(profile["wiki"])
+    indexes = build_indexes(graph, d=3)
+    queries = heavy_workload(
+        indexes, profile["min_subtrees"], profile["max_queries"]
+    )
+    if not queries:
+        print("error: no heavy queries in the workload", file=sys.stderr)
+        return 1
+    query_texts = [" ".join(query) for query in queries]
+
+    # The no-cache oracle: cold engine on a pinned snapshot, keyed by the
+    # query text the HTTP responses echo back.
+    snap = indexes.snapshot()
+    engine = TableAnswerEngine(snap.graph, indexes=snap)
+    oracle = {}
+    cold_seconds = {}
+    for query, text in zip(queries, query_texts):
+        started = time.perf_counter()
+        result = engine.search(query, k=k)
+        cold_seconds[text] = time.perf_counter() - started
+        oracle[text] = fingerprint(result)
+    divergences = []
+
+    # ---- serial baseline: the serve REPL loop ------------------------
+    baseline_stream = zipfian_requests(
+        queries, profile["baseline_requests"], alpha=0.9, seed=11
+    )
+    service = SearchService(indexes)
+    sink = io.StringIO()
+    started = time.perf_counter()
+    for query in baseline_stream:
+        result = service.search(query, k=k)
+        with contextlib.redirect_stdout(sink):
+            _print_result(service, result, 10, False)
+    baseline_seconds = time.perf_counter() - started
+    baseline_qps = len(baseline_stream) / baseline_seconds
+    service.close()
+    print(
+        f"serial REPL baseline: {baseline_qps:.0f} QPS "
+        f"({len(baseline_stream)} requests in {baseline_seconds:.3f}s)"
+    )
+
+    # ---- coalescing burst: N waiters, one execution ------------------
+    # One worker so the leader occupies the executor while 15 duplicates
+    # arrive; the heaviest query maximizes the coalescing window.
+    heaviest = max(query_texts, key=lambda text: cold_seconds[text])
+    server = start_http_server(
+        SearchService(indexes), max_queue=64, workers=1
+    )
+    burst = run_open_loop(
+        server.address,
+        [WorkloadRequest(query=heaviest, k=k)] * 16,
+        rate=1e9,
+        clients=16,
+        capture_bodies=True,
+    )
+    burst_stats = server.server.service.stats
+    burst_executions = burst_stats.result_misses
+    burst_coalesced = sum(1 for obs in burst.observations if obs.coalesced)
+    check_responses("burst", burst.observations, oracle, divergences)
+    server.stop()
+    print(
+        f"coalescing burst: 16 duplicates -> {burst_executions} "
+        f"executions, {burst_coalesced} coalesced"
+    )
+
+    # ---- sustained phase: Zipf mix at SUSTAINED_RATIO x baseline -----
+    sustained_rate = SUSTAINED_RATIO * baseline_qps
+    workload = zipf_workload(
+        query_texts,
+        profile["sustained_requests"],
+        k=k,
+        alpha=0.9,
+        seed=17,
+        invalidate_every=250,
+    )
+    server = start_http_server(
+        SearchService(indexes), max_queue=256, workers=4
+    )
+    sustained = run_open_loop(
+        server.address, workload, rate=sustained_rate, clients=8,
+        capture_bodies=True,
+    )
+    sustained_summary = sustained.summary()
+    checked = check_responses(
+        "sustained", sustained.observations, oracle, divergences
+    )
+    metrics = fetch_metrics(server.address)
+    server.stop()
+    print(
+        f"sustained: offered {sustained_rate:.0f}/s -> achieved "
+        f"{sustained_summary['achieved_qps']:.0f} QPS "
+        f"({sustained_summary['achieved_qps'] / baseline_qps:.2f}x "
+        f"baseline), p95 "
+        f"{sustained_summary['latency_200']['p95_ms']:.1f} ms, "
+        f"{sustained_summary['coalesced']} coalesced, "
+        f"{checked} responses checked"
+    )
+
+    # ---- overload phase: 2x capacity into a tiny admission queue -----
+    # Distinct (query, k) pairs so every request is a cold plan: no
+    # result-cache hits, no coalescing — admission control alone.
+    pairs = [
+        (text, 3 + j) for j in range(200) for text in query_texts
+    ]
+    random.Random(42).shuffle(pairs)
+    def to_requests(chunk):
+        return [
+            WorkloadRequest(query=text, k=pair_k) for text, pair_k in chunk
+        ]
+    server = start_http_server(
+        SearchService(indexes), max_queue=OVERLOAD_QUEUE, workers=1
+    )
+    flood = run_open_loop(
+        server.address, to_requests(pairs[:40]), rate=1e9, clients=1
+    )
+    capacity_qps = flood.achieved_qps
+    paced = run_open_loop(
+        server.address,
+        to_requests(pairs[40:80]),
+        rate=max(capacity_qps / 2, 1.0),
+        clients=2,
+    )
+    paced_p95_ms = paced.quantiles_ms()["p95_ms"]
+    overload_count = min(
+        int(2 * capacity_qps * profile["overload_seconds"]),
+        len(pairs) - 80,
+    )
+    overload = run_open_loop(
+        server.address,
+        to_requests(pairs[80:80 + overload_count]),
+        rate=2 * capacity_qps,
+        clients=8,
+    )
+    server.stop()
+    overload_summary = overload.summary()
+    admitted_p99_ms = overload_summary["latency_200"]["p99_ms"]
+    p99_bound_ms = max(
+        OVERLOAD_P99_FLOOR_MS,
+        OVERLOAD_P99_SLACK * (OVERLOAD_QUEUE + 2) * paced_p95_ms,
+    )
+    print(
+        f"overload: capacity {capacity_qps:.0f}/s, offered "
+        f"{2 * capacity_qps:.0f}/s -> {overload_summary['shed_503']} shed, "
+        f"admitted p99 {admitted_p99_ms:.1f} ms "
+        f"(bound {p99_bound_ms:.0f} ms)"
+    )
+
+    required_metrics = [
+        "repro_http_qps",
+        "repro_http_queue_depth",
+        "repro_http_requests_shed_total",
+        "repro_http_requests_coalesced_total",
+        "repro_http_requests_expired_total",
+        'repro_http_request_latency_seconds{quantile="0.99"}',
+        'repro_cache_hits_total{tier="result"}',
+        'repro_search_counter_total{counter="patterns_checked"}',
+        "repro_service_searches_total",
+        "repro_service_invalidations_total",
+    ]
+    missing_metrics = [
+        name for name in required_metrics if name not in metrics
+    ]
+
+    acceptance = {
+        "bit_identical_met": not divergences,
+        "throughput_3x_met": (
+            sustained_summary["achieved_qps"]
+            >= REQUIRED_RATIO * baseline_qps
+        ),
+        "slo_p95_met": (
+            sustained_summary["latency_200"]["p95_ms"] <= SLO_P95_MS
+        ),
+        "coalescing_met": (
+            burst_coalesced > 0 and burst_executions == 1
+        ),
+        "shedding_met": overload_summary["shed_503"] > 0,
+        "admitted_p99_bounded_met": admitted_p99_ms <= p99_bound_ms,
+        "metrics_exposed_met": not missing_metrics,
+        "no_transport_errors_met": (
+            sustained_summary["transport_errors"] == 0
+            and overload_summary["transport_errors"] == 0
+        ),
+    }
+    report = {
+        "bench": "BENCH_8",
+        "profile": profile_name,
+        "k": k,
+        "d": indexes.d,
+        "num_entities": profile["wiki"].num_entities,
+        "queries": query_texts,
+        "baseline": {
+            "qps": baseline_qps,
+            "requests": len(baseline_stream),
+            "seconds": baseline_seconds,
+        },
+        "burst": {
+            "requests": 16,
+            "executions": burst_executions,
+            "coalesced": burst_coalesced,
+        },
+        "sustained": dict(
+            sustained_summary,
+            ratio_vs_baseline=(
+                sustained_summary["achieved_qps"] / baseline_qps
+            ),
+            responses_checked=checked,
+            slo_p95_ms=SLO_P95_MS,
+        ),
+        "overload": dict(
+            overload_summary,
+            capacity_qps=capacity_qps,
+            paced_p95_ms=paced_p95_ms,
+            max_queue=OVERLOAD_QUEUE,
+            admitted_p99_bound_ms=p99_bound_ms,
+        ),
+        "metrics_missing": missing_metrics,
+        "divergences": divergences,
+        "acceptance": acceptance,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+
+    failures = [name for name, ok in acceptance.items() if not ok]
+    if failures:
+        print(f"FAIL: {', '.join(failures)}", file=sys.stderr)
+        if divergences:
+            print(
+                f"  {len(divergences)} served results diverged from the "
+                "cold engine",
+                file=sys.stderr,
+            )
+        return 1
+    print("all gates passed: served answers identical to the cold engine")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="smoke"
+    )
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--out", default="BENCH_8.json")
+    args = parser.parse_args(argv)
+    return run(args.profile, args.k, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,15 @@ Subcommands mirror the production flow:
   any of the paper's algorithms, printing table answers;
 * ``plan``   — print the :class:`~repro.search.plan.QueryPlan` a query
   would execute, without running it;
-* ``serve``  — load once, then answer a query *stream* interactively
-  through a cached :class:`~repro.search.service.SearchService`;
+* ``serve``  — load once, then answer a query *stream*: interactively
+  through a cached :class:`~repro.search.service.SearchService`, or —
+  with ``--http HOST:PORT`` — over the asyncio HTTP front-end
+  (:mod:`repro.serve.http`: deadlines, admission control, coalescing,
+  ``/metrics``);
 * ``batch``  — load once, answer a file of queries (optionally on a
-  thread pool) through the same service;
+  thread pool) through the same service; accepts both plain query-per-
+  line files and the ``.jsonl`` workload format the HTTP load generator
+  replays (:mod:`repro.serve.workload`);
 * ``stats``  — inspect a persisted index bundle.
 
 ``search`` loads the index per invocation (cold single-shot); ``serve``
@@ -26,7 +31,9 @@ Examples::
         --sampling-rate 0.2 --sampling-threshold 1000
     python -m repro.cli plan kb.idx "database software company"
     echo "software company" | python -m repro.cli serve kb.idx
+    python -m repro.cli serve kb.idx --http 127.0.0.1:8080 --max-queue 64
     python -m repro.cli batch kb.idx queries.txt --threads 4
+    python -m repro.cli batch kb.idx workload.jsonl
     python -m repro.cli stats kb.idx
 """
 
@@ -110,12 +117,11 @@ _PRUNABLE_ALGORITHMS = (
     "pattern_enum", "petopk", "linear", "letopk", "linear_topk",
 )
 
-#: Algorithms that accept the sampling flags (the LINEARENUM-TOPK
-#: family).  One-shot commands pass mismatched flags through so plan-time
-#: validation rejects them loudly; only the ``serve`` REPL drops
-#: inapplicable flags (see ``_cmd_serve``), so an ``:algorithm`` switch
-#: mid-session is not poisoned by a once-given ``--sampling-rate``.
-_SAMPLING_ALGORITHMS = ("linear", "letopk", "linear_topk")
+# One-shot commands pass mismatched flags through so plan-time
+# validation rejects them loudly; only the ``serve`` REPL drops
+# inapplicable flags — with a warning, via the same applicability check
+# the HTTP parser uses (``repro.serve.params``) — so an ``:algorithm``
+# switch mid-session is not poisoned by a once-given ``--sampling-rate``.
 
 
 def _explain_pruning(stats) -> str:
@@ -250,9 +256,49 @@ anything else is searched as a keyword query."""
 def _cmd_serve(args: argparse.Namespace) -> int:
     service = _make_service(args)
     try:
+        if args.http is not None:
+            return _serve_http(service, args)
         return _serve_loop(service, args)
     finally:
         service.close()
+
+
+def _serve_http(service: SearchService, args: argparse.Namespace) -> int:
+    """``serve --http``: the asyncio front-end instead of the REPL."""
+    from repro.serve.http import run_server
+
+    host, _, port_text = args.http.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"error: --http wants HOST:PORT, got {args.http!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def ready(server) -> None:
+        print(_format_cold_start(service))
+        print(
+            f"serving {args.index} on http://{server.address} "
+            f"(workers={args.workers}, max_queue={args.max_queue}, "
+            f"deadline_ms={args.deadline_ms}); endpoints: /search "
+            f"/metrics /healthz /admin/invalidate",
+            flush=True,
+        )
+
+    run_server(
+        service,
+        host=host,
+        port=port,
+        ready=ready,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        default_deadline_ms=args.deadline_ms,
+    )
+    print(service.stats.format())
+    return 0
 
 
 def _serve_loop(service: SearchService, args: argparse.Namespace) -> int:
@@ -271,13 +317,24 @@ def _serve_loop(service: SearchService, args: argparse.Namespace) -> int:
         # Recomputed per query (:algorithm changes mid-session), and —
         # unlike the one-shot commands — inapplicable sampling flags are
         # dropped rather than rejected: a flag given for the starting
-        # algorithm must not poison the session after a switch.
+        # algorithm must not poison the session after a switch.  The
+        # drop is *audible*: the same applicability check the HTTP
+        # parameter parser rejects with is printed here as a warning.
+        from repro.serve.params import (
+            describe_inapplicable,
+            split_applicable_params,
+        )
+
         shadow = argparse.Namespace(**{**vars(args), "algorithm": algorithm})
-        params = _search_params(shadow)
-        if algorithm not in _SAMPLING_ALGORITHMS:
-            params.pop("sampling_rate", None)
-            params.pop("sampling_threshold", None)
-        return params
+        kept, dropped = split_applicable_params(
+            algorithm, _search_params(shadow)
+        )
+        if dropped:
+            print(
+                "warning: ignoring "
+                + describe_inapplicable(algorithm, dropped)
+            )
+        return kept
     while True:
         if interactive:
             print(f"[{algorithm} k={k}]> ", end="", flush=True)
@@ -331,8 +388,24 @@ def _serve_loop(service: SearchService, args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
+def _load_batch_requests(args: argparse.Namespace):
+    """The batch input as workload requests.
+
+    ``.jsonl`` files parse as the :mod:`repro.serve.workload` format (the
+    stream the HTTP load generator replays, possibly carrying per-request
+    k/algorithm/params overrides and ``invalidate`` writer ticks); any
+    other file is the classic one-query-per-line format.  Returns
+    ``(requests, None)`` or ``(None, exit_code)``.
+    """
+    from repro.serve.workload import (
+        WorkloadError,
+        load_workload,
+        requests_from_queries,
+    )
+
     try:
+        if args.queries.endswith(".jsonl"):
+            return load_workload(args.queries), None
         with open(args.queries) as handle:
             queries = [
                 stripped
@@ -341,10 +414,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             ]
     except OSError as exc:
         print(f"error: cannot read {args.queries!r}: {exc}", file=sys.stderr)
-        return 2
+        return None, 2
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, 2
     if not queries:
         print(f"error: no queries in {args.queries!r}", file=sys.stderr)
+        return None, 2
+    return requests_from_queries(queries), None
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    requests, exit_code = _load_batch_requests(args)
+    if requests is None:
+        return exit_code
+    uniform = all(
+        not request.is_mutation and not request.has_overrides()
+        for request in requests
+    )
+    if not uniform and (args.threads or args.processes):
+        print(
+            "error: this workload carries per-request overrides or "
+            "invalidation ticks, which replay in order on one thread; "
+            "drop --threads/--processes (or use a uniform workload)",
+            file=sys.stderr,
+        )
         return 2
+    if not uniform:
+        return _batch_replay(args, requests)
+    queries = [request.query for request in requests]
     if args.processes and not args.no_subtrees:
         # Fail loudly instead of silently forcing keep_subtrees=False (the
         # old behavior): users got fewer result fields than every other
@@ -393,6 +491,55 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"batch: {len(queries)} queries in {elapsed:.3f} s "
         f"({qps:.1f} QPS, threads={args.threads}, "
         f"processes={args.processes})"
+    )
+    print(service.stats.format())
+    return 0
+
+
+def _batch_replay(args: argparse.Namespace, requests) -> int:
+    """Non-uniform workload replay: in order, one thread, writer ticks
+    included — the offline twin of what the HTTP load generator sends."""
+    from repro.serve.params import split_applicable_params
+
+    service = _make_service(args)
+    base_params = _search_params(args)
+    if args.no_subtrees:
+        base_params["keep_subtrees"] = False
+    searches = invalidations = 0
+    started = time.perf_counter()
+    try:
+        for request in requests:
+            if request.is_mutation:
+                service.invalidate()
+                invalidations += 1
+                print(":invalidate: caches flushed")
+                continue
+            algorithm = request.algorithm or args.algorithm
+            params, _dropped = split_applicable_params(
+                algorithm, base_params
+            )
+            params.update(dict(request.params))
+            result = service.search(
+                request.query,
+                k=request.k if request.k is not None else args.k,
+                algorithm=algorithm,
+                **params,
+            )
+            searches += 1
+            top = f"{result.answers[0].score:.4f}" if result.answers else "-"
+            cached = " (cached)" if result.stats.from_result_cache else ""
+            print(
+                f"{request.query!r}: {result.num_answers} answers, "
+                f"top={top}, "
+                f"{result.stats.elapsed_seconds * 1000:.1f} ms{cached}"
+            )
+    finally:
+        service.close()
+    elapsed = time.perf_counter() - started
+    qps = searches / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"batch: {searches} queries + {invalidations} invalidations in "
+        f"{elapsed:.3f} s ({qps:.1f} QPS, sequential replay)"
     )
     print(service.stats.format())
     return 0
@@ -488,6 +635,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="start with plan/pruning diagnostics on (:explain toggles)",
     )
+    serve.add_argument(
+        "--http", metavar="HOST:PORT", default=None,
+        help="serve over HTTP instead of the REPL: asyncio front-end "
+        "with request coalescing, admission control, per-request "
+        "deadlines, and a Prometheus /metrics endpoint (port 0 picks "
+        "a free port)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="HTTP admission limit: requests executing or queued before "
+        "the server sheds with 503 (default 64)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="HTTP default per-request deadline; requests that expire "
+        "before execution are answered 504 without running "
+        "(clients override per request with ?deadline_ms=)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="HTTP executor threads running searches (default 4)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     batch = commands.add_parser(
@@ -497,7 +666,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_query_flags(batch, with_query=False)
     add_shards_flag(batch)
-    batch.add_argument("queries", help="query file, one query per line")
+    batch.add_argument(
+        "queries",
+        help="query file: one query per line, or a .jsonl workload "
+        "(repro.serve.workload format — per-request overrides and "
+        "invalidation ticks replay in order)",
+    )
     batch.add_argument(
         "--threads", type=int, default=0,
         help="thread-pool size for batch execution (0 = inline)",

@@ -134,6 +134,19 @@ def canonical_algorithm(name: str) -> str:
     return canonical
 
 
+def algorithm_param_names(algorithm: str) -> frozenset:
+    """The execution parameters ``algorithm`` (or an alias) accepts.
+
+    The single source of truth every front-end validates against: the
+    ``serve`` REPL warns about (and drops) inapplicable flags on
+    ``:algorithm`` switches, and the HTTP parameter parser rejects them —
+    both through :mod:`repro.serve.params`, so the two surfaces cannot
+    drift apart.
+    """
+    spec = _SPECS[canonical_algorithm(algorithm)]
+    return frozenset(name for name, _ in spec.defaults)
+
+
 @dataclass(frozen=True)
 class QueryPlan:
     """Everything about a search decided before execution starts.

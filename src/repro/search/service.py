@@ -48,7 +48,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.errors import SearchError
@@ -69,8 +69,12 @@ from repro.search.result import SearchResult
 class ServiceStats:
     """Per-tier cache counters for one :class:`SearchService`.
 
-    Counters are best-effort under concurrency (plain ints mutated under
-    the GIL); they instrument, they do not synchronize.
+    Counters are updated through :meth:`bump`, which serializes on the
+    stats object's own lock: the threaded ``search_many`` path and the
+    async HTTP front-end (:mod:`repro.serve.http`) increment these from
+    many threads at once, and a bare ``+=`` is a read-modify-write that
+    can drop updates between bytecodes.  Reads stay lock-free — a report
+    racing a writer can at worst be one increment behind.
     """
 
     searches: int = 0
@@ -95,6 +99,17 @@ class ServiceStats:
     #: Cold-start: wall-clock seconds the deserializer spent on the served
     #: bundle (0.0 when it was built in-process rather than loaded).
     load_seconds: float = 0.0
+    #: Guards counter increments (see class docstring); excluded from
+    #: equality so two stats blocks with equal counters compare equal.
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named counters."""
+        with self.lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     @staticmethod
     def _rate(hits: int, misses: int) -> float:
@@ -215,9 +230,9 @@ class SearchService:
             if snap is not None and snap.store.version == live_version:
                 return snap  # another thread refreshed while we waited
             if snap is not None:
-                self.stats.invalidations += 1
+                self.stats.bump(invalidations=1)
             self._snapshot = self.indexes.snapshot()
-            self.stats.snapshots_taken += 1
+            self.stats.bump(snapshots_taken=1)
             self._results.clear()
             self._contexts.clear()
             self._candidates.clear()
@@ -239,7 +254,7 @@ class SearchService:
         """Drop the snapshot and every cache tier (next request rebuilds)."""
         with self._lock:
             if self._snapshot is not None:
-                self.stats.invalidations += 1
+                self.stats.bump(invalidations=1)
             self._snapshot = None
             self._results.clear()
             self._contexts.clear()
@@ -268,8 +283,10 @@ class SearchService:
             **params,
         )
         if cache is not None:
-            self.stats.resolution_hits += cache.hits - before[0]
-            self.stats.resolution_misses += cache.misses - before[1]
+            self.stats.bump(
+                resolution_hits=cache.hits - before[0],
+                resolution_misses=cache.misses - before[1],
+            )
         return plan
 
     # ------------------------------------------------------------ searching
@@ -293,7 +310,7 @@ TableAnswerEngine.search>`; on a result-cache hit the returned object
             plan = self._plan_on(snap, query, k, algorithm, scoring, params)
         else:
             reject_plan_overrides(k, algorithm, scoring, params)
-        self.stats.searches += 1
+        self.stats.bump(searches=1)
         self._check_version(plan, snap)
         cached = self._cached_result(plan)
         if cached is not None:
@@ -351,14 +368,13 @@ TableAnswerEngine.search>`; on a result-cache hit the returned object
                 "processes= requires keep_subtrees=False: kept subtrees "
                 "reference the posting store and cannot cross processes"
             )
-        self.stats.batches += 1
-        self.stats.batch_queries += len(queries)
+        self.stats.bump(batches=1, batch_queries=len(queries))
         snap = self.snapshot()
         plans = [
             self._plan_on(snap, query, k, algorithm, scoring, params)
             for query in queries
         ]
-        self.stats.searches += len(plans)
+        self.stats.bump(searches=len(plans))
 
         # Dedup equal plans and peel off result-cache hits.
         slots: List[Optional[SearchResult]] = [None] * len(plans)
@@ -371,9 +387,9 @@ TableAnswerEngine.search>`; on a result-cache hit the returned object
             key = plan.cache_key if plan.cacheable else ("#uncached", i)
             unique.setdefault(key, []).append(i)
         pending = [plans[positions[0]] for positions in unique.values()]
-        self.stats.batch_deduped += sum(
+        self.stats.bump(batch_deduped=sum(
             len(positions) - 1 for positions in unique.values()
-        )
+        ))
 
         if pending:
             run = lambda plan: self._execute_on(snap, plan)  # noqa: E731
@@ -419,16 +435,16 @@ TableAnswerEngine.search>`; on a result-cache hit the returned object
 
     def _cached_result(self, plan: QueryPlan) -> Optional[SearchResult]:
         if not plan.cacheable:
-            self.stats.result_misses += 1
+            self.stats.bump(result_misses=1)
             return None
         key = plan.cache_key
         with self._lock:
             slot = self._results.get(key)
             if slot is None or slot[0] != plan.store_version:
-                self.stats.result_misses += 1
+                self.stats.bump(result_misses=1)
                 return None
             self._results.move_to_end(key)
-            self.stats.result_hits += 1
+            self.stats.bump(result_hits=1)
             result = slot[1]
         return self._flag_cached(result)
 
@@ -475,13 +491,13 @@ TableAnswerEngine.search>`; on a result-cache hit the returned object
             slot = self._contexts.get(words)
             if slot is not None and slot[0] == version:
                 self._contexts.move_to_end(words)
-                self.stats.context_hits += 1
+                self.stats.bump(context_hits=1)
                 return slot[1]
-            self.stats.context_misses += 1
+            self.stats.bump(context_misses=1)
             fragment = self._candidates.get(frozenset(words))
             if fragment is not None and fragment[0] == version:
                 candidates = fragment[1]
-                self.stats.candidate_hits += 1
+                self.stats.bump(candidate_hits=1)
         context = EnumerationContext(
             snap, plan.resolved_query(), candidate_roots=candidates
         )

@@ -1,0 +1,224 @@
+"""Request-parameter parsing shared by the HTTP tier and the serve REPL.
+
+Two front-ends accept algorithm parameters from untyped user input: the
+``serve`` REPL (argparse flags that outlive ``:algorithm`` switches) and
+the HTTP query string.  Both validate against the same source of truth —
+:func:`repro.search.plan.algorithm_param_names`, derived from the
+canonical algorithm registry — so a flag the plan layer would reject is
+caught (and named) at the edge instead of dying as an opaque plan error:
+
+* the REPL **warns and drops** inapplicable flags (a ``--sampling-rate``
+  given for the starting ``letopk`` must not poison the session after
+  ``:algorithm pattern_enum``, but the user should hear that it is being
+  ignored);
+* the HTTP parser **rejects** them with a 400 whose body carries the same
+  :func:`describe_inapplicable` message (a network client has no session
+  to protect — a contradictory request is simply an error).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError
+from repro.search.plan import (
+    DEFAULT_ALGORITHM,
+    algorithm_param_names,
+    canonical_algorithm,
+)
+
+
+class ParamError(ReproError):
+    """A request parameter failed to parse or contradicted the algorithm."""
+
+
+def inapplicable_params(
+    algorithm: Optional[str], params: Mapping[str, object]
+) -> List[str]:
+    """The names in ``params`` the (canonical) algorithm does not accept.
+
+    ``None`` means the default algorithm.  Raises
+    :class:`~repro.core.errors.SearchError` for unknown algorithm names —
+    callers validate the algorithm first.
+    """
+    accepted = algorithm_param_names(algorithm or DEFAULT_ALGORITHM)
+    return sorted(name for name in params if name not in accepted)
+
+
+def split_applicable_params(
+    algorithm: Optional[str], params: Mapping[str, object]
+) -> Tuple[Dict[str, object], List[str]]:
+    """``params`` split into (accepted-by-algorithm, dropped-names)."""
+    dropped = set(inapplicable_params(algorithm, params))
+    kept = {
+        name: value for name, value in params.items() if name not in dropped
+    }
+    return kept, sorted(dropped)
+
+
+def describe_inapplicable(
+    algorithm: Optional[str], dropped: Sequence[str]
+) -> str:
+    """One shared sentence for the REPL warning and the HTTP 400 body."""
+    canonical = canonical_algorithm(algorithm or DEFAULT_ALGORITHM)
+    names = ", ".join(sorted(dropped))
+    return (
+        f"algorithm {canonical!r} does not accept {names}; accepted "
+        f"parameters: {sorted(algorithm_param_names(canonical))}"
+    )
+
+
+# --------------------------------------------------------------------- HTTP
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """A parsed, typed ``/search`` request, ready for plan construction.
+
+    ``params`` holds only the algorithm parameters the client actually
+    sent (defaults are applied at plan time, keeping cache keys
+    canonical); presentation and dispatch knobs ride alongside.
+    """
+
+    query: str
+    k: Optional[int] = None
+    algorithm: Optional[str] = None
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Per-request deadline override in milliseconds (None = server default).
+    deadline_ms: Optional[float] = None
+    #: Render table rows into the response (costs subtree materialization).
+    include_rows: bool = False
+    max_rows: int = 10
+
+    def response_key(self) -> Tuple:
+        """The presentation part of the coalescing key: two requests may
+        share one execution *and* one response body only if they render
+        identically."""
+        return (self.include_rows, self.max_rows)
+
+
+def _parse_bool(name: str, raw: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ParamError(f"parameter {name!r} wants a boolean, got {raw!r}")
+
+
+def _parse_int(name: str, raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ParamError(
+            f"parameter {name!r} wants an integer, got {raw!r}"
+        ) from None
+
+
+def _parse_float(name: str, raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ParamError(
+            f"parameter {name!r} wants a number, got {raw!r}"
+        ) from None
+    if math.isnan(value):
+        raise ParamError(f"parameter {name!r} must not be NaN")
+    return value
+
+
+def _parse_seed(name: str, raw: str) -> Optional[int]:
+    if raw.strip().lower() in ("none", "null", ""):
+        return None
+    return _parse_int(name, raw)
+
+
+#: Algorithm parameters accepted over HTTP -> parser.  ``keep_subtrees``
+#: is deliberately absent: HTTP plans always keep the engine default
+#: (subtrees kept), so a served plan is exactly the plan a cold one-shot
+#: run would execute; ``include_rows`` only controls response rendering.
+_ALGO_PARAM_PARSERS = {
+    "prune": _parse_bool,
+    "sampling_rate": _parse_float,
+    "sampling_threshold": _parse_float,
+    "seed": _parse_seed,
+}
+
+#: Request-level knobs that are not algorithm parameters.
+_REQUEST_PARAM_PARSERS = {
+    "q": None,
+    "k": _parse_int,
+    "algorithm": None,
+    "deadline_ms": _parse_float,
+    "include_rows": _parse_bool,
+    "max_rows": _parse_int,
+}
+
+
+def parse_search_params(query_args: Mapping[str, List[str]]) -> SearchRequest:
+    """Typed :class:`SearchRequest` from ``urllib.parse.parse_qs`` output.
+
+    Unknown names, repeated values, type mismatches, and parameters the
+    requested algorithm does not accept all raise :class:`ParamError`
+    (rendered as a 400) — the HTTP analogue of plan-time validation, run
+    before any index work.
+    """
+    flat: Dict[str, str] = {}
+    for name, values in query_args.items():
+        if name not in _REQUEST_PARAM_PARSERS and name not in _ALGO_PARAM_PARSERS:
+            known = sorted((*_REQUEST_PARAM_PARSERS, *_ALGO_PARAM_PARSERS))
+            raise ParamError(
+                f"unknown parameter {name!r}; expected one of {known}"
+            )
+        if len(values) != 1:
+            raise ParamError(f"parameter {name!r} given {len(values)} times")
+        flat[name] = values[0]
+
+    query = flat.get("q", "").strip()
+    if not query:
+        raise ParamError("missing required parameter 'q' (the keyword query)")
+
+    algorithm = flat.get("algorithm")
+    if algorithm is not None:
+        canonical_algorithm(algorithm)  # loud 400 for unknown names
+
+    params: Dict[str, object] = {}
+    for name, parser in _ALGO_PARAM_PARSERS.items():
+        if name in flat:
+            params[name] = parser(name, flat[name])
+    dropped = inapplicable_params(algorithm, params)
+    if dropped:
+        raise ParamError(describe_inapplicable(algorithm, dropped))
+
+    k = _parse_int("k", flat["k"]) if "k" in flat else None
+    if k is not None and k < 1:
+        raise ParamError(f"parameter 'k' must be >= 1, got {k}")
+    deadline_ms = (
+        _parse_float("deadline_ms", flat["deadline_ms"])
+        if "deadline_ms" in flat
+        else None
+    )
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ParamError(
+            f"parameter 'deadline_ms' must be > 0, got {deadline_ms:g}"
+        )
+    max_rows = (
+        _parse_int("max_rows", flat["max_rows"]) if "max_rows" in flat else 10
+    )
+    if max_rows < 0:
+        raise ParamError(f"parameter 'max_rows' must be >= 0, got {max_rows}")
+    return SearchRequest(
+        query=query,
+        k=k,
+        algorithm=algorithm,
+        params=params,
+        deadline_ms=deadline_ms,
+        include_rows=(
+            _parse_bool("include_rows", flat["include_rows"])
+            if "include_rows" in flat
+            else False
+        ),
+        max_rows=max_rows,
+    )

@@ -1,0 +1,191 @@
+"""Saved request streams: one JSONL format for online and offline benches.
+
+A workload file is JSON Lines, one request per line::
+
+    {"query": "software company", "k": 10}
+    {"query": "movies gibson", "algorithm": "letopk",
+     "params": {"sampling_rate": 0.5, "sampling_threshold": 1000}}
+    {"kind": "invalidate"}
+
+``kind`` defaults to ``"search"``; an ``"invalidate"`` line models a
+writer tick (the HTTP load generator POSTs ``/admin/invalidate``, ``repro
+batch`` calls ``service.invalidate()``), so mixed read/mutate traffic
+replays identically online and offline.  Omitted fields defer to the
+replayer's defaults, exactly like an HTTP request that leaves ``k`` off.
+
+:func:`zipf_workload` generates the canonical serving stream — a
+Zipf-popularity replay over a generated query pool, optionally salted
+with invalidation ticks — seeded end to end, so
+``benchmarks/loadgen.py`` (open-loop HTTP) and ``repro batch`` (offline)
+measure the *same* request sequence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError
+
+KINDS = ("search", "invalidate")
+
+
+class WorkloadError(ReproError):
+    """A workload file line failed to parse or validate."""
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One replayable request (a query, or a writer tick)."""
+
+    query: str = ""
+    k: Optional[int] = None
+    algorithm: Optional[str] = None
+    params: Tuple[Tuple[str, object], ...] = ()
+    kind: str = "search"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise WorkloadError(
+                f"unknown request kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.kind == "search" and not self.query:
+            raise WorkloadError("search requests need a non-empty query")
+
+    @property
+    def is_mutation(self) -> bool:
+        return self.kind == "invalidate"
+
+    def has_overrides(self) -> bool:
+        """Whether this request carries its own k/algorithm/params (and
+        therefore cannot ride a uniform ``search_many`` batch)."""
+        return (
+            self.k is not None
+            or self.algorithm is not None
+            or bool(self.params)
+        )
+
+    def to_json(self) -> dict:
+        obj: dict = {}
+        if self.kind != "search":
+            obj["kind"] = self.kind
+            return obj
+        obj["query"] = self.query
+        if self.k is not None:
+            obj["k"] = self.k
+        if self.algorithm is not None:
+            obj["algorithm"] = self.algorithm
+        if self.params:
+            obj["params"] = dict(self.params)
+        return obj
+
+    @classmethod
+    def from_json(cls, obj: dict, line_number: int = 0) -> "WorkloadRequest":
+        if not isinstance(obj, dict):
+            raise WorkloadError(
+                f"workload line {line_number}: expected an object, got "
+                f"{type(obj).__name__}"
+            )
+        unknown = sorted(
+            set(obj) - {"query", "k", "algorithm", "params", "kind"}
+        )
+        if unknown:
+            raise WorkloadError(
+                f"workload line {line_number}: unknown fields {unknown}"
+            )
+        params = obj.get("params", {})
+        if not isinstance(params, dict):
+            raise WorkloadError(
+                f"workload line {line_number}: 'params' must be an object"
+            )
+        try:
+            return cls(
+                query=str(obj.get("query", "")),
+                k=obj.get("k"),
+                algorithm=obj.get("algorithm"),
+                params=tuple(sorted(params.items())),
+                kind=obj.get("kind", "search"),
+            )
+        except WorkloadError as exc:
+            raise WorkloadError(
+                f"workload line {line_number}: {exc}"
+            ) from None
+
+
+def save_workload(path, requests: Sequence[WorkloadRequest]) -> int:
+    """Write ``requests`` as JSONL; returns the number of lines."""
+    with open(path, "w") as handle:
+        for request in requests:
+            handle.write(json.dumps(request.to_json(), sort_keys=True))
+            handle.write("\n")
+    return len(requests)
+
+
+def load_workload(path) -> List[WorkloadRequest]:
+    """Parse a JSONL workload file (blank lines and ``#`` comments skip)."""
+    requests: List[WorkloadRequest] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                obj = json.loads(stripped)
+            except ValueError as exc:
+                raise WorkloadError(
+                    f"workload line {line_number}: invalid JSON ({exc})"
+                ) from None
+            requests.append(WorkloadRequest.from_json(obj, line_number))
+    if not requests:
+        raise WorkloadError(f"no requests in workload file {path!r}")
+    return requests
+
+
+def requests_from_queries(
+    queries: Sequence,
+    k: Optional[int] = None,
+    algorithm: Optional[str] = None,
+) -> List[WorkloadRequest]:
+    """Plain query tuples/strings -> uniform search requests."""
+    return [
+        WorkloadRequest(
+            query=query if isinstance(query, str) else " ".join(query),
+            k=k,
+            algorithm=algorithm,
+        )
+        for query in queries
+    ]
+
+
+def zipf_workload(
+    queries: Sequence,
+    num_requests: int,
+    k: Optional[int] = None,
+    algorithm: Optional[str] = None,
+    alpha: float = 0.9,
+    invalidate_every: int = 0,
+    seed: int = 0,
+) -> List[WorkloadRequest]:
+    """The canonical serving stream: Zipf-popularity replay of ``queries``.
+
+    Hot queries repeat constantly (the coalescing/result-cache regime),
+    the tail arrives cold, and — when ``invalidate_every`` is set — every
+    N-th request is replaced by a writer tick that flushes the serving
+    caches, modeling mutating traffic.  Fully seeded: the same arguments
+    always produce the same stream, which is what lets the offline batch
+    and the HTTP load generator replay identical workloads.
+    """
+    from repro.datasets.queries import zipfian_requests
+
+    stream = requests_from_queries(
+        zipfian_requests(queries, num_requests, alpha=alpha, seed=seed),
+        k=k,
+        algorithm=algorithm,
+    )
+    if invalidate_every > 0:
+        tick = WorkloadRequest(kind="invalidate")
+        for position in range(invalidate_every - 1, len(stream),
+                              invalidate_every):
+            stream[position] = tick
+    return stream

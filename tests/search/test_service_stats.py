@@ -1,0 +1,86 @@
+"""ServiceStats thread-safety: counters must not drop updates under load.
+
+Before the async HTTP front-end the only concurrent incrementers were the
+``search_many`` thread pool; a bare ``+=`` on a dataclass int is a
+read-modify-write that CPython can interleave between bytecodes, silently
+losing counts.  :meth:`ServiceStats.bump` serializes on the stats lock;
+these tests hammer it directly (deterministic arithmetic check) and
+through the full service path (integration check).
+"""
+
+import threading
+
+from repro.search.service import SearchService, ServiceStats
+
+
+def _hammer(fn, num_threads: int) -> None:
+    barrier = threading.Barrier(num_threads)
+
+    def run():
+        barrier.wait()
+        fn()
+
+    threads = [threading.Thread(target=run) for _ in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestBumpAtomicity:
+    def test_concurrent_bumps_are_exact(self):
+        stats = ServiceStats()
+        threads, per_thread = 16, 2000
+
+        def work():
+            for _ in range(per_thread):
+                stats.bump(searches=1, result_hits=2)
+
+        _hammer(work, threads)
+        assert stats.searches == threads * per_thread
+        assert stats.result_hits == 2 * threads * per_thread
+
+    def test_multi_counter_bump_is_one_critical_section(self):
+        # hits + misses must always sum to the number of bumps even when a
+        # racing reader computes the rate mid-hammer.
+        stats = ServiceStats()
+        threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                stats.bump(resolution_hits=1)
+                stats.bump(resolution_misses=1)
+
+        _hammer(work, threads)
+        total = threads * per_thread
+        assert stats.resolution_hits == total
+        assert stats.resolution_misses == total
+        assert stats.resolution_hit_rate() == 0.5
+
+    def test_fresh_stats_instances_get_their_own_lock(self):
+        # Benchmarks reset counters with ``type(service.stats)()``; each
+        # instance must carry an independent lock, not a shared class one.
+        first, second = ServiceStats(), ServiceStats()
+        assert first.lock is not second.lock
+        assert first == second  # lock excluded from equality
+
+
+class TestServicePathUnderThreads:
+    def test_warm_search_counters_exact_under_hammering(
+        self, example_indexes
+    ):
+        service = SearchService(example_indexes)
+        query = "database software company revenue"
+        service.search(query, k=3)  # prime every tier
+        threads, per_thread = 8, 50
+
+        def work():
+            for _ in range(per_thread):
+                result = service.search(query, k=3)
+                assert result.stats.from_result_cache
+
+        _hammer(work, threads)
+        total = threads * per_thread
+        assert service.stats.searches == total + 1
+        assert service.stats.result_hits == total
+        assert service.stats.result_misses == 1

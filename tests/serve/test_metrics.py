@@ -1,0 +1,137 @@
+"""Latency quantiles, rate windows, and Prometheus text rendering."""
+
+import threading
+
+from repro.search.result import SearchStats
+from repro.serve.metrics import (
+    LatencyRecorder,
+    MetricFamily,
+    RateWindow,
+    ServerMetrics,
+    percentile,
+    render_prometheus,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([3.0], 0.5) == 3.0
+        assert percentile([3.0], 0.99) == 3.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 51.0  # rank round(0.5 * 99)
+        assert percentile(values, 1.0) == 100.0
+
+
+class TestLatencyRecorder:
+    def test_count_and_sum_are_exact(self):
+        recorder = LatencyRecorder(window=4)
+        for value in (0.1, 0.2, 0.3, 0.4, 0.5):
+            recorder.record(value)
+        assert recorder.count == 5
+        assert abs(recorder.total_seconds - 1.5) < 1e-12
+
+    def test_quantiles_use_the_window_only(self):
+        recorder = LatencyRecorder(window=3)
+        for value in (9.0, 0.1, 0.2, 0.3):  # 9.0 evicted
+            recorder.record(value)
+        quantiles = recorder.quantiles()
+        assert quantiles[0.99] == 0.3
+
+    def test_snapshot_shape(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.25)
+        snapshot = recorder.snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["p50_seconds"] == 0.25
+        assert snapshot["p99_seconds"] == 0.25
+
+
+class TestRateWindow:
+    def test_rate_over_injected_clock(self):
+        window = RateWindow(window_seconds=10.0)
+        for tick in range(5):
+            window.tick(now=100.0 + tick)
+        assert abs(window.rate(now=104.0) - 5 / 4.0) < 1e-9
+
+    def test_old_ticks_trimmed(self):
+        window = RateWindow(window_seconds=2.0)
+        window.tick(now=100.0)
+        window.tick(now=105.0)
+        assert window.rate(now=105.0) > 0
+        assert window.rate(now=200.0) == 0.0
+
+
+class TestServerMetrics:
+    def test_observe_and_inc(self):
+        metrics = ServerMetrics()
+        metrics.observe_response("/search", 200)
+        metrics.observe_response("/search", 503)
+        metrics.inc("requests_shed")
+        assert metrics.requests_total[("/search", "200")] == 1
+        assert metrics.requests_total[("/search", "503")] == 1
+        assert metrics.requests_shed == 1
+
+    def test_absorb_search_stats(self):
+        metrics = ServerMetrics()
+        stats = SearchStats(algorithm="pattern_enum")
+        stats.patterns_checked = 7
+        stats.candidate_roots = 3
+        metrics.absorb_search_stats(stats)
+        metrics.absorb_search_stats(stats)
+        assert metrics.search_counters["patterns_checked"] == 14
+        assert metrics.search_counters["candidate_roots"] == 6
+
+    def test_threaded_increments_are_exact(self):
+        metrics = ServerMetrics()
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            for _ in range(500):
+                metrics.inc("requests_coalesced")
+                metrics.observe_response("/search", 200)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.requests_coalesced == 8 * 500
+        assert metrics.requests_total[("/search", "200")] == 8 * 500
+
+
+class TestRenderPrometheus:
+    def test_families_and_labels(self):
+        families = [
+            MetricFamily("up", "gauge", "Liveness.").add({}, 1),
+            MetricFamily("req", "counter", "Requests.")
+            .add({"status": "200", "endpoint": "/s"}, 3)
+            .add({"status": "503", "endpoint": "/s"}, 1),
+        ]
+        text = render_prometheus(families)
+        assert "# HELP up Liveness." in text
+        assert "# TYPE up gauge" in text
+        assert "up 1" in text
+        # Labels render sorted by name.
+        assert 'req{endpoint="/s",status="200"} 3' in text
+        assert 'req{endpoint="/s",status="503"} 1' in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        family = MetricFamily("m", "counter", "h").add(
+            {"q": 'say "hi"\nplease\\now'}, 1
+        )
+        text = render_prometheus([family])
+        assert r'm{q="say \"hi\"\nplease\\now"} 1' in text
+
+    def test_float_values_keep_precision(self):
+        value = 0.1234567890123456789
+        family = MetricFamily("m", "gauge", "h").add({}, value)
+        rendered = render_prometheus([family]).splitlines()[-1]
+        assert float(rendered.split()[-1]) == value

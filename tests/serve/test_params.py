@@ -1,0 +1,148 @@
+"""HTTP/REPL parameter parsing and algorithm-applicability validation."""
+
+import pytest
+
+from repro.serve.params import (
+    ParamError,
+    describe_inapplicable,
+    inapplicable_params,
+    parse_search_params,
+    split_applicable_params,
+)
+
+
+def qs(**kwargs):
+    """parse_qs-shaped mapping: every value a one-element list."""
+    return {name: [str(value)] for name, value in kwargs.items()}
+
+
+class TestApplicability:
+    def test_accepted_params_pass(self):
+        assert inapplicable_params("letopk", {"sampling_rate": 0.5}) == []
+        assert inapplicable_params("pattern_enum", {"prune": False}) == []
+
+    def test_inapplicable_params_named(self):
+        assert inapplicable_params(
+            "pattern_enum",
+            {"sampling_rate": 0.5, "sampling_threshold": 10.0},
+        ) == ["sampling_rate", "sampling_threshold"]
+
+    def test_none_means_default_algorithm(self):
+        # The default algorithm is pattern_enum: sampling does not apply.
+        assert inapplicable_params(None, {"sampling_rate": 0.5}) == [
+            "sampling_rate"
+        ]
+
+    def test_aliases_resolve(self):
+        # 'linear' is an alias of the sampling family.
+        assert inapplicable_params("linear", {"sampling_rate": 0.5}) == []
+
+    def test_split_keeps_applicable(self):
+        kept, dropped = split_applicable_params(
+            "pattern_enum", {"prune": False, "sampling_rate": 0.5}
+        )
+        assert kept == {"prune": False}
+        assert dropped == ["sampling_rate"]
+
+    def test_describe_names_algorithm_and_accepted(self):
+        text = describe_inapplicable("pattern_enum", ["sampling_rate"])
+        assert "'pattern_enum'" in text
+        assert "sampling_rate" in text
+        assert "keep_subtrees" in text  # the accepted list
+
+
+class TestParseSearchParams:
+    def test_minimal(self):
+        request = parse_search_params(qs(q="software company"))
+        assert request.query == "software company"
+        assert request.k is None
+        assert request.algorithm is None
+        assert request.params == {}
+        assert request.include_rows is False
+        assert request.max_rows == 10
+
+    def test_full(self):
+        request = parse_search_params(
+            qs(
+                q="movies gibson",
+                k=7,
+                algorithm="letopk",
+                sampling_rate=0.25,
+                sampling_threshold=100,
+                seed=3,
+                deadline_ms=250,
+                include_rows="true",
+                max_rows=2,
+            )
+        )
+        assert request.k == 7
+        assert request.algorithm == "letopk"
+        assert request.params == {
+            "sampling_rate": 0.25,
+            "sampling_threshold": 100.0,
+            "seed": 3,
+        }
+        assert request.deadline_ms == 250.0
+        assert request.include_rows is True
+        assert request.max_rows == 2
+        assert request.response_key() == (True, 2)
+
+    def test_missing_query(self):
+        with pytest.raises(ParamError, match="missing required"):
+            parse_search_params({})
+        with pytest.raises(ParamError, match="missing required"):
+            parse_search_params(qs(q="   "))
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ParamError, match="unknown parameter 'wat'"):
+            parse_search_params(qs(q="x", wat=1))
+
+    def test_repeated_parameter(self):
+        with pytest.raises(ParamError, match="given 2 times"):
+            parse_search_params({"q": ["x"], "k": ["1", "2"]})
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(Exception, match="quantum"):
+            parse_search_params(qs(q="x", algorithm="quantum"))
+
+    def test_inapplicable_param_rejected(self):
+        with pytest.raises(ParamError, match="does not accept"):
+            parse_search_params(
+                qs(q="x", algorithm="pattern_enum", sampling_rate=0.5)
+            )
+
+    def test_type_errors(self):
+        with pytest.raises(ParamError, match="wants an integer"):
+            parse_search_params(qs(q="x", k="many"))
+        with pytest.raises(ParamError, match="wants a number"):
+            parse_search_params(qs(q="x", deadline_ms="soon"))
+        with pytest.raises(ParamError, match="wants a boolean"):
+            parse_search_params(qs(q="x", include_rows="maybe"))
+        with pytest.raises(ParamError, match="must not be NaN"):
+            parse_search_params(
+                qs(q="x", algorithm="letopk", sampling_rate="nan")
+            )
+
+    def test_range_checks(self):
+        with pytest.raises(ParamError, match="'k' must be >= 1"):
+            parse_search_params(qs(q="x", k=0))
+        with pytest.raises(ParamError, match="'deadline_ms' must be > 0"):
+            parse_search_params(qs(q="x", deadline_ms=0))
+        with pytest.raises(ParamError, match="'max_rows' must be >= 0"):
+            parse_search_params(qs(q="x", max_rows=-1))
+
+    def test_seed_accepts_none_spellings(self):
+        request = parse_search_params(
+            qs(q="x", algorithm="letopk", seed="none")
+        )
+        assert request.params == {"seed": None}
+        request = parse_search_params(qs(q="x", algorithm="letopk", seed=5))
+        assert request.params == {"seed": 5}
+
+    def test_bool_spellings(self):
+        for raw, expected in (
+            ("1", True), ("true", True), ("YES", True), ("on", True),
+            ("0", False), ("false", False), ("No", False), ("off", False),
+        ):
+            request = parse_search_params(qs(q="x", include_rows=raw))
+            assert request.include_rows is expected

@@ -1,0 +1,137 @@
+"""The JSONL workload format: round trips, validation, Zipf streams."""
+
+import pytest
+
+from repro.serve.workload import (
+    WorkloadError,
+    WorkloadRequest,
+    load_workload,
+    requests_from_queries,
+    save_workload,
+    zipf_workload,
+)
+
+
+class TestWorkloadRequest:
+    def test_defaults(self):
+        request = WorkloadRequest(query="software company")
+        assert request.kind == "search"
+        assert not request.is_mutation
+        assert not request.has_overrides()
+
+    def test_overrides_detected(self):
+        assert WorkloadRequest(query="x", k=3).has_overrides()
+        assert WorkloadRequest(query="x", algorithm="letopk").has_overrides()
+        assert WorkloadRequest(
+            query="x", params=(("sampling_rate", 0.5),)
+        ).has_overrides()
+
+    def test_invalidate_tick(self):
+        tick = WorkloadRequest(kind="invalidate")
+        assert tick.is_mutation
+        assert tick.to_json() == {"kind": "invalidate"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown request kind"):
+            WorkloadRequest(query="x", kind="write")
+
+    def test_search_needs_query(self):
+        with pytest.raises(WorkloadError, match="non-empty query"):
+            WorkloadRequest()
+
+    def test_json_round_trip(self):
+        request = WorkloadRequest(
+            query="movies gibson",
+            k=7,
+            algorithm="letopk",
+            params=(("sampling_rate", 0.5), ("seed", 3)),
+        )
+        assert WorkloadRequest.from_json(request.to_json()) == request
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(WorkloadError, match="unknown fields"):
+            WorkloadRequest.from_json({"query": "x", "wat": 1})
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(WorkloadError, match="expected an object"):
+            WorkloadRequest.from_json(["x"])
+
+    def test_from_json_rejects_non_dict_params(self):
+        with pytest.raises(WorkloadError, match="'params' must be"):
+            WorkloadRequest.from_json({"query": "x", "params": [1]})
+
+
+class TestFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "workload.jsonl"
+        requests = [
+            WorkloadRequest(query="software company", k=5),
+            WorkloadRequest(kind="invalidate"),
+            WorkloadRequest(
+                query="database revenue",
+                algorithm="letopk",
+                params=(("sampling_rate", 0.5),),
+            ),
+        ]
+        assert save_workload(path, requests) == 3
+        assert load_workload(path) == requests
+
+    def test_load_skips_blank_and_comment_lines(self, tmp_path):
+        path = tmp_path / "workload.jsonl"
+        path.write_text(
+            '# header comment\n'
+            '\n'
+            '{"query": "software company"}\n'
+        )
+        assert load_workload(path) == [
+            WorkloadRequest(query="software company")
+        ]
+
+    def test_load_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "workload.jsonl"
+        path.write_text('{"query": "ok"}\nnot json\n')
+        with pytest.raises(WorkloadError, match="line 2"):
+            load_workload(path)
+
+    def test_load_empty_errors(self, tmp_path):
+        path = tmp_path / "workload.jsonl"
+        path.write_text("# nothing\n")
+        with pytest.raises(WorkloadError, match="no requests"):
+            load_workload(path)
+
+
+class TestStreams:
+    def test_requests_from_queries_joins_tuples(self):
+        requests = requests_from_queries(
+            [("software", "company"), "database revenue"], k=3
+        )
+        assert [r.query for r in requests] == [
+            "software company", "database revenue"
+        ]
+        assert all(r.k == 3 for r in requests)
+
+    def test_zipf_workload_is_seeded(self):
+        queries = ["a", "b", "c", "d"]
+        first = zipf_workload(queries, 50, seed=9)
+        again = zipf_workload(queries, 50, seed=9)
+        other = zipf_workload(queries, 50, seed=10)
+        assert first == again
+        assert first != other
+        assert len(first) == 50
+
+    def test_zipf_workload_is_skewed(self):
+        queries = [f"q{i}" for i in range(8)]
+        stream = zipf_workload(queries, 400, alpha=0.9, seed=1)
+        counts = {}
+        for request in stream:
+            counts[request.query] = counts.get(request.query, 0) + 1
+        # Zipf popularity: the head query dominates the tail.
+        assert max(counts.values()) > 3 * min(counts.values())
+
+    def test_zipf_workload_invalidate_every(self):
+        stream = zipf_workload(["a", "b"], 20, invalidate_every=5, seed=0)
+        ticks = [
+            index for index, request in enumerate(stream)
+            if request.is_mutation
+        ]
+        assert ticks == [4, 9, 14, 19]

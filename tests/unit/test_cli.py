@@ -230,11 +230,12 @@ class TestServe:
         assert code == 0
         assert "prune=False" in capsys.readouterr().out
 
-    def test_serve_algorithm_switch_drops_inapplicable_flags(
+    def test_serve_algorithm_switch_warns_and_drops_inapplicable_flags(
         self, index_file, capsys, monkeypatch
     ):
         # A --sampling-rate given for the starting letopk must not
-        # poison the session after :algorithm pattern_enum.
+        # poison the session after :algorithm pattern_enum — but the
+        # drop must be audible, not silent.
         code = self._serve(
             index_file,
             [":algorithm pattern_enum", "software company"],
@@ -243,8 +244,31 @@ class TestServe:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "does not accept" not in out
+        assert "warning: ignoring" in out
+        assert "does not accept sampling_rate" in out
         assert "--- #1" in out
+        assert "error:" not in out
+
+    def test_serve_applicable_flags_stay_silent(
+        self, index_file, capsys, monkeypatch
+    ):
+        # No warning when every flag applies to the session algorithm.
+        code = self._serve(
+            index_file,
+            ["software company"],
+            monkeypatch,
+            extra=["--algorithm", "letopk", "--sampling-rate", "0.5",
+                   "--sampling-threshold", "2"],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warning:" not in out
+        assert "--- #1" in out
+
+    def test_serve_http_rejects_bad_address(self, index_file, capsys):
+        code = main(["serve", str(index_file), "--http", "nonsense"])
+        assert code == 2
+        assert "--http wants HOST:PORT" in capsys.readouterr().err
 
     def test_serve_bad_query_keeps_serving(
         self, index_file, capsys, monkeypatch
@@ -292,6 +316,78 @@ class TestBatch:
         code = main(["batch", str(index_file), str(empty)])
         assert code == 2
         assert "no queries" in capsys.readouterr().err
+
+    def test_batch_uniform_jsonl_workload(
+        self, index_file, tmp_path, capsys
+    ):
+        # A workload without overrides rides the search_many batch path
+        # (threads allowed), exactly like a plain query file.
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text(
+            '{"query": "software company"}\n'
+            '{"query": "database revenue"}\n'
+            '{"query": "software company"}\n'
+        )
+        code = main(
+            ["batch", str(index_file), str(workload), "--threads", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("answers") == 3
+        assert "(cached)" in out
+
+    def test_batch_mixed_jsonl_replays_in_order(
+        self, index_file, tmp_path, capsys
+    ):
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text(
+            '{"query": "software company", "k": 2}\n'
+            '{"kind": "invalidate"}\n'
+            '{"query": "software company", "k": 2}\n'
+        )
+        code = main(["batch", str(index_file), str(workload)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ":invalidate: caches flushed" in out
+        assert "1 invalidations" in out
+        assert "sequential replay" in out
+        # The writer tick flushed the result cache between the repeats.
+        assert "(cached)" not in out
+
+    def test_batch_mixed_jsonl_rejects_threads(
+        self, index_file, tmp_path, capsys
+    ):
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text(
+            '{"query": "software company", "k": 2}\n'
+            '{"kind": "invalidate"}\n'
+        )
+        code = main(
+            ["batch", str(index_file), str(workload), "--threads", "2"]
+        )
+        assert code == 2
+        assert "replay in order" in capsys.readouterr().err
+
+    def test_batch_jsonl_per_request_overrides(
+        self, index_file, tmp_path, capsys
+    ):
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text(
+            '{"query": "software company", "k": 1}\n'
+            '{"query": "software company", "algorithm": "letopk", '
+            '"params": {"sampling_rate": 0.5, "sampling_threshold": 2, '
+            '"seed": 7}}\n'
+        )
+        code = main(["batch", str(index_file), str(workload)])
+        assert code == 0
+        assert capsys.readouterr().out.count("answers") == 2
+
+    def test_batch_bad_jsonl_errors(self, index_file, tmp_path, capsys):
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text('{"query": "x", "wat": 1}\n')
+        code = main(["batch", str(index_file), str(workload)])
+        assert code == 2
+        assert "unknown fields" in capsys.readouterr().err
 
 
 class TestStats:
