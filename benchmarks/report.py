@@ -24,6 +24,23 @@ def _fmt_ms(value) -> str:
 
 def _headline(name: str, data: dict) -> str:
     """The one number this bench exists to track, best-effort per schema."""
+    if "fork_pool" in data:  # BENCH_9 (fork-pool execution backend)
+        pool = data["fork_pool"]
+        ratio = pool.get("ratio")
+        ratio_text = (
+            f"{ratio:.2f}x" if isinstance(ratio, (int, float)) else "-"
+        )
+        required = pool.get("required_ratio")
+        floor_text = (
+            f" (floor {required:.1f}x)"
+            if isinstance(required, (int, float))
+            else " (floor waived: 1 core)"
+        )
+        return (
+            f"fork {pool.get('processes_qps', 0):.0f} QPS vs threads "
+            f"{pool.get('threads_qps', 0):.0f} = {ratio_text}"
+            f"{floor_text} at {data.get('workers', '?')} workers"
+        )
     if "sustained" in data and "baseline" in data:  # BENCH_8 (HTTP tier)
         sustained = data["sustained"]
         ratio = sustained.get("ratio_vs_baseline")
@@ -75,8 +92,12 @@ def _serving_columns(data: dict) -> dict:
     BENCH_8 (the HTTP tier) populates all three; older serving benches
     surface what they have; figure benches print dashes.
     """
-    qps = p99 = shed = None
-    if "sustained" in data and "overload" in data:  # BENCH_8
+    qps = p99 = shed = ratio = None
+    if "fork_pool" in data:  # BENCH_9
+        pool = data["fork_pool"]
+        qps = pool.get("processes_qps")
+        ratio = pool.get("ratio")
+    elif "sustained" in data and "overload" in data:  # BENCH_8
         sustained = data["sustained"]
         qps = sustained.get("achieved_qps")
         p99 = sustained.get("latency_200", {}).get("p99_ms")
@@ -93,6 +114,11 @@ def _serving_columns(data: dict) -> dict:
         "p99": _fmt_ms(p99) if isinstance(p99, (int, float)) else "-",
         "shed": (
             f"{shed * 100:.0f}%" if isinstance(shed, (int, float)) else "-"
+        ),
+        # Threads-vs-processes trajectory: how much the fork-pool backend
+        # buys over the GIL-bound thread bridge at equal worker count.
+        "t/p": (
+            f"{ratio:.2f}x" if isinstance(ratio, (int, float)) else "-"
         ),
     }
 
@@ -113,6 +139,7 @@ def collect(directory: Path) -> list:
                     "qps": "-",
                     "p99": "-",
                     "shed": "-",
+                    "t/p": "-",
                     "ok": False,
                 }
             )
@@ -144,7 +171,7 @@ def format_table(rows: list) -> str:
         return "no BENCH_*.json files found"
     headers = (
         "file", "bench", "profile", "headline", "qps", "p99", "shed",
-        "gates",
+        "t/p", "gates",
     )
     table = [headers] + [
         tuple(str(row[name]) for name in headers) for row in rows

@@ -1,6 +1,6 @@
-"""BENCH_8: HTTP serving tier — latency under open-loop load.
+"""BENCH_8 / BENCH_9: HTTP serving tier — latency under open-loop load.
 
-Measures ``repro.serve.http`` end to end on the wiki synthetic (d=3,
+Default mode measures ``repro.serve.http`` end to end on the wiki synthetic (d=3,
 BENCH_4's heavy-query workload) with the open-loop generator from
 ``benchmarks/loadgen.py`` (fixed arrival rate, latency measured from the
 *scheduled* arrival, so queueing is charged to the server):
@@ -28,6 +28,35 @@ BENCH_4's heavy-query workload) with the open-loop generator from
 Emits ``BENCH_8.json``; exit 1 if any gate fails.  CI runs ``smoke``::
 
     PYTHONPATH=src python benchmarks/smoke_load.py --out BENCH_8.json
+
+``--fork-pool`` instead runs the **BENCH_9** suite for the fork-pool
+execution backend (``repro.serve.pool``) over a *memory-mapped* v3
+bundle (save → load, so workers inherit shard pages copy-free):
+
+* **threaded flood** — distinct cold ``(query, k)`` plans through the
+  stock thread-bridge server at W workers: the GIL-bound reference QPS;
+* **fork-pool flood** — the identical request set through
+  ``PooledSearchService`` at W processes: QPS plus a per-response
+  fingerprint check against the cold engine *and* an ``include_rows``
+  body comparison against the threaded server (portable PathEntry rows
+  cross the pipe bit-identically);
+* **fault injection** — ``arm_exit`` (deterministic mid-request death)
+  + SIGKILL against live HTTP traffic: every response still 200 and
+  bit-identical via inline failover, ``worker_failovers`` counted,
+  the pool healed to W workers, and graceful drain completes with a
+  freshly killed worker left in the pool;
+* **sharded HTTP** — ``--shards``-composed backends under concurrent
+  load: the sharded thread service and the pooled+sharded service both
+  divergence-checked, shard counters visible in ``/metrics``;
+* **gates** — zero divergence anywhere, ``backed_stores_thawed == 0``
+  (serving never copies a mapped store), pool metric families exposed,
+  and a **core-aware speedup floor**: fork QPS >= 2x threaded at >= 4
+  cores (the CI shape), >= 1.3x at 2-3 cores, recorded-but-waived on a
+  single core where no parallel speedup is physically available.
+
+Emits ``BENCH_9.json``; exit 1 if any gate fails::
+
+    PYTHONPATH=src python benchmarks/smoke_load.py --fork-pool --out BENCH_9.json
 """
 
 from __future__ import annotations
@@ -359,15 +388,373 @@ def run(profile_name: str, k: int, out_path: str) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------
+# BENCH_9: the fork-pool execution backend
+# --------------------------------------------------------------------------
+
+#: Core-aware speedup floor for the fork flood vs the threaded flood at
+#: equal worker count.  On >= 4 cores (the CI runner shape) the pool must
+#: clear 2x; on 2-3 cores there is less parallelism to buy, so 1.3x; on a
+#: single core no parallel speedup is physically available — the ratio is
+#: recorded but the QPS gate is waived (divergence/thaw/failover gates
+#: still apply).
+def fork_speedup_floor(cores: int):
+    if cores >= 4:
+        return 2.0
+    if cores >= 2:
+        return 1.3
+    return None
+
+
+def _http_get(address: str, path: str, timeout: float = 30.0):
+    import http.client
+
+    host, _, port_text = address.partition(":")
+    conn = http.client.HTTPConnection(host, int(port_text), timeout=timeout)
+    conn.request("GET", path)
+    response = conn.getresponse()
+    body = response.read()
+    conn.close()
+    return response.status, body
+
+
+def _body_minus_timing(body: bytes):
+    payload = json.loads(body)
+    payload.get("stats", {}).pop("elapsed_ms", None)
+    return payload
+
+
+def _check_pairs(stage, observations, oracle, divergences):
+    """Fingerprint every 200 /search response against the cold oracle,
+    keyed by the ``(query, k)`` pair the response echoes back."""
+    checked = 0
+    for obs in observations:
+        if obs.status != 200 or obs.body is None:
+            continue
+        if not obs.path.startswith("/search"):
+            continue
+        payload = json.loads(obs.body)
+        key = (payload["query"], payload["k"])
+        if http_fingerprint(obs.body) != oracle[key]:
+            divergences.append(
+                {"stage": stage, "query": key[0], "k": key[1]}
+            )
+        checked += 1
+    return checked
+
+
+def run_fork(profile_name: str, k: int, out_path: str) -> int:
+    import os
+    import tempfile
+
+    from repro.index.mmapstore import MappedPostingStore
+    from repro.index.serialize import load_indexes, save_indexes
+    from repro.search.sharding import ShardedSearchService
+    from repro.serve.pool import PooledSearchService
+
+    profile = PROFILES[profile_name]
+    cores = os.cpu_count() or 1
+    workers = max(2, min(4, cores))
+    shards = 2
+
+    # The serving bundle is the *mapped* v3 layout — what production
+    # serves and what the fork workers must inherit copy-free.
+    graph = generate_wiki_graph(profile["wiki"])
+    built = build_indexes(graph, d=3)
+    tmpdir = tempfile.mkdtemp(prefix="bench9-")
+    index_path = os.path.join(tmpdir, "wiki.repro")
+    save_indexes(built, index_path)
+    indexes = load_indexes(index_path)
+    thawed_before = MappedPostingStore.backed_stores_thawed
+
+    queries = heavy_workload(
+        indexes, profile["min_subtrees"], profile["max_queries"]
+    )
+    if not queries:
+        print("error: no heavy queries in the workload", file=sys.stderr)
+        return 1
+    query_texts = [" ".join(query) for query in queries]
+
+    # Distinct cold (query, k) plans: no result-cache hits, no
+    # coalescing — both backends execute every request.  The identical
+    # shuffled set goes to both floods.
+    k_variants = list(range(3, 3 + max(8, k)))
+    pairs = [(text, kv) for kv in k_variants for text in query_texts]
+    random.Random(9).shuffle(pairs)
+    flood = [WorkloadRequest(query=text, k=kv) for text, kv in pairs]
+    warmup = [
+        WorkloadRequest(query=text, k=2) for text in query_texts[:workers]
+    ]
+
+    # Fault-phase plans use k values outside the flood so the parent's
+    # result LRU cannot serve them — they *must* cross the wounded pool.
+    fault_variants = [101, 102]
+    snap = indexes.snapshot()
+    engine = TableAnswerEngine(snap.graph, indexes=snap)
+    oracle = {
+        (text, kv): fingerprint(engine.search(query, k=kv))
+        for query, text in zip(queries, query_texts)
+        for kv in k_variants + fault_variants + [2]
+    }
+    divergences = []
+
+    # ---- threaded flood: the GIL-bound reference ---------------------
+    threaded_server = start_http_server(
+        SearchService(indexes), max_queue=512, workers=workers
+    )
+    run_open_loop(threaded_server.address, warmup, rate=1e9, clients=2)
+    threaded = run_open_loop(
+        threaded_server.address, flood, rate=1e9, clients=workers * 2,
+        capture_bodies=True,
+    )
+    threads_checked = _check_pairs(
+        "threads", threaded.observations, oracle, divergences
+    )
+    threads_qps = threaded.achieved_qps
+    print(
+        f"threaded flood: {threads_qps:.0f} QPS at {workers} workers "
+        f"({threads_checked} responses checked)"
+    )
+
+    # ---- fork-pool flood: same requests, W processes -----------------
+    pooled = PooledSearchService(indexes, processes=workers)
+    pooled_server = start_http_server(
+        pooled, max_queue=512, workers=workers
+    )
+    run_open_loop(pooled_server.address, warmup, rate=1e9, clients=2)
+    forked = run_open_loop(
+        pooled_server.address, flood, rate=1e9, clients=workers * 2,
+        capture_bodies=True,
+    )
+    fork_checked = _check_pairs(
+        "fork-pool", forked.observations, oracle, divergences
+    )
+    processes_qps = forked.achieved_qps
+    ratio = processes_qps / threads_qps if threads_qps else 0.0
+    print(
+        f"fork-pool flood: {processes_qps:.0f} QPS at {workers} processes "
+        f"({ratio:.2f}x threaded, {fork_checked} responses checked)"
+    )
+
+    # ---- include_rows across the pipe: portable PathEntry rows -------
+    rows_divergences = 0
+    rows_path_template = "/search?q={q}&k=3&include_rows=1&max_rows=8"
+    for text in query_texts:
+        path = rows_path_template.format(q=text.replace(" ", "+"))
+        status_a, body_a = _http_get(threaded_server.address, path)
+        status_b, body_b = _http_get(pooled_server.address, path)
+        if (status_a, status_b) != (200, 200) or (
+            _body_minus_timing(body_a) != _body_minus_timing(body_b)
+        ):
+            rows_divergences += 1
+            divergences.append({"stage": "rows", "query": text, "k": 3})
+    print(
+        f"include_rows: {len(query_texts)} bodies compared across "
+        f"backends, {rows_divergences} diverged"
+    )
+
+    # ---- fault injection against live HTTP traffic -------------------
+    # arm_exit makes worker 0 die *mid-request* (after receiving its
+    # plan); SIGKILL takes the last worker outright.  Every request must
+    # still answer 200 and bit-identical via inline failover, and the
+    # pool must heal back to full strength.
+    pooled.arm_exit(0)
+    pooled.kill_worker(workers - 1)
+    fault = run_open_loop(
+        pooled_server.address,
+        [
+            WorkloadRequest(query=text, k=kv)
+            for kv in fault_variants
+            for text in query_texts
+        ],
+        rate=1e9,
+        clients=2,
+        capture_bodies=True,
+    )
+    fault_checked = _check_pairs(
+        "failover", fault.observations, oracle, divergences
+    )
+    fault_all_200 = all(
+        obs.status == 200 for obs in fault.observations
+    )
+    pool_metrics = fetch_metrics(pooled_server.address)
+    failovers = pool_metrics.get("repro_worker_failovers_total", 0.0)
+    healed = pooled._pool is not None and (
+        pooled._pool.alive_workers() == workers
+    )
+    print(
+        f"fault injection: {fault_checked} responses checked, "
+        f"{failovers:.0f} failovers, pool healed={healed}"
+    )
+    required_pool_metrics = [
+        'repro_execution_workers{backend="fork-pool"}',
+        'repro_pool_worker_alive{worker="0"}',
+        "repro_worker_failovers_total",
+        "repro_pool_rebuilds_total",
+        "repro_pool_free_slots",
+    ]
+    missing_metrics = [
+        name for name in required_pool_metrics
+        if name not in pool_metrics
+    ]
+    # Graceful drain with a freshly killed worker left in the pool:
+    # completing stop() IS the assertion.
+    pooled.kill_worker(0)
+    pooled_server.stop()
+    drained_with_dead_worker = True
+    threaded_server.stop()
+
+    # ---- sharded composition under concurrent load -------------------
+    sharded_server = start_http_server(
+        ShardedSearchService(indexes, num_shards=shards),
+        max_queue=512, workers=workers,
+    )
+    sharded_load = run_open_loop(
+        sharded_server.address, flood[: len(flood) // 2], rate=1e9,
+        clients=workers * 2, capture_bodies=True,
+    )
+    sharded_checked = _check_pairs(
+        "sharded", sharded_load.observations, oracle, divergences
+    )
+    sharded_metrics = fetch_metrics(sharded_server.address)
+    sharded_server.stop()
+    shard_counter = sharded_metrics.get(
+        'repro_search_counter_total{counter="shards_total"}', 0.0
+    )
+    print(
+        f"sharded HTTP: {sharded_checked} responses checked, "
+        f"shards_total counter {shard_counter:.0f}"
+    )
+
+    pooled_sharded = PooledSearchService(
+        indexes, processes=workers, num_shards=shards
+    )
+    composed_server = start_http_server(
+        pooled_sharded, max_queue=512, workers=workers
+    )
+    composed_load = run_open_loop(
+        composed_server.address, flood[: len(flood) // 2], rate=1e9,
+        clients=workers * 2, capture_bodies=True,
+    )
+    composed_checked = _check_pairs(
+        "fork-pool+sharded", composed_load.observations, oracle,
+        divergences,
+    )
+    composed_metrics = fetch_metrics(composed_server.address)
+    composed_server.stop()
+    print(
+        f"fork-pool+sharded HTTP: {composed_checked} responses checked"
+    )
+
+    thawed_delta = (
+        MappedPostingStore.backed_stores_thawed - thawed_before
+    )
+    required_ratio = fork_speedup_floor(cores)
+    speedup_met = True
+    if required_ratio is None:
+        print(
+            "NOTE: single core — no parallel speedup is physically "
+            f"available; QPS gate waived (measured {ratio:.2f}x), "
+            "divergence/thaw/failover gates still enforced"
+        )
+    else:
+        speedup_met = ratio >= required_ratio
+
+    acceptance = {
+        "bit_identical_met": not divergences,
+        "speedup_met": speedup_met,
+        "rows_across_pipe_met": rows_divergences == 0,
+        "failover_met": (
+            fault_all_200 and failovers >= 1 and healed
+            and drained_with_dead_worker
+        ),
+        "no_thaw_met": thawed_delta == 0,
+        "pool_metrics_exposed_met": not missing_metrics,
+        "sharded_counters_met": (
+            shard_counter >= shards
+            and 'repro_execution_workers{backend="fork-pool+sharded"}'
+            in composed_metrics
+        ),
+        "no_transport_errors_met": (
+            threaded.summary()["transport_errors"] == 0
+            and forked.summary()["transport_errors"] == 0
+        ),
+    }
+    report = {
+        "bench": "BENCH_9",
+        "profile": profile_name,
+        "k": k,
+        "d": indexes.d,
+        "num_entities": profile["wiki"].num_entities,
+        "cores": cores,
+        "workers": workers,
+        "queries": query_texts,
+        "fork_pool": {
+            "threads_qps": threads_qps,
+            "processes_qps": processes_qps,
+            "ratio": ratio,
+            "required_ratio": required_ratio,
+            "requests_per_flood": len(flood),
+            "responses_checked": threads_checked + fork_checked,
+        },
+        "rows": {
+            "compared": len(query_texts),
+            "diverged": rows_divergences,
+        },
+        "failover": {
+            "responses_checked": fault_checked,
+            "worker_failovers": failovers,
+            "healed": healed,
+            "drained_with_dead_worker": drained_with_dead_worker,
+        },
+        "sharded": {
+            "num_shards": shards,
+            "responses_checked": sharded_checked + composed_checked,
+            "shards_total_counter": shard_counter,
+        },
+        "backed_stores_thawed": thawed_delta,
+        "metrics_missing": missing_metrics,
+        "divergences": divergences,
+        "acceptance": acceptance,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+
+    failures = [name for name, ok in acceptance.items() if not ok]
+    if failures:
+        print(f"FAIL: {', '.join(failures)}", file=sys.stderr)
+        if divergences:
+            print(
+                f"  {len(divergences)} served results diverged from the "
+                "cold engine",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        "all gates passed: fork-pool answers identical to the cold "
+        "engine, zero mapped stores thawed"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--profile", choices=sorted(PROFILES), default="smoke"
     )
     parser.add_argument("-k", type=int, default=10)
-    parser.add_argument("--out", default="BENCH_8.json")
+    parser.add_argument(
+        "--fork-pool", action="store_true",
+        help="run the BENCH_9 fork-pool backend suite instead of BENCH_8",
+    )
+    parser.add_argument("--out", default=None)
     args = parser.parse_args(argv)
-    return run(args.profile, args.k, args.out)
+    if args.fork_pool:
+        return run_fork(
+            args.profile, args.k, args.out or "BENCH_9.json"
+        )
+    return run(args.profile, args.k, args.out or "BENCH_8.json")
 
 
 if __name__ == "__main__":

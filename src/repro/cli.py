@@ -110,6 +110,22 @@ def _format_cold_start(service) -> str:
     return f"cold start: index loaded in {service.stats.load_seconds * 1000.0:.1f} ms"
 
 
+def _format_backend(service, http_workers=None) -> str:
+    """One line on which execution spine answers cache-miss queries."""
+    stats = service.stats
+    if stats.execution_backend != "inline":
+        return (
+            f"execution backend: {stats.execution_backend} "
+            f"({stats.execution_workers} workers)"
+        )
+    if http_workers is not None:
+        return (
+            f"execution backend: threads ({http_workers} executor "
+            "threads, GIL-bound)"
+        )
+    return "execution backend: inline (single process)"
+
+
 #: Search algorithms whose hot loops take the ``prune`` switch (the
 #: baseline and the full-enumeration ranker have nothing to prune: their
 #: contract is the complete answer set).
@@ -198,16 +214,31 @@ def _print_result(service, result, max_rows: int, explain: bool) -> int:
     return 0
 
 
-def _make_service(args: argparse.Namespace) -> SearchService:
-    """The service a command serves through: sharded when ``--shards``
-    asks for it, the plain single-store service otherwise (a sharded
-    index file still loads — its base bundle is a complete index)."""
+def _make_service(
+    args: argparse.Namespace, pool_processes: Optional[int] = None
+) -> SearchService:
+    """The service a command serves through: a fork-pool service when
+    ``serve --processes`` asks for it (optionally composed with
+    ``--shards`` — each fork worker runs the sharded merge loop
+    inline), sharded when ``--shards`` alone asks for it, the plain
+    single-store service otherwise (a sharded index file still loads —
+    its base bundle is a complete index)."""
     shards = getattr(args, "shards", None)
+    if shards is not None and shards < 1:
+        raise SearchError(f"--shards must be >= 1, got {shards}")
+    if pool_processes is not None:
+        from repro.serve.pool import PooledSearchService
+
+        if pool_processes < 1:
+            raise SearchError(
+                f"--processes must be >= 1, got {pool_processes}"
+            )
+        return PooledSearchService.from_file(
+            args.index, processes=pool_processes, num_shards=shards or 0
+        )
     if shards is not None:
         from repro.search.sharding import ShardedSearchService
 
-        if shards < 1:
-            raise SearchError(f"--shards must be >= 1, got {shards}")
         return ShardedSearchService.from_file(args.index, num_shards=shards)
     return SearchService.from_file(args.index)
 
@@ -254,7 +285,9 @@ anything else is searched as a keyword query."""
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    service = _make_service(args)
+    service = _make_service(
+        args, pool_processes=getattr(args, "processes", None)
+    )
     try:
         if args.http is not None:
             return _serve_http(service, args)
@@ -278,11 +311,19 @@ def _serve_http(service: SearchService, args: argparse.Namespace) -> int:
         )
         return 2
 
+    # Executor width defaults to the fork-pool size when one is
+    # configured: each executor thread then drives exactly one worker
+    # process, so the pool is saturated without queueing inside it.
+    workers = args.workers
+    if workers is None:
+        workers = args.processes if args.processes else 4
+
     def ready(server) -> None:
         print(_format_cold_start(service))
+        print(_format_backend(service, http_workers=workers))
         print(
             f"serving {args.index} on http://{server.address} "
-            f"(workers={args.workers}, max_queue={args.max_queue}, "
+            f"(workers={workers}, max_queue={args.max_queue}, "
             f"deadline_ms={args.deadline_ms}); endpoints: /search "
             f"/metrics /healthz /admin/invalidate",
             flush=True,
@@ -294,7 +335,7 @@ def _serve_http(service: SearchService, args: argparse.Namespace) -> int:
         port=port,
         ready=ready,
         max_queue=args.max_queue,
-        workers=args.workers,
+        workers=workers,
         default_deadline_ms=args.deadline_ms,
     )
     print(service.stats.format())
@@ -308,6 +349,7 @@ def _serve_loop(service: SearchService, args: argparse.Namespace) -> int:
         f"{store.num_paths} paths; type a query (:help for commands)"
     )
     print(_format_cold_start(service))
+    print(_format_backend(service))
     k = args.k
     algorithm = args.algorithm
     explain = args.explain
@@ -443,18 +485,6 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not uniform:
         return _batch_replay(args, requests)
     queries = [request.query for request in requests]
-    if args.processes and not args.no_subtrees:
-        # Fail loudly instead of silently forcing keep_subtrees=False (the
-        # old behavior): users got fewer result fields than every other
-        # invocation with no indication why.
-        print(
-            "error: --processes forks batch workers, and kept subtrees "
-            "reference the posting store and cannot cross processes; "
-            "re-run with --no-subtrees to accept score-and-count-only "
-            "answers (or use --threads / --shards)",
-            file=sys.stderr,
-        )
-        return 2
     if args.processes and getattr(args, "shards", None):
         print(
             "error: --processes and --shards are mutually exclusive: the "
@@ -654,8 +684,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(clients override per request with ?deadline_ms=)",
     )
     serve.add_argument(
-        "--workers", type=int, default=4,
-        help="HTTP executor threads running searches (default 4)",
+        "--workers", type=int, default=None,
+        help="HTTP executor threads running searches (default: "
+        "--processes when given, else 4)",
+    )
+    serve.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="execute cache-miss searches on N long-lived pre-warmed "
+        "fork workers instead of the GIL-bound executor threads "
+        "(multi-core serving over copy-free mmap pages; composes with "
+        "--shards: each worker runs the sharded merge loop inline; "
+        "bit-identical answers, inline failover on worker death)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -678,14 +717,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--processes", type=int, default=0,
-        help="fork-pool size for parallel execution "
-        "(requires --no-subtrees; 0 = off)",
+        help="fork-pool size for parallel execution (0 = off; kept "
+        "subtree rows cross back as portable PathEntry tuples)",
     )
     batch.add_argument(
         "--no-subtrees", action="store_true",
         help="run with keep_subtrees=False: answers keep exact scores "
-        "and row counts but drop the subtree rows (required by "
-        "--processes)",
+        "and row counts but drop the subtree rows",
     )
     batch.set_defaults(handler=_cmd_batch)
 

@@ -35,7 +35,8 @@ up front, deduplicates equal plans, and executes the remainder on a
 thread pool over one shared snapshot (CPython threads interleave rather
 than parallelize CPU-bound work, but the shared snapshot and caches are
 what matter; pass ``processes=N`` on fork-capable platforms for true
-parallel execution of ``keep_subtrees=False`` batches).
+parallel execution — kept subtrees cross back as portable
+``PathEntry`` tuples).
 
 Everything served is **bit-identical** to a cold
 ``TableAnswerEngine.search()`` — caches only ever short-circuit pure
@@ -99,6 +100,16 @@ class ServiceStats:
     #: Cold-start: wall-clock seconds the deserializer spent on the served
     #: bundle (0.0 when it was built in-process rather than loaded).
     load_seconds: float = 0.0
+    #: Execution backend self-description: ``inline`` (plain service),
+    #: ``sharded`` (scatter–gather worker pool), or ``fork-pool`` /
+    #: ``fork-pool+sharded`` (the HTTP process-pool bridge).  Workers is
+    #: the configured parallel width (0 = no pool).
+    execution_backend: str = "inline"
+    execution_workers: int = 0
+    #: Pool-backed services: dead-worker inline failovers and
+    #: version-driven pool rebuilds.
+    worker_failovers: int = 0
+    pool_rebuilds: int = 0
     #: Guards counter increments (see class docstring); excluded from
     #: equality so two stats blocks with equal counters compare equal.
     lock: threading.Lock = field(
@@ -131,8 +142,14 @@ class ServiceStats:
             if self.load_seconds
             else ""
         )
+        backend = self.execution_backend
+        if self.execution_workers:
+            backend += f" x{self.execution_workers}"
+        if self.worker_failovers:
+            backend += f", {self.worker_failovers} worker failovers"
         return (
-            f"service: {cold_start}{self.searches} searches, "
+            f"service: {cold_start}backend {backend}, "
+            f"{self.searches} searches, "
             f"result cache {self.result_hits}/"
             f"{self.result_hits + self.result_misses} hits "
             f"({self.result_hit_rate():.0%}), "
@@ -152,7 +169,14 @@ _FORK_SERVICE: Optional["SearchService"] = None
 
 
 def _fork_execute(plan: QueryPlan) -> SearchResult:
-    return _FORK_SERVICE.execute(plan)
+    result = _FORK_SERVICE.execute(plan)
+    for answer in result.answers:
+        # Kept subtree combos are ComboRef views holding a store
+        # reference; materialize them to value-equal PathEntry tuples in
+        # the child — the same portable-row form the shard and HTTP fork
+        # pools ship — so the result can be pickled back to the parent.
+        answer.subtrees = [tuple(combo) for combo in answer.subtrees]
+    return result
 
 
 class SearchService:
@@ -357,17 +381,13 @@ TableAnswerEngine.search>`; on a result-cache hit the returned object
         execute on a thread pool of ``threads`` workers (``0``/``1`` =
         inline).  ``processes=N`` (N >= 1; always forks, so ``1`` is a
         single isolated worker, not inline) instead forks workers for
-        genuinely parallel execution — requires ``keep_subtrees=False``
-        (subtree combos hold store references and must not be pickled)
-        and a platform with ``fork``.
+        genuinely parallel execution on a platform with ``fork``; kept
+        subtrees come back as materialized, value-equal
+        :class:`~repro.index.entry.PathEntry` tuples (combos are
+        portable-ized in the child before crossing the pipe).
         """
         if processes and threads:
             raise SearchError("pass threads= or processes=, not both")
-        if processes and dict(params).get("keep_subtrees", True):
-            raise SearchError(
-                "processes= requires keep_subtrees=False: kept subtrees "
-                "reference the posting store and cannot cross processes"
-            )
         self.stats.bump(batches=1, batch_queries=len(queries))
         snap = self.snapshot()
         plans = [

@@ -154,6 +154,110 @@ def execute_shard_plan(
     return portable, result.stats
 
 
+def shard_upper_bounds(
+    sharded: ShardedIndexes, context, scoring
+) -> List[float]:
+    """Per-shard admissible score upper bounds for one resolved query.
+
+    The shard bound is LETopK's type bound lifted one level: an
+    admissible (under all four aggregators) cap on any pattern score
+    confined to the shard's slice of the candidate roots —
+    ``SAFETY * sum(root_mass(r))``, computed from the *global*
+    :class:`~repro.search.bounds.QueryBounds` (identical values to the
+    unsharded run, since a root's postings travel to its shard whole).
+    ``inf`` per non-empty shard when the scoring function is outside the
+    bounded class — every shard is then dispatched, sharding stays
+    exact, nothing skips.
+    """
+    parts = sharded.partition_roots(context.candidate_roots)
+    bounds = context.query_bounds(scoring)
+    if bounds is None:
+        return [float("inf") if part else 0.0 for part in parts]
+    return [
+        SAFETY * sum(bounds.root_mass(root) for root in part)
+        for part in parts
+    ]
+
+
+def execute_sharded_plan(
+    snap: PathIndexes,
+    plan: QueryPlan,
+    sharded: ShardedIndexes,
+    uppers: List[float],
+    run_shard,
+    candidate_roots: int = 0,
+) -> SearchResult:
+    """The scatter–gather merge loop, parameterized over shard execution.
+
+    ``run_shard(shard_id)`` returns the portable
+    ``(answers, stats)`` pair of :func:`execute_shard_plan` — from a
+    worker pipe (:class:`ShardedSearchService`), inline failover, or an
+    in-process loop (the fork-pool workers of :mod:`repro.serve.pool`
+    run their inherited partition through this same function, so the
+    two execution spines cannot drift).  Shards are visited
+    best-bound-first and skipped once the running k-th score disproves
+    their upper bound; answers merge under a single global
+    :class:`~repro.core.topk.TopKQueue` with canonical tie keys —
+    bit-identical to the unsharded engine.
+    """
+    watch = Stopwatch()
+    queue: TopKQueue[PatternAnswer] = TopKQueue(plan.k)
+    threshold = TopKThreshold(queue)
+    stats = SearchStats(
+        algorithm=plan.algorithm,
+        candidate_roots=candidate_roots,
+    )
+    stats.shards_total = sharded.num_shards
+    # Best-bound-first: the strongest shard fills the queue and
+    # tightens the global threshold before weaker shards are
+    # considered, maximizing skips.  Shard id breaks bound ties
+    # so the dispatch order is deterministic.
+    order = sorted(
+        range(sharded.num_shards), key=lambda s: (-uppers[s], s)
+    )
+    dispatched: List[int] = []
+    for shard_id in order:
+        upper = uppers[shard_id]
+        # upper == 0.0 means no candidate root lives there; a
+        # bound below the running k-th score cannot change the
+        # queue (equality always admitted — docs/pruning.md).
+        if upper <= 0.0 or not threshold.admits(upper):
+            stats.shards_skipped += 1
+            continue
+        dispatched.append(shard_id)
+        portable, shard_stats = run_shard(shard_id)
+        for name in _ADDITIVE_COUNTERS:
+            setattr(
+                stats,
+                name,
+                getattr(stats, name) + getattr(shard_stats, name),
+            )
+        for score, key, count, combos, estimated in portable:
+            pattern = pattern_from_key(snap, key)
+            answer = PatternAnswer(
+                pattern_key=key,
+                pattern=pattern,
+                score=score,
+                num_subtrees=count,
+                subtrees=list(combos),
+                estimated_score=estimated,
+            )
+            queue.push(
+                score, answer, tie_key=canonical_pattern_key(pattern)
+            )
+    stats.shard_dispatch_order = tuple(dispatched)
+    threshold.write_stats(stats)
+    answers = order_answers([answer for _, answer in queue.ranked()])
+    stats.elapsed_seconds = watch.elapsed()
+    return SearchResult(
+        query=plan.words,
+        k=plan.k,
+        d=plan.d,
+        answers=answers,
+        stats=stats,
+    )
+
+
 def _shard_worker_main(shard: PathIndexes, conn) -> None:
     """One worker process: pre-warm, handshake, then serve plans forever.
 
@@ -395,6 +499,8 @@ class ShardedSearchService(SearchService):
                 )
         self.num_shards = num_shards
         self.worker_timeout = worker_timeout
+        self.stats.execution_backend = "sharded"
+        self.stats.execution_workers = num_shards
         self._preloaded = sharded
         self._sharded: Optional[ShardedIndexes] = None
         self._pool: Optional[ShardWorkerPool] = None
@@ -478,6 +584,7 @@ class ShardedSearchService(SearchService):
         self._sharded = sharded
         self._shard_uppers.clear()
         self._pool = ShardWorkerPool(sharded, timeout=self.worker_timeout)
+        self.stats.bump(pool_rebuilds=1)
         return sharded, self._pool
 
     # ----------------------------------------------------------- execution
@@ -493,73 +600,31 @@ class ShardedSearchService(SearchService):
     def _execute_on(self, snap: PathIndexes, plan: QueryPlan) -> SearchResult:
         if not plan_shardable(plan):
             return super()._execute_on(snap, plan)
-        watch = Stopwatch()
         context = self._context_for(snap, plan)
-        queue: TopKQueue[PatternAnswer] = TopKQueue(plan.k)
-        threshold = TopKThreshold(queue)
-        stats = SearchStats(
-            algorithm=plan.algorithm,
-            candidate_roots=len(context.candidate_roots),
-        )
+        failovers = [0]
         with self._scatter_lock:
             sharded, pool = self._ensure_pool(snap)
             uppers = self._shard_bounds(snap, plan, context, sharded)
-            stats.shards_total = sharded.num_shards
-            # Best-bound-first: the strongest shard fills the queue and
-            # tightens the global threshold before weaker shards are
-            # considered, maximizing skips.  Shard id breaks bound ties
-            # so the dispatch order is deterministic.
-            order = sorted(
-                range(sharded.num_shards), key=lambda s: (-uppers[s], s)
-            )
-            dispatched: List[int] = []
-            for shard_id in order:
-                upper = uppers[shard_id]
-                # upper == 0.0 means no candidate root lives there; a
-                # bound below the running k-th score cannot change the
-                # queue (equality always admitted — docs/pruning.md).
-                if upper <= 0.0 or not threshold.admits(upper):
-                    stats.shards_skipped += 1
-                    continue
-                dispatched.append(shard_id)
+
+            def run_shard(shard_id: int):
                 try:
-                    portable, shard_stats = pool.execute(shard_id, plan)
+                    return pool.execute(shard_id, plan)
                 except ShardWorkerError:
-                    stats.shard_failovers += 1
+                    failovers[0] += 1
                     pool.respawn(shard_id)
-                    portable, shard_stats = execute_shard_plan(
-                        sharded.shards[shard_id], plan
-                    )
-                for name in _ADDITIVE_COUNTERS:
-                    setattr(
-                        stats,
-                        name,
-                        getattr(stats, name) + getattr(shard_stats, name),
-                    )
-                for score, key, count, combos, estimated in portable:
-                    pattern = pattern_from_key(snap, key)
-                    answer = PatternAnswer(
-                        pattern_key=key,
-                        pattern=pattern,
-                        score=score,
-                        num_subtrees=count,
-                        subtrees=list(combos),
-                        estimated_score=estimated,
-                    )
-                    queue.push(
-                        score, answer, tie_key=canonical_pattern_key(pattern)
-                    )
-            stats.shard_dispatch_order = tuple(dispatched)
-        threshold.write_stats(stats)
-        answers = order_answers([answer for _, answer in queue.ranked()])
-        stats.elapsed_seconds = watch.elapsed()
-        result = SearchResult(
-            query=plan.words,
-            k=plan.k,
-            d=plan.d,
-            answers=answers,
-            stats=stats,
-        )
+                    return execute_shard_plan(sharded.shards[shard_id], plan)
+
+            result = execute_sharded_plan(
+                snap,
+                plan,
+                sharded,
+                uppers,
+                run_shard,
+                candidate_roots=len(context.candidate_roots),
+            )
+        if failovers[0]:
+            result.stats.shard_failovers = failovers[0]
+            self.stats.bump(worker_failovers=failovers[0])
         self._remember_candidates(plan, context)
         return result
 
@@ -570,33 +635,14 @@ class ShardedSearchService(SearchService):
         context,
         sharded: ShardedIndexes,
     ) -> List[float]:
-        """Per-shard score upper bounds for this resolved keyword set.
-
-        The shard bound is LETopK's type bound lifted one level: an
-        admissible (under all four aggregators) cap on any pattern score
-        confined to the shard's slice of the candidate roots —
-        ``SAFETY * sum(root_mass(r))``, computed from the *global*
-        :class:`~repro.search.bounds.QueryBounds` (identical values to
-        the unsharded run, since a root's postings travel to its shard
-        whole).  Cached per (words, scoring) under the serving version;
-        caller holds :attr:`_scatter_lock`.  ``inf`` per non-empty shard
-        when the scoring function is outside the bounded class — every
-        shard is then dispatched, sharding stays exact, nothing skips.
-        """
+        """:func:`shard_upper_bounds`, cached per (words, scoring) under
+        the serving version; caller holds :attr:`_scatter_lock`."""
         key = (plan.words, plan.scoring)
         version = snap.store.version
         slot = self._shard_uppers.get(key)
         if slot is not None and slot[0] == version:
             return slot[1]
-        parts = sharded.partition_roots(context.candidate_roots)
-        bounds = context.query_bounds(plan.scoring)
-        if bounds is None:
-            uppers = [float("inf") if part else 0.0 for part in parts]
-        else:
-            uppers = [
-                SAFETY * sum(bounds.root_mass(root) for root in part)
-                for part in parts
-            ]
+        uppers = shard_upper_bounds(sharded, context, plan.scoring)
         self._shard_uppers[key] = (version, uppers)
         return uppers
 

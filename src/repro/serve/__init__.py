@@ -9,6 +9,10 @@ needs:
   deadlines, admission control (bounded queue + load shedding), and
   in-flight duplicate coalescing keyed on
   :attr:`~repro.search.plan.QueryPlan.cache_key`;
+* :mod:`repro.serve.pool` — the fork-pool execution backend
+  (``--processes N``): N long-lived pre-warmed fork workers executing
+  cache-miss plans over tagged pipes for true multi-core HTTP serving,
+  with inline failover + respawn on worker death;
 * :mod:`repro.serve.metrics` — latency quantiles, QPS windows, and the
   Prometheus text rendering behind ``/metrics``;
 * :mod:`repro.serve.params` — request-parameter parsing and the
@@ -22,6 +26,11 @@ See ``docs/serving.md`` (HTTP tier section) and ``benchmarks/loadgen.py``.
 """
 
 from repro.serve.http import HttpSearchServer, ServerThread, start_http_server
+from repro.serve.pool import (
+    ForkWorkerPool,
+    PooledSearchService,
+    PoolWorkerError,
+)
 from repro.serve.params import (
     ParamError,
     SearchRequest,
@@ -41,6 +50,9 @@ __all__ = [
     "HttpSearchServer",
     "ServerThread",
     "start_http_server",
+    "ForkWorkerPool",
+    "PooledSearchService",
+    "PoolWorkerError",
     "ParamError",
     "SearchRequest",
     "describe_inapplicable",

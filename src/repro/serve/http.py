@@ -20,8 +20,13 @@ Search execution is CPU-bound pure Python, so the event loop never runs
 it: requests bridge to a small :class:`~concurrent.futures.ThreadPoolExecutor`
 via ``run_in_executor`` (the executor's FIFO queue doubles as the
 admission queue), while the loop thread keeps accepting, shedding, and
-coalescing.  True CPU parallelism stays where it already lives — the
-sharded service's fork-worker pool underneath.
+coalescing.  True CPU parallelism lives underneath: front a
+:class:`~repro.serve.pool.PooledSearchService` (``repro serve --http
+... --processes N``) and each executor thread drives one long-lived
+fork worker — the loop keeps owning admission, deadlines, coalescing,
+and the result LRU, only cache-miss executions cross a pipe — or a
+:class:`~repro.search.sharding.ShardedSearchService` for intra-request
+scatter–gather.
 
 Endpoints: ``GET /search``, ``GET /metrics`` (Prometheus text),
 ``GET /healthz``, ``POST /admin/invalidate`` (writer tick).
@@ -501,6 +506,57 @@ class HttpSearchServer:
             "repro_index_load_seconds", "gauge",
             "Seconds spent (re)loading the serving snapshot.",
         ).add({}, stats.load_seconds))
+
+        # Execution backend: which spine runs cache-miss executions and
+        # how wide it is.  A plain service executes on this server's
+        # thread bridge; pool-backed services self-describe via stats.
+        backend = stats.execution_backend
+        backend_workers = stats.execution_workers
+        if backend == "inline":
+            backend, backend_workers = "threads", self.workers
+        families.append(MetricFamily(
+            "repro_execution_workers", "gauge",
+            "Parallel execution width of the active backend.",
+        ).add({"backend": backend}, backend_workers))
+        families.append(MetricFamily(
+            "repro_worker_failovers_total", "counter",
+            "Executions answered inline after a pool worker died.",
+        ).add({}, stats.worker_failovers))
+        families.append(MetricFamily(
+            "repro_pool_rebuilds_total", "counter",
+            "Worker pools (re)built (lazy first build + version bumps).",
+        ).add({}, stats.pool_rebuilds))
+        worker_snapshot = getattr(self.service, "worker_snapshot", None)
+        if worker_snapshot is not None:
+            alive = MetricFamily(
+                "repro_pool_worker_alive", "gauge",
+                "1 when the pool worker process is alive.",
+            )
+            busy = MetricFamily(
+                "repro_pool_worker_busy", "gauge",
+                "1 while the pool worker slot is executing a plan.",
+            )
+            executed = MetricFamily(
+                "repro_pool_worker_executed_total", "counter",
+                "Plans executed by the pool worker slot.",
+            )
+            respawns = MetricFamily(
+                "repro_pool_worker_respawns_total", "counter",
+                "Times the pool worker slot was respawned after a death.",
+            )
+            for row in worker_snapshot():
+                label = {"worker": str(row["worker"])}
+                alive.add(label, 1.0 if row["alive"] else 0.0)
+                busy.add(label, 1.0 if row["busy"] else 0.0)
+                executed.add(label, row["executed"])
+                respawns.add(label, row["respawns"])
+            families.extend([alive, busy, executed, respawns])
+            pool_info = getattr(self.service, "pool_info", None)
+            if pool_info is not None:
+                families.append(MetricFamily(
+                    "repro_pool_free_slots", "gauge",
+                    "Pool worker slots currently free.",
+                ).add({}, pool_info()["free_slots"]))
 
         work = MetricFamily(
             "repro_search_counter_total", "counter",

@@ -230,10 +230,26 @@ class TestBatch:
             (r.scores(), r.pattern_keys()) for r in forked
         ]
 
-    def test_processes_require_dropping_subtrees(self, example_indexes):
+    def test_processes_keep_subtrees_rows_match_inline(
+        self, example_indexes
+    ):
+        # Kept subtree combos are ComboRef store views in the child; the
+        # fork path must ship them back as value-equal PathEntry tuples
+        # (the old behavior was a loud "requires keep_subtrees=False"
+        # error).
         service = SearchService(example_indexes)
-        with pytest.raises(SearchError, match="keep_subtrees"):
-            service.search_many([QUERY], processes=2)
+        queries = [QUERY, "software company", "database revenue"]
+        inline = service.search_many(queries, k=3)
+        service.invalidate()
+        forked = service.search_many(queries, k=3, processes=2)
+        assert [fingerprint(r) for r in inline] == [
+            fingerprint(r) for r in forked
+        ]
+        for reference, result in zip(inline, forked):
+            for ref_answer, answer in zip(reference.answers, result.answers):
+                assert [
+                    tuple(combo) for combo in ref_answer.subtrees
+                ] == list(answer.subtrees)
 
     def test_threads_and_processes_exclusive(self, example_indexes):
         service = SearchService(example_indexes)

@@ -417,3 +417,59 @@ class TestShutdown:
         assert status == 503
         assert "draining" in json.loads(body)["message"]
         server.stop()
+
+
+class TestShardedBackend:
+    """Satellite contract: ``--http`` and ``--shards`` compose — the
+    sharded service serves concurrent HTTP load bit-identically to the
+    plain engine, and its shard counters flow into ``/metrics``."""
+
+    def test_concurrent_sharded_responses_match_plain(self, example_indexes):
+        from repro.search.sharding import ShardedSearchService
+
+        sharded = ShardedSearchService(example_indexes, num_shards=3)
+        plain = SearchService(example_indexes)
+        server = start_http_server(sharded, max_queue=32, workers=4)
+        reference = start_http_server(plain, max_queue=32, workers=4)
+        paths = [
+            f"/search?q={QUERY.replace(' ', '+')}&k={k}&include_rows=1"
+            for k in (1, 2, 3)
+        ] + ["/search?q=software+company&k=4"]
+        try:
+            results = {}
+
+            def fetch(i, path):
+                results[i] = (path, get(server.address, path))
+
+            threads = [
+                threading.Thread(target=fetch, args=(i, path))
+                for i, path in enumerate(paths * 2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert len(results) == len(paths) * 2
+            for path, (status, body, _headers) in results.values():
+                ref_status, ref_body, _ = get(reference.address, path)
+                assert (status, ref_status) == (200, 200)
+                payload, ref = json.loads(body), json.loads(ref_body)
+                payload["stats"] = ref["stats"] = None  # work counters differ
+                assert payload == ref
+
+            _status, metrics, _ = get(server.address, "/metrics")
+            text = metrics.decode()
+            assert 'repro_execution_workers{backend="sharded"} 3' in text
+            shard_counters = {
+                line.split()[0]: float(line.split()[1])
+                for line in text.splitlines()
+                if line.startswith('repro_search_counter_total{counter="shards')
+            }
+            assert (
+                shard_counters['repro_search_counter_total{counter="shards_total"}']
+                >= len(paths) * 3
+            )
+            assert 'counter="shards_skipped"' in text
+        finally:
+            server.stop()
+            reference.stop()

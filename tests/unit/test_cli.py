@@ -445,18 +445,20 @@ class TestSharding:
         assert code == 0
         assert capsys.readouterr().out.count("answers") == 2
 
-    def test_batch_processes_without_no_subtrees_fails(
+    def test_batch_processes_keeps_subtree_rows(
         self, index_file, tmp_path, capsys
     ):
+        # The old CLI refused --processes without --no-subtrees; the
+        # fork path now ships subtree rows back as portable tuples.
         queries = tmp_path / "queries.txt"
-        queries.write_text("software company\n")
+        queries.write_text("software company\ndatabase revenue\n")
         code = main(
             ["batch", str(index_file), str(queries), "--processes", "2"]
         )
-        assert code == 2
-        err = capsys.readouterr().err
-        assert "cannot cross processes" in err
-        assert "--no-subtrees" in err
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("answers") == 2
+        assert "error" not in out
 
     def test_batch_processes_with_no_subtrees_runs(
         self, index_file, tmp_path, capsys
@@ -490,4 +492,39 @@ class TestSharding:
         )
         code = main(["serve", str(index_file), "--shards", "2"])
         assert code == 0
-        assert "--- #1" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "--- #1" in out
+        assert "execution backend: sharded (2 workers)" in out
+
+    def test_serve_with_processes(self, index_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("software company\n")
+        )
+        code = main(["serve", str(index_file), "--processes", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- #1" in out
+        assert "execution backend: fork-pool (2 workers)" in out
+
+    def test_serve_with_processes_and_shards(
+        self, index_file, capsys, monkeypatch
+    ):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("software company\n")
+        )
+        code = main(
+            ["serve", str(index_file), "--processes", "2", "--shards", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- #1" in out
+        assert "execution backend: fork-pool+sharded (2 workers)" in out
+
+    def test_serve_rejects_bad_process_count(self, index_file, capsys):
+        code = main(["serve", str(index_file), "--processes", "0"])
+        assert code == 2
+        assert "--processes must be >= 1" in capsys.readouterr().err
