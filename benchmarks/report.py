@@ -24,6 +24,19 @@ def _fmt_ms(value) -> str:
 
 def _headline(name: str, data: dict) -> str:
     """The one number this bench exists to track, best-effort per schema."""
+    if "update" in data and "compaction" in data:  # BENCH_10 (overlay)
+        update = data["update"]
+        speedup = update.get("speedup_vs_thaw")
+        speedup_text = (
+            f" = {speedup:.0f}x vs thaw"
+            if isinstance(speedup, (int, float))
+            else ""
+        )
+        return (
+            f"update p50 {_fmt_ms(update.get('p50_ms'))} p95 "
+            f"{_fmt_ms(update.get('p95_ms'))}{speedup_text}, gen "
+            f"{data['compaction'].get('generation', '-')}"
+        )
     if "fork_pool" in data:  # BENCH_9 (fork-pool execution backend)
         pool = data["fork_pool"]
         ratio = pool.get("ratio")
@@ -92,7 +105,9 @@ def _serving_columns(data: dict) -> dict:
     BENCH_8 (the HTTP tier) populates all three; older serving benches
     surface what they have; figure benches print dashes.
     """
-    qps = p99 = shed = ratio = None
+    qps = p99 = shed = ratio = upd = None
+    if "update" in data and "compaction" in data:  # BENCH_10
+        upd = data["update"].get("p50_ms")
     if "fork_pool" in data:  # BENCH_9
         pool = data["fork_pool"]
         qps = pool.get("processes_qps")
@@ -120,6 +135,9 @@ def _serving_columns(data: dict) -> dict:
         "t/p": (
             f"{ratio:.2f}x" if isinstance(ratio, (int, float)) else "-"
         ),
+        # Update-latency trajectory: per-mutation p50 through the delta
+        # overlay (BENCH_10).
+        "upd": _fmt_ms(upd) if isinstance(upd, (int, float)) else "-",
     }
 
 
@@ -140,6 +158,7 @@ def collect(directory: Path) -> list:
                     "p99": "-",
                     "shed": "-",
                     "t/p": "-",
+                    "upd": "-",
                     "ok": False,
                 }
             )
@@ -171,7 +190,7 @@ def format_table(rows: list) -> str:
         return "no BENCH_*.json files found"
     headers = (
         "file", "bench", "profile", "headline", "qps", "p99", "shed",
-        "t/p", "gates",
+        "t/p", "upd", "gates",
     )
     table = [headers] + [
         tuple(str(row[name]) for name in headers) for row in rows

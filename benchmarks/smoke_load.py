@@ -21,6 +21,11 @@ BENCH_4's heavy-query workload) with the open-loop generator from
   measured capacity over distinct cold plans: the server must shed
   (503s + ``requests_shed``) while the p99 of *admitted* requests stays
   bounded by queue math instead of growing with offered load;
+* **mutation phase** — the same bundle saved + re-loaded memory-mapped,
+  then an ``add_entity`` stream lands in the delta overlay while HTTP
+  traffic flows: served answers checked against a cold engine over the
+  *mutated* snapshot, compaction re-maps a fresh generation without
+  moving an answer, and ``backed_stores_thawed`` must stay at zero;
 * **/metrics gate** — the scrape must expose QPS, latency quantiles,
   queue depth, shed/coalesced/expired counts, cache tiers, and search
   work counters.
@@ -48,6 +53,11 @@ bundle (save → load, so workers inherit shard pages copy-free):
 * **sharded HTTP** — ``--shards``-composed backends under concurrent
   load: the sharded thread service and the pooled+sharded service both
   divergence-checked, shard counters visible in ``/metrics``;
+* **mutation under the pool** — an ``add_entity`` stream into the
+  parent's delta overlay forces a version-bumped pool rebuild (workers
+  inherit the overlay copy-on-write), then compaction re-maps a fresh
+  generation and the next rebuild forks from the re-mapped pages;
+  answers checked against a cold engine over the mutated snapshot;
 * **gates** — zero divergence anywhere, ``backed_stores_thawed == 0``
   (serving never copies a mapped store), pool metric families exposed,
   and a **core-aware speedup floor**: fork QPS >= 2x threaded at >= 4
@@ -298,6 +308,93 @@ def run(profile_name: str, k: int, out_path: str) -> int:
         f"(bound {p99_bound_ms:.0f} ms)"
     )
 
+    # ---- mutation phase: add_entity stream against a mapped bundle ---
+    # The delta-overlay serving story: O(delta) writes land in the heap
+    # overlay while HTTP traffic flows (never a wholesale thaw), and
+    # compaction folds them into a fresh generation atomically re-mapped
+    # under the serving lock — without moving a single answer.
+    import os
+    import tempfile
+
+    from repro.index.incremental import add_entity
+    from repro.index.mmapstore import MappedPostingStore
+    from repro.index.serialize import save_indexes
+
+    tmpdir = tempfile.mkdtemp(prefix="bench8-")
+    index_path = os.path.join(tmpdir, "wiki.repro")
+    save_indexes(indexes, index_path)
+    mut_service = SearchService.from_file(index_path)
+    mapped = mut_service.indexes
+    thawed_before = MappedPostingStore.backed_stores_thawed
+    server = start_http_server(mut_service, max_queue=256, workers=2)
+    mut_requests = [
+        WorkloadRequest(query=text, k=k) for text in query_texts
+    ]
+
+    # Pre-mutation: the mapped bundle serves the heap bundle's answers.
+    pre = run_open_loop(
+        server.address, mut_requests, rate=1e9, clients=4,
+        capture_bodies=True,
+    )
+    check_responses("mutation-pre", pre.observations, oracle, divergences)
+
+    # Writer stream: new entities named after workload words, absorbed
+    # by the overlay and surfaced through the invalidation protocol.
+    for _ in range(2):
+        for text in query_texts:
+            add_entity(mapped, "delta_type", text.split()[0])
+        mut_service.invalidate()
+    overlay_postings = mapped.store.overlay_postings
+
+    # Post-mutation oracle: a cold engine over the *mutated* snapshot —
+    # served answers must track the writes, not the build-time file.
+    mut_snap = mapped.snapshot()
+    mut_engine = TableAnswerEngine(mut_snap.graph, indexes=mut_snap)
+    post_oracle = {
+        text: fingerprint(mut_engine.search(query, k=k))
+        for query, text in zip(queries, query_texts)
+    }
+    post = run_open_loop(
+        server.address, mut_requests, rate=1e9, clients=4,
+        capture_bodies=True,
+    )
+    check_responses(
+        "mutation-post", post.observations, post_oracle, divergences
+    )
+
+    # Compact, then read through the fresh generation at a cold k (the
+    # result cache cannot answer it): parity against the same oracle
+    # engine, which itself still reads the pre-compaction snapshot —
+    # the old generation stays pinned for live readers.
+    outcome = mut_service.compact()
+    compacted_oracle = {
+        text: fingerprint(mut_engine.search(query, k=k + 1))
+        for query, text in zip(queries, query_texts)
+    }
+    compacted = run_open_loop(
+        server.address,
+        [WorkloadRequest(query=text, k=k + 1) for text in query_texts],
+        rate=1e9,
+        clients=4,
+        capture_bodies=True,
+    )
+    check_responses(
+        "mutation-compacted", compacted.observations, compacted_oracle,
+        divergences,
+    )
+    server.stop()
+    mutation_thawed = (
+        MappedPostingStore.backed_stores_thawed - thawed_before
+    )
+    assert mutation_thawed == 0, (
+        f"mutation phase thawed {mutation_thawed} mapped stores"
+    )
+    print(
+        f"mutation: {2 * len(query_texts)} entities -> "
+        f"{overlay_postings} overlay postings, compacted to generation "
+        f"{outcome['generation']}, {mutation_thawed} thaws"
+    )
+
     required_metrics = [
         "repro_http_qps",
         "repro_http_queue_depth",
@@ -333,6 +430,12 @@ def run(profile_name: str, k: int, out_path: str) -> int:
             sustained_summary["transport_errors"] == 0
             and overload_summary["transport_errors"] == 0
         ),
+        "mutation_no_thaw_met": mutation_thawed == 0,
+        "mutation_compacted_met": (
+            overlay_postings > 0
+            and outcome["generation"] == 1
+            and mapped.store.overlay_postings == 0
+        ),
     }
     report = {
         "bench": "BENCH_8",
@@ -366,6 +469,12 @@ def run(profile_name: str, k: int, out_path: str) -> int:
             max_queue=OVERLOAD_QUEUE,
             admitted_p99_bound_ms=p99_bound_ms,
         ),
+        "mutation": {
+            "entities_added": 2 * len(query_texts),
+            "overlay_postings": overlay_postings,
+            "generation": outcome["generation"],
+            "backed_stores_thawed": mutation_thawed,
+        },
         "metrics_missing": missing_metrics,
         "divergences": divergences,
         "acceptance": acceptance,
@@ -646,8 +755,82 @@ def run_fork(profile_name: str, k: int, out_path: str) -> int:
         f"fork-pool+sharded HTTP: {composed_checked} responses checked"
     )
 
+    # ---- mutation under the pool: writer stream, re-forked workers ---
+    # add_entity lands in the parent's delta overlay; the store version
+    # bump makes the next search re-fork the pool, so workers inherit
+    # the overlay copy-on-write.  Compaction then folds it into a fresh
+    # mapped generation and the rebuild after *that* forks from the
+    # re-mapped pages — never from a thawed heap copy.
+    from repro.index.incremental import add_entity
+
+    mut_pooled = PooledSearchService.from_file(
+        index_path, processes=workers
+    )
+    mut_server = start_http_server(
+        mut_pooled, max_queue=512, workers=workers
+    )
+    run_open_loop(mut_server.address, warmup, rate=1e9, clients=2)
+    for text in query_texts:
+        add_entity(mut_pooled.indexes, "delta_type", text.split()[0])
+    mut_pooled.invalidate()
+    mut_overlay = mut_pooled.indexes.store.overlay_postings
+
+    # Fresh oracle over the mutated snapshot, at k values no earlier
+    # phase (or cache) has seen — every answer crosses the rebuilt pool.
+    mut_k = max(k_variants) + 1
+    compacted_k = mut_k + 1
+    mut_snap = mut_pooled.indexes.snapshot()
+    mut_engine = TableAnswerEngine(mut_snap.graph, indexes=mut_snap)
+    mut_oracle = {
+        (text, kv): fingerprint(mut_engine.search(query, k=kv))
+        for query, text in zip(queries, query_texts)
+        for kv in (mut_k, compacted_k)
+    }
+    mutated = run_open_loop(
+        mut_server.address,
+        [WorkloadRequest(query=text, k=mut_k) for text in query_texts],
+        rate=1e9,
+        clients=2,
+        capture_bodies=True,
+    )
+    mut_checked = _check_pairs(
+        "mutation", mutated.observations, mut_oracle, divergences
+    )
+    rebuilds_before_compact = fetch_metrics(mut_server.address).get(
+        "repro_pool_rebuilds_total", 0.0
+    )
+    mut_outcome = mut_pooled.compact()
+    compacted_load = run_open_loop(
+        mut_server.address,
+        [
+            WorkloadRequest(query=text, k=compacted_k)
+            for text in query_texts
+        ],
+        rate=1e9,
+        clients=2,
+        capture_bodies=True,
+    )
+    compacted_checked = _check_pairs(
+        "mutation-compacted", compacted_load.observations, mut_oracle,
+        divergences,
+    )
+    mut_metrics = fetch_metrics(mut_server.address)
+    mut_generation = mut_metrics.get("repro_store_generation", 0.0)
+    mut_rebuilds = mut_metrics.get("repro_pool_rebuilds_total", 0.0)
+    mut_server.stop()
+    print(
+        f"mutation under pool: {mut_overlay} overlay postings, "
+        f"{mut_checked + compacted_checked} responses checked, "
+        f"generation {mut_generation:.0f} after compaction, "
+        f"{mut_rebuilds - rebuilds_before_compact:.0f} pool rebuilds "
+        "from the re-mapped file"
+    )
+
     thawed_delta = (
         MappedPostingStore.backed_stores_thawed - thawed_before
+    )
+    assert thawed_delta == 0, (
+        f"serving benches thawed {thawed_delta} mapped stores"
     )
     required_ratio = fork_speedup_floor(cores)
     speedup_met = True
@@ -669,6 +852,16 @@ def run_fork(profile_name: str, k: int, out_path: str) -> int:
             and drained_with_dead_worker
         ),
         "no_thaw_met": thawed_delta == 0,
+        "mutation_overlay_met": (
+            mut_overlay > 0
+            and mut_checked == len(query_texts)
+            and compacted_checked == len(query_texts)
+        ),
+        "mutation_compacted_met": (
+            mut_outcome["generation"] == 1
+            and mut_generation == 1.0
+            and mut_rebuilds > rebuilds_before_compact
+        ),
         "pool_metrics_exposed_met": not missing_metrics,
         "sharded_counters_met": (
             shard_counter >= shards
@@ -713,6 +906,15 @@ def run_fork(profile_name: str, k: int, out_path: str) -> int:
             "shards_total_counter": shard_counter,
         },
         "backed_stores_thawed": thawed_delta,
+        "mutation": {
+            "entities_added": len(query_texts),
+            "overlay_postings": mut_overlay,
+            "responses_checked": mut_checked + compacted_checked,
+            "generation": mut_outcome["generation"],
+            "pool_rebuilds_after_compaction": (
+                mut_rebuilds - rebuilds_before_compact
+            ),
+        },
         "metrics_missing": missing_metrics,
         "divergences": divergences,
         "acceptance": acceptance,

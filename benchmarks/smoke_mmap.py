@@ -63,6 +63,8 @@ PROFILES = {
     # scale" the cold-start gate runs against.
     "smoke": {"scales": [1500, 4000], "num_requests": 120},
     # Acceptance configuration: adds the 50k-entity scale point.
+    # ``--scale-500k`` opts the full profile into a 500k-entity point on
+    # top — index build takes tens of minutes, so it never runs in CI.
     "full": {"scales": [1500, 4000, 12000, 50000], "num_requests": 300},
 }
 
@@ -250,11 +252,13 @@ def serve_stream(loaded, queries, num_requests, k):
     }
 
 
-def run(profile_name, k, out_path, keep_dir=None):
+def run(profile_name, k, out_path, keep_dir=None, scale_500k=False):
     import tempfile
 
     profile = PROFILES[profile_name]
-    scales = profile["scales"]
+    scales = list(profile["scales"])
+    if scale_500k:
+        scales.append(500_000)
     tmp_dir = keep_dir or tempfile.mkdtemp(prefix="bench_mmap_")
     per_scale = []
     divergences = []
@@ -371,8 +375,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument("-k", type=int, default=10)
     parser.add_argument("--out", default="BENCH_7.json")
+    parser.add_argument(
+        "--scale-500k", action="store_true",
+        help="append a 500k-entity scale point (opt-in: tens of minutes "
+        "of index build; intended with --profile full)",
+    )
     args = parser.parse_args(argv)
-    return run(args.profile, args.k, args.out)
+    return run(args.profile, args.k, args.out, scale_500k=args.scale_500k)
 
 
 if __name__ == "__main__":

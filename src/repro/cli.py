@@ -17,7 +17,10 @@ Subcommands mirror the production flow:
   thread pool) through the same service; accepts both plain query-per-
   line files and the ``.jsonl`` workload format the HTTP load generator
   replays (:mod:`repro.serve.workload`);
-* ``stats``  — inspect a persisted index bundle.
+* ``stats``  — inspect a persisted index bundle;
+* ``compact`` — rewrite an index file as a flat next-generation v3 image
+  (the offline twin of the service's online delta-overlay compaction;
+  doubles as the v1/v2 -> v3 migration path).
 
 ``search`` loads the index per invocation (cold single-shot); ``serve``
 and ``batch`` amortize one load across every query — see
@@ -93,6 +96,11 @@ def _format_file_stats(path) -> str:
         + (
             f" ({info['num_shards']} shards)"
             if info["kind"] == "sharded"
+            else ""
+        )
+        + (
+            f", generation {info['generation']}"
+            if "generation" in info
             else ""
         )
     ]
@@ -575,6 +583,57 @@ def _batch_replay(args: argparse.Namespace, requests) -> int:
     return 0
 
 
+def _cmd_compact(args: argparse.Namespace) -> int:
+    """``repro compact``: rewrite an index file as a flat next-generation
+    v3 image.
+
+    For a mapped v3 bundle this is the offline twin of the service's
+    online compaction (``SearchService.compact``): the content streams
+    into a fresh file at generation+1, preserving a stored shard
+    partition.  A v1/v2 bundle is rewritten into the mmap v3 layout —
+    ``compact`` doubles as the format migration path.
+    """
+    from repro.core.errors import PathIndexError
+    from repro.index.mmapstore import MappedPostingStore
+    from repro.index.serialize import (
+        compact_indexes,
+        describe_index_file,
+        load_sharded_indexes,
+        save_indexes,
+        save_sharded_indexes,
+    )
+
+    out = args.output or args.index
+    try:
+        sharded = load_sharded_indexes(args.index)
+    except PathIndexError:
+        sharded = None
+    indexes = sharded.base if sharded is not None else load_indexes(args.index)
+    store = indexes.store
+    started = time.perf_counter()
+    if isinstance(store, MappedPostingStore) and store._backed:
+        outcome = compact_indexes(
+            indexes,
+            out,
+            num_shards=sharded.num_shards if sharded is not None else 0,
+        )
+        size, generation = outcome["bytes"], outcome["generation"]
+    else:
+        # Heap-resident (v1/v2) bundle: a compacting rewrite into the
+        # mmap v3 layout, keeping any stored partition.
+        if sharded is not None:
+            size = save_sharded_indexes(sharded, out)
+        else:
+            size = save_indexes(indexes, out)
+        generation = describe_index_file(out).get("generation", 0)
+    elapsed = time.perf_counter() - started
+    print(
+        f"wrote {size / 1e6:.1f} MB to {out} "
+        f"(generation {generation}, {elapsed * 1000.0:.1f} ms)"
+    )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     print(_format_file_stats(args.index))
     indexes = load_indexes(args.index)
@@ -726,6 +785,19 @@ def build_parser() -> argparse.ArgumentParser:
         "and row counts but drop the subtree rows",
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    compact = commands.add_parser(
+        "compact",
+        help="rewrite an index file as a flat next-generation v3 image "
+        "(preserves stored shard partitions; migrates v1/v2 bundles "
+        "to the mmap layout)",
+    )
+    compact.add_argument("index", help="persisted index file")
+    compact.add_argument(
+        "-o", "--output", default=None,
+        help="output file (default: rewrite in place, atomically)",
+    )
+    compact.set_defaults(handler=_cmd_compact)
 
     stats = commands.add_parser("stats", help="inspect a persisted index")
     stats.add_argument("index", help="persisted index file")

@@ -45,3 +45,13 @@ class ScoringError(ReproError):
 
 class SearchError(ReproError):
     """Raised when a search algorithm is invoked with invalid arguments."""
+
+
+class StalePlanError(SearchError):
+    """Raised when a plan's store version no longer matches the index.
+
+    A concurrent writer moved the store between planning and execution;
+    the plan's keyword resolution may be stale.  Re-plan against the
+    current snapshot and retry — the serving tier does this
+    automatically.
+    """

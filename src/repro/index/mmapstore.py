@@ -22,14 +22,20 @@ leaf extents — built exactly like the live store's version-guarded
 caches, word by word on first access, so ``bounds.py``, ``context.py``,
 and all four algorithms run unchanged and bit-identical.
 
-Mutation follows **copy-on-write**: the first mutating call
-(:meth:`append_path` / :meth:`add_posting`) thaws the store — every
-lazy per-word view is materialized over the still-mapped pages first
-(pinned snapshots keep those dicts by reference, so their leaves must
-keep describing the pre-mutation generation), then all columns are
-copied into heap ``array`` objects and the store behaves exactly like a
-v2-loaded one: the mutator bumps ``store.version``, version-guarded
-caches invalidate, and the snapshot protocol is preserved.
+Mutation is **O(delta)** via the LSM-style overlay in
+:mod:`repro.index.delta`: ``append_path`` extends heap tails chained
+onto the mapped path columns (:class:`~repro.index.delta.ChainColumn`),
+``add_posting`` heap-copies just the touched word's posting columns
+(per-word copy-on-write) and appends, and ``finalize`` re-merges only
+the dirty words — untouched words keep serving zero-copy mapped views.
+The mutator bumps ``store.version`` exactly as before, so the snapshot
+protocol, version-guarded caches, and pool-rebuild triggers are
+unchanged.  :func:`repro.index.serialize.compact_indexes` folds the
+overlay into a fresh v3 file and atomically re-maps the store onto it
+(:meth:`MappedPostingStore.remap`); the old generation's pages stay
+referenced by pinned snapshots until they drop.  Wholesale thaw is an
+explicit opt-in escape hatch (:meth:`MappedPostingStore.thaw`) — no
+mutation triggers it.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from repro.core.errors import PathIndexError
 from repro.core.pattern import PathPattern
 from repro.core.types import NodeId, PatternId
+from repro.index.delta import ChainColumn, DeltaOverlay, build_word_views
 from repro.index.interner import PatternInterner
 from repro.index.store import (
     FLAG_TYPECODE,
@@ -212,44 +219,39 @@ class _LazyWordDict(dict):
             self[word]
 
 
-class MappedPostingStore(PostingStore):
-    """A :class:`PostingStore` whose columns are views over mapped pages.
+class _MappedBaseViews:
+    """One mapped *generation*: per-word base state + lazy view builder.
 
-    Construction is O(words), not O(postings): columns become
-    ``memoryview`` casts, the per-word posting dicts slice them (real
-    dicts — :class:`~repro.index.store.StoreSnapshot` shallow-copies
-    them), and the finalized view dicts plus bound columns are
-    :class:`_LazyWordDict` instances rebuilding one word at a time from
-    the persisted leaf extents — no posting is deserialized until a
-    query touches its word.  All read accessors are inherited unchanged;
-    mutators thaw the store first (see module docstring).
+    Everything needed to rebuild a word's finalized views from the
+    persisted leaf extents lives here — the base posting slices, the
+    flat leaf columns, the word -> slot table, and the per-word view
+    cache.  The store holds the current instance in ``_base`` and swaps
+    in a fresh one on :meth:`MappedPostingStore.remap`; the lazy view
+    dicts built for an older generation close over *their* instance, so
+    a word that goes dirty (or a store that re-maps) after a snapshot
+    pinned those dicts still lazily resolves to the old generation's
+    correct content.
     """
 
-    #: Process-wide count of backed stores that were thawed into heap
-    #: columns by a mutation.  The O(1)-cold-start assertions read
-    #: deltas of this (a pure read workload must leave it unchanged).
-    backed_stores_thawed = 0
-    #: Process-wide count of per-word view materializations across all
-    #: backed stores — the unit of lazy deserialization work.
-    words_materialized = 0
+    __slots__ = (
+        "posting_ids",
+        "posting_sims",
+        "num_postings",
+        "leaf_pids",
+        "leaf_roots",
+        "leaf_stops",
+        "leaf_sizes",
+        "leaf_floats",
+        "leaf_starts",
+        "word_slot",
+        "cache",
+    )
 
     def __init__(
-        self,
-        interner: PatternInterner,
-        reader: MappedIndexReader,
-        meta: Dict[str, object],
+        self, reader: MappedIndexReader, meta: Dict[str, object]
     ) -> None:
-        super().__init__(interner)
-        self._reader = reader
         prefix = meta["prefix"]
         view = reader.view
-        self._node_offsets = view(prefix + "node_offsets", OFFSET_TYPECODE)
-        self._nodes = view(prefix + "nodes", ID_TYPECODE)
-        self._attrs = view(prefix + "attrs", ID_TYPECODE)
-        self._pids = view(prefix + "pids", ID_TYPECODE)
-        self._roots = view(prefix + "roots", ID_TYPECODE)
-        self._moe = view(prefix + "moe", FLAG_TYPECODE)
-        self._prs = view(prefix + "prs", FLOAT_TYPECODE)
         words: List[str] = meta["words"]
         ids_col = view(prefix + "posting_ids", ID_TYPECODE)
         sims_col = view(prefix + "posting_sims", FLOAT_TYPECODE)
@@ -260,44 +262,22 @@ class MappedPostingStore(PostingStore):
             posting_ids[word] = ids_col[offset:offset + count]
             posting_sims[word] = sims_col[offset:offset + count]
             offset += count
-        self._posting_ids = posting_ids
-        self._posting_sims = posting_sims
-        self._leaf_pids = view(prefix + "leaf_pids", ID_TYPECODE)
-        self._leaf_roots = view(prefix + "leaf_roots", ID_TYPECODE)
-        self._leaf_stops = view(prefix + "leaf_stops", OFFSET_TYPECODE)
-        self._leaf_sizes = view(prefix + "leaf_sizes", OFFSET_TYPECODE)
-        self._leaf_floats = view(prefix + "leaf_floats", FLOAT_TYPECODE)
+        self.posting_ids = posting_ids
+        self.posting_sims = posting_sims
+        self.num_postings = offset
+        self.leaf_pids = view(prefix + "leaf_pids", ID_TYPECODE)
+        self.leaf_roots = view(prefix + "leaf_roots", ID_TYPECODE)
+        self.leaf_stops = view(prefix + "leaf_stops", OFFSET_TYPECODE)
+        self.leaf_sizes = view(prefix + "leaf_sizes", OFFSET_TYPECODE)
+        self.leaf_floats = view(prefix + "leaf_floats", FLOAT_TYPECODE)
         starts = [0]
         for count in meta["leaf_counts"]:
             starts.append(starts[-1] + count)
-        self._leaf_starts = starts
-        self._word_slot = {word: i for i, word in enumerate(words)}
-        self._word_cache: Dict[str, tuple] = {}
-        self._backed = True
-        # Mirror a v2 load: from_payload bumps the version once per word,
-        # and the load-time finalize pins _finalized_version to it —
-        # every version-guarded cache key is reproduced exactly.
-        self.version = len(words)
-        self._finalized_version = self.version
-        slot = self._word_slot
-        word_views = self._word_views
-        self._pattern_view = _LazyWordDict(slot, lambda w: word_views(w)[0])
-        self._root_view = _LazyWordDict(slot, lambda w: word_views(w)[1])
-        self._root_counts = _LazyWordDict(slot, lambda w: word_views(w)[2])
-        self._lazy_bounds = (
-            _LazyWordDict(slot, lambda w: word_views(w)[3]),
-            _LazyWordDict(slot, lambda w: word_views(w)[4]),
-        )
-        # Pre-seed the bound slot: the inherited bound_columns() checks
-        # the (version, cache) tag *before* building anything, and
-        # StoreSnapshot adopts a fresh slot by reference, so both the
-        # live store and every snapshot serve the lazy dicts with zero
-        # changes to either class.
-        self._bound_cache = (self.version, self._lazy_bounds)
+        self.leaf_starts = starts
+        self.word_slot = {word: i for i, word in enumerate(words)}
+        self.cache: Dict[str, tuple] = {}
 
-    # ----------------------------------------------------- lazy word views
-
-    def _word_views(self, word: str) -> tuple:
+    def views(self, store: "MappedPostingStore", word: str) -> tuple:
         """One word's finalized views, rebuilt from persisted extents.
 
         Returns ``(pattern_leaves, root_leaves, root_counts, root_bounds,
@@ -307,21 +287,24 @@ class MappedPostingStore(PostingStore):
         position order (pattern id, then root, ascending), so every dict
         insertion order — and with it every downstream iteration, float
         aggregation, and tie-break — matches the in-memory build.
+        ``store`` is only threaded into the leaves for entry
+        materialization (path ids are stable across generations, so the
+        live store serves even old-generation leaves exactly).
         """
-        cached = self._word_cache.get(word)
+        cached = self.cache.get(word)
         if cached is not None:
             return cached
         MappedPostingStore.words_materialized += 1
-        slot = self._word_slot[word]
-        lo = self._leaf_starts[slot]
-        hi = self._leaf_starts[slot + 1]
-        ids = self._posting_ids[word]
-        sims = self._posting_sims[word]
-        leaf_pids = self._leaf_pids
-        leaf_roots = self._leaf_roots
-        leaf_stops = self._leaf_stops
-        leaf_sizes = self._leaf_sizes
-        leaf_floats = self._leaf_floats
+        slot = self.word_slot[word]
+        lo = self.leaf_starts[slot]
+        hi = self.leaf_starts[slot + 1]
+        ids = self.posting_ids[word]
+        sims = self.posting_sims[word]
+        leaf_pids = self.leaf_pids
+        leaf_roots = self.leaf_roots
+        leaf_stops = self.leaf_stops
+        leaf_sizes = self.leaf_sizes
+        leaf_floats = self.leaf_floats
         word_pf: Dict[PatternId, Dict[NodeId, PostingList]] = {}
         rf_leaves: List[Tuple[NodeId, PatternId, PostingList]] = []
         word_counts: Dict[NodeId, int] = {}
@@ -332,7 +315,7 @@ class MappedPostingStore(PostingStore):
             stop = leaf_stops[j]
             pid = leaf_pids[j]
             root = leaf_roots[j]
-            leaf = PostingList(self, ids, sims, start, stop)
+            leaf = PostingList(store, ids, sims, start, stop)
             word_pf.setdefault(pid, {})[root] = leaf
             rf_leaves.append((root, pid, leaf))
             word_counts[root] = word_counts.get(root, 0) + (stop - start)
@@ -367,8 +350,123 @@ class MappedPostingStore(PostingStore):
         for root, pid, leaf in rf_leaves:
             word_rf.setdefault(root, {})[pid] = leaf
         views = (word_pf, word_rf, word_counts, word_root, word_pat)
-        self._word_cache[word] = views
+        self.cache[word] = views
         return views
+
+
+class MappedPostingStore(PostingStore):
+    """A :class:`PostingStore` whose columns are views over mapped pages.
+
+    Construction is O(words), not O(postings): columns become
+    ``memoryview`` casts, the per-word posting dicts slice them (real
+    dicts — :class:`~repro.index.store.StoreSnapshot` shallow-copies
+    them), and the finalized view dicts plus bound columns are
+    :class:`_LazyWordDict` instances rebuilding one word at a time from
+    the persisted leaf extents — no posting is deserialized until a
+    query touches its word.  All read accessors are inherited unchanged;
+    mutators route into the delta overlay (see module docstring) and
+    stay O(delta).
+    """
+
+    #: Process-wide count of backed stores whose columns were copied to
+    #: the heap by the *explicit* :meth:`thaw` escape hatch.  Mutation
+    #: never thaws; the serving benches assert this stays flat across
+    #: read **and** update phases.
+    backed_stores_thawed = 0
+    #: Process-wide count of per-word view materializations across all
+    #: backed stores — the unit of lazy deserialization work.
+    words_materialized = 0
+
+    def __init__(
+        self,
+        interner: PatternInterner,
+        reader: MappedIndexReader,
+        meta: Dict[str, object],
+        generation: int = 0,
+    ) -> None:
+        super().__init__(interner)
+        #: Compaction lineage: how many times this index content has been
+        #: folded (base ⊕ overlay) into a fresh file.  0 for a cold load
+        #: of a freshly built index; bumped by :meth:`remap`.
+        self.generation = generation
+        self._init_mapped_state(reader, meta)
+        # Mirror a v2 load: from_payload bumps the version once per word,
+        # and the load-time finalize pins _finalized_version to it —
+        # every version-guarded cache key is reproduced exactly.
+        self.version = len(self._base.word_slot)
+        self._finalized_version = self.version
+        self._install_generation(None)
+
+    def _init_mapped_state(
+        self, reader: MappedIndexReader, meta: Dict[str, object]
+    ) -> None:
+        """Point every column at ``reader``'s pages (init and re-map)."""
+        self._reader = reader
+        prefix = meta["prefix"]
+        view = reader.view
+        self._node_offsets = view(prefix + "node_offsets", OFFSET_TYPECODE)
+        self._nodes = view(prefix + "nodes", ID_TYPECODE)
+        self._attrs = view(prefix + "attrs", ID_TYPECODE)
+        self._pids = view(prefix + "pids", ID_TYPECODE)
+        self._roots = view(prefix + "roots", ID_TYPECODE)
+        self._moe = view(prefix + "moe", FLAG_TYPECODE)
+        self._prs = view(prefix + "prs", FLOAT_TYPECODE)
+        base = _MappedBaseViews(reader, meta)
+        self._base = base
+        # Live dicts are *copies* of the base dicts: per-word
+        # copy-on-write replaces live values while the base (and any
+        # snapshot's shallow copy) keeps the mapped slices.
+        self._posting_ids = dict(base.posting_ids)
+        self._posting_sims = dict(base.posting_sims)
+        self._base_num_postings = base.num_postings
+        self._word_slot = base.word_slot
+        self._vocab = base.word_slot
+        self._path_ids = None
+        self._overlay: Optional[DeltaOverlay] = None
+        self._backed = True
+        self._query_cache = None
+
+    def _install_generation(self, gen_views: Optional[Dict[str, tuple]]) -> None:
+        """(Re)build the lazy finalized-view dicts for the current version.
+
+        ``gen_views`` is a pinned ``word -> 5-tuple`` dict of merged
+        overlay views (``None`` for a pure mapped generation).  The
+        build closures capture this generation's ``_MappedBaseViews``
+        and the pinned ``gen_views`` locally: snapshots keep the dicts
+        by reference, and a later :meth:`remap` swaps ``self._base``
+        without disturbing what older generations resolve to.
+        """
+        base = self._base
+        vocab = self._vocab
+        store = self
+
+        if gen_views:
+            def make(i: int) -> Callable[[str], object]:
+                def build(word: str, _i: int = i):
+                    views = gen_views.get(word)
+                    if views is None:
+                        views = base.views(store, word)
+                    return views[_i]
+                return build
+        else:
+            def make(i: int) -> Callable[[str], object]:
+                def build(word: str, _i: int = i):
+                    return base.views(store, word)[_i]
+                return build
+
+        self._pattern_view = _LazyWordDict(vocab, make(0))
+        self._root_view = _LazyWordDict(vocab, make(1))
+        self._root_counts = _LazyWordDict(vocab, make(2))
+        self._lazy_bounds = (
+            _LazyWordDict(vocab, make(3)),
+            _LazyWordDict(vocab, make(4)),
+        )
+        # Pre-seed the bound slot: bound_columns() checks the
+        # (version, cache) tag *before* building anything, and
+        # StoreSnapshot adopts a fresh slot by reference, so both the
+        # live store and every snapshot serve the lazy dicts with zero
+        # changes to either class.
+        self._bound_cache = (self.version, self._lazy_bounds)
 
     def by_root_type_view(
         self, interner: PatternInterner
@@ -391,20 +489,196 @@ class MappedPostingStore(PostingStore):
                 grouping.setdefault(root_type, []).append(pid)
             return grouping
 
-        return _LazyWordDict(self._word_slot, build)
+        # Key off the generation's own vocab (via the pinned pattern
+        # view) — after a re-map or vocab growth, _word_slot may describe
+        # a different generation than the view this grouping wraps.
+        return _LazyWordDict(pattern_view._words, build)
 
-    # ------------------------------------------------------- copy-on-write
+    # ------------------------------------------------------- delta overlay
 
-    def _thaw(self) -> None:
-        """Copy every mapped column to the heap ahead of a mutation.
+    def _ensure_overlay(self) -> DeltaOverlay:
+        """The mutation ledger, created on first write since (re-)map.
+
+        Creation also chains heap tails onto the seven mapped path
+        columns: existing indices keep reading mapped pages, appends go
+        to the tails, and the inherited ``append_path`` / accessors work
+        unchanged on the chained columns.
+        """
+        overlay = self._overlay
+        if overlay is None:
+            overlay = self._overlay = DeltaOverlay(
+                base_paths=self.num_paths,
+                base_postings=self._base_num_postings,
+            )
+            self._node_offsets = ChainColumn(
+                self._node_offsets, OFFSET_TYPECODE
+            )
+            self._nodes = ChainColumn(self._nodes, ID_TYPECODE)
+            self._attrs = ChainColumn(self._attrs, ID_TYPECODE)
+            self._pids = ChainColumn(self._pids, ID_TYPECODE)
+            self._roots = ChainColumn(self._roots, ID_TYPECODE)
+            self._moe = ChainColumn(self._moe, FLAG_TYPECODE)
+            self._prs = ChainColumn(self._prs, FLOAT_TYPECODE)
+        return overlay
+
+    def append_path(self, nodes, attrs, matched_on_edge, pid, pr) -> int:
+        if not self._backed:
+            return PostingStore.append_path(
+                self, nodes, attrs, matched_on_edge, pid, pr
+            )
+        overlay = self._ensure_overlay()
+        path_id = PostingStore.append_path(
+            self, nodes, attrs, matched_on_edge, pid, pr
+        )
+        overlay.paths += 1
+        overlay.path_index[
+            (tuple(nodes), tuple(attrs), bool(matched_on_edge))
+        ] = path_id
+        return path_id
+
+    def add_path(self, nodes, attrs, matched_on_edge, pid, pr) -> int:
+        if not self._backed:
+            return PostingStore.add_path(
+                self, nodes, attrs, matched_on_edge, pid, pr
+            )
+        # Intern against the overlay only — the inherited _path_index()
+        # would box every base path (O(index) heap, exactly what the
+        # overlay exists to avoid).  See DeltaOverlay.path_index for why
+        # this is sufficient for the incremental-maintenance callers.
+        key = (tuple(nodes), tuple(attrs), bool(matched_on_edge))
+        existing = self._ensure_overlay().path_index.get(key)
+        if existing is not None:
+            return existing
+        return self.append_path(nodes, attrs, matched_on_edge, pid, pr)
+
+    def add_posting(self, word, path_id, sim) -> None:
+        if not self._backed:
+            return PostingStore.add_posting(self, word, path_id, sim)
+        overlay = self._ensure_overlay()
+        if word not in overlay.dirty and word in self._posting_ids:
+            # Per-word copy-on-write: one O(word) heap copy, then every
+            # further append is O(1).  Pinned snapshots keep the old
+            # slices through their shallow-copied posting dicts.
+            ids = array(ID_TYPECODE)
+            ids.frombytes(self._posting_ids[word].tobytes())
+            sims = array(FLOAT_TYPECODE)
+            sims.frombytes(self._posting_sims[word].tobytes())
+            self._posting_ids[word] = ids
+            self._posting_sims[word] = sims
+        if word not in self._vocab:
+            overlay.vocab_grew = True
+        PostingStore.add_posting(self, word, path_id, sim)
+        overlay.dirty.add(word)
+        overlay.pending[word] = None
+        overlay.postings += 1
+
+    def finalize(self) -> None:
+        """Re-merge the dirty words and refresh the lazy view dicts.
+
+        O(delta): only words touched since the last finalize are
+        re-sorted (:func:`~repro.index.delta.build_word_views`); clean
+        words keep their mapped extents behind fresh lazy dicts.  The
+        previous generation's dicts (pinned by snapshots) are left
+        untouched — this *replaces* ``_pattern_view`` & friends exactly
+        like the inherited eager finalize does.
+        """
+        if not self._backed:
+            return PostingStore.finalize(self)
+        if self._finalized_version == self.version:
+            return
+        overlay = self._overlay
+        gen_views: Optional[Dict[str, tuple]] = None
+        if overlay is not None:
+            for word in overlay.pending:
+                overlay.views[word] = build_word_views(self, word)
+            overlay.pending.clear()
+            if overlay.vocab_grew:
+                # New words extend the vocabulary in insertion order —
+                # the same order from_payload/_v3_bytes persist, so a
+                # compacted file round-trips the vocab verbatim.  A new
+                # dict (never mutated in place): older generations keep
+                # iterating their own vocab.
+                self._vocab = {
+                    word: slot
+                    for slot, word in enumerate(self._posting_ids)
+                }
+                overlay.vocab_grew = False
+            gen_views = dict(overlay.views)
+        self._install_generation(gen_views)
+        self._finalized_version = self.version
+
+    def bound_columns(self):
+        if not self._backed:
+            return PostingStore.bound_columns(self)
+        slot = self._bound_cache
+        if slot is not None and slot[0] == self.version:
+            return slot[1]
+        # Stale: re-merge pending words and re-seed the lazy dicts — the
+        # inherited eager rebuild would force every word in the index.
+        self.finalize()
+        self._bound_cache = (self.version, self._lazy_bounds)
+        return self._lazy_bounds
+
+    def release_query_columns(self) -> None:
+        self._query_cache = None
+        if self._backed and self._finalized_version == self.version:
+            # The lazy bound dicts are the backed store's "cold" state
+            # already — re-seed the slot instead of forcing the next
+            # pruning query through a full eager rebuild.
+            self._bound_cache = (self.version, self._lazy_bounds)
+        else:
+            self._bound_cache = None
+
+    # --------------------------------------------------- re-map & escape
+
+    def remap(self, reader: MappedIndexReader, meta: Dict[str, object]) -> None:
+        """Adopt a freshly compacted v3 file as the new base generation.
+
+        The caller holds ``self.lock`` and guarantees the file holds
+        exactly the live store's current finalized content (it was just
+        written under the same lock — see
+        :func:`repro.index.serialize.compact_indexes`).  The overlay is
+        dropped (its content is in the new base), every column becomes a
+        mapped view again, and the old generation's pages stay alive for
+        as long as pinned snapshot views reference them.  Path ids are
+        stable across generations (the compacted file preserves column
+        order), so old-generation leaves materializing entries through
+        the live store remain exact.
+
+        The version advances monotonically — never reset to the new
+        file's word count, which could collide with a historical tag and
+        let a version-keyed cache serve a stale entry — so every
+        version-guarded consumer (view finalize, resolution caches, the
+        fork and shard pools) rebuilds from the re-mapped generation on
+        next access.
+        """
+        if not self._backed:
+            raise PathIndexError("cannot re-map a thawed store")
+        old_version = self.version
+        self._init_mapped_state(reader, meta)
+        self.version = old_version + 1
+        self._finalized_version = self.version
+        self._install_generation(None)
+        self.generation = reader.header.get(
+            "generation", self.generation + 1
+        )
+
+    def thaw(self) -> None:
+        """Explicit escape hatch: copy every column to the heap.
+
+        Mutation does **not** need this — mutators land in the delta
+        overlay at O(delta) cost.  Thawing turns the store into a plain
+        heap :class:`PostingStore` at O(index) time and memory, for
+        callers that intend to rewrite most of the index in place.
 
         Order matters: the lazy per-word views are materialized *first*,
         over the still-valid mapped generation — pinned snapshots hold
-        those dicts by reference, and their leaf extents describe the
-        on-disk posting order, which the next :meth:`finalize` will
-        replace.  Only then are the columns copied; the mapping itself
-        stays referenced (``_reader``) so pre-thaw leaves keep reading
-        valid pages.
+        those dicts by reference.  If mutations are pending, the
+        materialized views describe the last finalized generation and
+        ``_finalized_version < version`` already holds, so the next
+        accessor runs the inherited wholesale finalize over the heap
+        columns.  The mapping itself stays referenced so pre-thaw leaves
+        keep reading valid pages.
         """
         if not self._backed:
             return
@@ -430,43 +704,58 @@ class MappedPostingStore(PostingStore):
         self._moe = heap(FLAG_TYPECODE, self._moe)
         self._prs = heap(FLOAT_TYPECODE, self._prs)
         self._posting_ids = {
-            word: heap(ID_TYPECODE, ids)
+            word: ids if isinstance(ids, array) else heap(ID_TYPECODE, ids)
             for word, ids in self._posting_ids.items()
         }
         self._posting_sims = {
-            word: heap(FLOAT_TYPECODE, sims)
+            word: sims
+            if isinstance(sims, array)
+            else heap(FLOAT_TYPECODE, sims)
             for word, sims in self._posting_sims.items()
         }
         self._backed = False
+        self._overlay = None
         self._query_cache = None
         self._bound_cache = None
         MappedPostingStore.backed_stores_thawed += 1
 
-    def append_path(self, nodes, attrs, matched_on_edge, pid, pr) -> int:
-        self._thaw()
-        return PostingStore.append_path(
-            self, nodes, attrs, matched_on_edge, pid, pr
-        )
+    # ------------------------------------------------------- introspection
 
-    def add_posting(self, word, path_id, sim) -> None:
-        self._thaw()
-        PostingStore.add_posting(self, word, path_id, sim)
+    @property
+    def overlay_words(self) -> int:
+        """Words with overlay postings since the last (re-)map."""
+        overlay = self._overlay
+        return len(overlay.dirty) if overlay is not None else 0
 
-    def release_query_columns(self) -> None:
-        self._query_cache = None
-        if self._backed:
-            # The lazy bound dicts are the backed store's "cold" state
-            # already — re-seed the slot instead of forcing the next
-            # pruning query through a full eager rebuild.
-            self._bound_cache = (self.version, self._lazy_bounds)
-        else:
-            self._bound_cache = None
+    @property
+    def overlay_postings(self) -> int:
+        """Postings absorbed by the overlay since the last (re-)map."""
+        overlay = self._overlay
+        return overlay.postings if overlay is not None else 0
+
+    @property
+    def overlay_paths(self) -> int:
+        """Paths appended to the column tails since the last (re-)map."""
+        overlay = self._overlay
+        return overlay.paths if overlay is not None else 0
+
+    @property
+    def base_postings(self) -> int:
+        """Postings in the mapped base generation (compaction ratio
+        denominator)."""
+        return self._base_num_postings
 
     def __repr__(self) -> str:
         state = "backed" if self._backed else "thawed"
+        overlay = self._overlay
+        delta = (
+            f", overlay {overlay.postings}p/{len(overlay.dirty)}w"
+            if overlay is not None
+            else ""
+        )
         return (
-            f"MappedPostingStore({state}, {len(self._word_slot)} words, "
-            f"{self.num_paths} paths)"
+            f"MappedPostingStore({state}, gen {self.generation}, "
+            f"{len(self._vocab)} words, {self.num_paths} paths{delta})"
         )
 
 

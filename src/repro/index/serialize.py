@@ -138,9 +138,13 @@ def _write_envelope(envelope: dict, path: Union[str, Path]) -> int:
 
 
 def _as_bytes(typecode: str, column) -> bytes:
-    """A column (``array``, ``memoryview``, or plain sequence) as bytes."""
+    """A column (``array``, ``memoryview``, chained, or sequence) as bytes."""
     if isinstance(column, (array, memoryview)):
         return column.tobytes()
+    tobytes = getattr(column, "tobytes", None)
+    if tobytes is not None:
+        # ChainColumn (mapped base ⊕ heap tail): two memcpys, no boxing.
+        return tobytes()
     return array(typecode, column).tobytes()
 
 
@@ -259,6 +263,7 @@ def _v3_store_sections(
 def _v3_bytes(
     indexes: PathIndexes,
     shard_stores: Optional[Sequence[PostingStore]] = None,
+    generation: Optional[int] = None,
 ) -> bytes:
     """Assemble one v3 file: magic, pickled header, aligned flat sections."""
     store = indexes.store
@@ -296,6 +301,11 @@ def _v3_bytes(
         "version": 3,
         "kind": "sharded" if shard_stores is not None else "single",
         "num_shards": num_shards,
+        # Compaction lineage: 0 for a fresh build, +1 per fold of a live
+        # delta overlay back into a flat file (see compact_indexes).
+        "generation": generation
+        if generation is not None
+        else getattr(store, "generation", 0),
         "d": indexes.d,
         "num_entries": indexes.num_entries,
         "num_paths": store.num_paths,
@@ -375,6 +385,83 @@ def save_sharded_indexes(
         sharded.base, [shard.store for shard in sharded.shards]
     )
     return _write_index_bytes(data, path)
+
+
+# ---------------------------------------------------------------- compaction
+
+
+def compact_indexes(
+    indexes: PathIndexes,
+    path: Union[str, Path],
+    num_shards: int = 0,
+) -> dict:
+    """Fold a mapped store's delta overlay into a fresh v3 file + re-map.
+
+    The LSM "merge" step for :class:`~repro.index.mmapstore.
+    MappedPostingStore`: streams base ⊕ overlay into a new v3 image
+    (crash-safe — the bytes land in a temp file and atomically replace
+    ``path``), then re-points the live store at the new mapping
+    (:meth:`~repro.index.mmapstore.MappedPostingStore.remap`).  The
+    overlay's heap state is dropped; untouched readers never notice —
+    pinned snapshots keep the old generation's pages alive, and the
+    version bump makes every pool and cache rebuild from the re-mapped
+    generation.
+
+    With ``num_shards > 0`` the current content is also partitioned and
+    the file written sharded (per-shard extents preserved, so a restart
+    re-maps the partition for free).
+
+    The whole operation holds ``store.lock``: writers and
+    snapshot-takers block for the O(index) streaming write (readers on
+    existing snapshots are unaffected) — this is what makes the written
+    image and the re-mapped state exactly the live content.
+
+    Returns ``{"bytes", "generation", "sharded"}`` where ``sharded`` is
+    a fresh mapped :class:`~repro.index.shards.ShardedIndexes` partition
+    (``None`` when ``num_shards == 0``).
+    """
+    from repro.index.shards import partition_indexes, wrap_shard_stores
+
+    store = indexes.store
+    if isinstance(store, StoreSnapshot):
+        raise PathIndexError(
+            "cannot compact through a StoreSnapshot: compact the live "
+            "bundle"
+        )
+    if not isinstance(store, MappedPostingStore) or not store._backed:
+        raise PathIndexError(
+            "compact requires a mapped (backed) v3 store; save_indexes() "
+            "rewrites heap-resident bundles"
+        )
+    path = Path(path)
+    generation = store.generation + 1
+    with store.lock:
+        if num_shards > 0:
+            partition = partition_indexes(indexes, num_shards)
+            data = _v3_bytes(
+                indexes,
+                [shard.store for shard in partition.shards],
+                generation=generation,
+            )
+        else:
+            data = _v3_bytes(indexes, generation=generation)
+        nbytes = _write_index_bytes(data, path)
+        reader = MappedIndexReader(path)
+        header = reader.header
+        store.remap(reader, header["stores"][0])
+        sharded = None
+        if num_shards > 0:
+            mapped_stores = [
+                MappedPostingStore(
+                    indexes.interner, reader, meta, generation=generation
+                )
+                for meta in header["stores"][1:]
+            ]
+            # store_version defaults to the *post-remap* live version, so
+            # the serving tier's pools adopt this partition without a
+            # re-partition.
+            sharded = wrap_shard_stores(indexes, mapped_stores)
+    return {"bytes": nbytes, "generation": generation, "sharded": sharded}
 
 
 # ------------------------------------------------------------------- loading
@@ -496,8 +583,9 @@ def _load_v3(path: Path):
         # appends to the PageRank vector, a mapped view cannot grow.
         pagerank = array("d")
         pagerank.frombytes(reader.blob("pagerank"))
+        generation = header.get("generation", 0)
         stores = [
-            MappedPostingStore(interner, reader, meta)
+            MappedPostingStore(interner, reader, meta, generation=generation)
             for meta in header["stores"]
         ]
         base_store = stores[0]
@@ -708,6 +796,7 @@ def describe_index_file(path: Union[str, Path]) -> dict:
             "version": 3,
             "kind": header.get("kind", "single"),
             "num_shards": header.get("num_shards", 0),
+            "generation": header.get("generation", 0),
             "d": header.get("d"),
             "num_entries": header.get("num_entries"),
             "stores": stores,

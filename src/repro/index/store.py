@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 from array import array
+from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import PathIndexError
@@ -1128,7 +1129,24 @@ class StoreSnapshot:
     dedup_ratio = PostingStore.dedup_ratio
     words = PostingStore.words
     has_word = PostingStore.has_word
-    postings = PostingStore.postings
+
+    def postings(self, word: str) -> Iterable[Tuple[int, float]]:
+        """One word's pinned ``(path_id, sim)`` pairs, column order.
+
+        Not borrowed: the posting arrays are shared with the live store,
+        and a writer can append to them after this snapshot pinned its
+        state (heap stores mid-mutation, delta-overlay words that are
+        already dirty).  Bounding the zip by the pinned per-word count
+        keeps every yielded path id below ``num_paths`` no matter how
+        the live arrays grow mid-iteration.
+        """
+        ids = self._posting_ids.get(word)
+        if ids is None:
+            return iter(())
+        return islice(
+            zip(ids, self._posting_sims[word]),
+            self._num_postings.get(word, 0),
+        )
 
     def finalize(self) -> None:
         """No-op: a snapshot is finalized by construction."""

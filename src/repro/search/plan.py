@@ -33,7 +33,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
-from repro.core.errors import SearchError
+from repro.core.errors import SearchError, StalePlanError
 from repro.index.builder import PathIndexes, ResolvedQuery
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
 from repro.search.baseline import baseline_search
@@ -311,7 +311,7 @@ def execute_plan(
     affect them, e.g. benchmarks replaying plans).
     """
     if plan.store_version != indexes.store.version and not allow_stale:
-        raise SearchError(
+        raise StalePlanError(
             f"plan was built against store version {plan.store_version}, "
             f"but the index is now at {indexes.store.version}; replan "
             "(or pass allow_stale=True)"

@@ -50,9 +50,10 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.core.errors import SearchError
+from repro.core.errors import SearchError, StalePlanError
 from repro.index.builder import PathIndexes, build_indexes
 from repro.kg.graph import KnowledgeGraph
 from repro.scoring.function import PAPER_DEFAULT, ScoringFunction
@@ -110,6 +111,10 @@ class ServiceStats:
     #: version-driven pool rebuilds.
     worker_failovers: int = 0
     pool_rebuilds: int = 0
+    #: Delta-overlay compactions run through this service (explicit
+    #: :meth:`SearchService.compact` calls + ratio-triggered
+    #: auto-compacts).
+    compactions: int = 0
     #: Guards counter increments (see class docstring); excluded from
     #: equality so two stats blocks with equal counters compare equal.
     lock: threading.Lock = field(
@@ -147,6 +152,9 @@ class ServiceStats:
             backend += f" x{self.execution_workers}"
         if self.worker_failovers:
             backend += f", {self.worker_failovers} worker failovers"
+        compactions = (
+            f", {self.compactions} compactions" if self.compactions else ""
+        )
         return (
             f"service: {cold_start}backend {backend}, "
             f"{self.searches} searches, "
@@ -158,7 +166,7 @@ class ServiceStats:
             f"({self.context_hit_rate():.0%}), "
             f"resolution cache {self.resolution_hit_rate():.0%}, "
             f"{self.snapshots_taken} snapshots "
-            f"({self.invalidations} invalidations)"
+            f"({self.invalidations} invalidations{compactions})"
         )
 
 
@@ -188,6 +196,7 @@ class SearchService:
         scoring: ScoringFunction = PAPER_DEFAULT,
         max_cached_results: int = 256,
         max_cached_contexts: int = 128,
+        auto_compact_ratio: float = 0.0,
     ) -> None:
         if indexes.is_snapshot:
             raise SearchError(
@@ -198,6 +207,16 @@ class SearchService:
         self.scoring = scoring
         self.max_cached_results = max_cached_results
         self.max_cached_contexts = max_cached_contexts
+        #: Where the served bundle came off disk (set by ``from_file``) —
+        #: the default compaction target.
+        self.index_path: Optional[Path] = None
+        #: When > 0, :meth:`maybe_compact` folds the delta overlay back
+        #: into the index file once ``overlay_postings >= ratio *
+        #: base_postings`` (checked on writer ticks — ``invalidate``).
+        self.auto_compact_ratio = auto_compact_ratio
+        #: Serializes compactions: a second trigger skips rather than
+        #: queueing behind the O(index) streaming write.
+        self._compact_lock = threading.Lock()
         self.stats = ServiceStats(
             load_seconds=getattr(indexes, "load_seconds", 0.0)
         )
@@ -234,7 +253,9 @@ class SearchService:
         """Load a persisted index bundle (``repro build``) and serve it."""
         from repro.index.serialize import load_indexes
 
-        return cls(load_indexes(path), **kwargs)
+        service = cls(load_indexes(path), **kwargs)
+        service.index_path = Path(path)
+        return service
 
     def snapshot(self) -> PathIndexes:
         """The current serving snapshot, refreshed if the store moved.
@@ -275,7 +296,12 @@ class SearchService:
         self.close()
 
     def invalidate(self) -> None:
-        """Drop the snapshot and every cache tier (next request rebuilds)."""
+        """Drop the snapshot and every cache tier (next request rebuilds).
+
+        Writer ticks land here, so this is also where ratio-triggered
+        auto-compaction is checked — off the query path, after the lock
+        is released (the compaction itself serializes on the store
+        lock, not on the cache-structure lock)."""
         with self._lock:
             if self._snapshot is not None:
                 self.stats.bump(invalidations=1)
@@ -283,6 +309,79 @@ class SearchService:
             self._results.clear()
             self._contexts.clear()
             self._candidates.clear()
+        self.maybe_compact()
+
+    # ----------------------------------------------------------- compaction
+
+    def _compact_shards(self) -> int:
+        """How many shards a compaction of this service should write
+        (overridden by the partitioned serving backends, so the
+        compacted file preserves their K and the fresh mapped partition
+        is adopted without a re-partition)."""
+        return 0
+
+    def _adopt_compaction(self, outcome: dict) -> None:
+        """Subclass hook: absorb the compaction outcome (e.g. adopt the
+        fresh mapped shard partition) before the version-guard protocol
+        rebuilds pools and caches."""
+
+    def compact(self, path=None) -> dict:
+        """Fold the mapped store's delta overlay into a fresh v3 file.
+
+        Streams base ⊕ overlay to ``path`` (default: the file the
+        service was loaded from) and atomically re-maps the live store
+        (:func:`~repro.index.serialize.compact_indexes`).  The re-map's
+        version bump rides the existing invalidation protocol: the next
+        request re-snapshots and flushes every cache tier, and
+        pool-backed services re-fork their workers from the re-mapped
+        generation — never from a heap copy.  Returns the compaction
+        outcome ``{"bytes", "generation", "sharded"}``.
+        """
+        from repro.index.serialize import compact_indexes
+
+        target = Path(path) if path is not None else self.index_path
+        if target is None:
+            raise SearchError(
+                "compact() needs a target path: this service was not "
+                "loaded from a file (pass path=...)"
+            )
+        outcome = compact_indexes(
+            self.indexes, target, num_shards=self._compact_shards()
+        )
+        self._adopt_compaction(outcome)
+        self.stats.bump(compactions=1)
+        return outcome
+
+    def maybe_compact(self) -> bool:
+        """Auto-compaction trigger: compact when the overlay has grown
+        past ``auto_compact_ratio`` of the mapped base.
+
+        The check is O(1) (two counters on the store) and a no-op for
+        heap-resident or overlay-free stores; at most one compaction
+        runs at a time — a racing trigger skips instead of queueing.
+        Returns whether a compaction ran.
+        """
+        ratio = self.auto_compact_ratio
+        if not ratio or self.index_path is None:
+            return False
+        store = self.indexes.store
+
+        def due() -> bool:
+            overlay = getattr(store, "overlay_postings", 0)
+            base = getattr(store, "base_postings", 0)
+            return overlay >= ratio * max(1, base)
+
+        if not due():
+            return False
+        if not self._compact_lock.acquire(blocking=False):
+            return False
+        try:
+            if not due():  # the racing winner already compacted
+                return False
+            self.compact()
+            return True
+        finally:
+            self._compact_lock.release()
 
     # ------------------------------------------------------------- planning
 
@@ -352,7 +451,7 @@ TableAnswerEngine.search>`; on a result-cache hit the returned object
 
     def _check_version(self, plan: QueryPlan, snap: PathIndexes) -> None:
         if plan.store_version != snap.store.version:
-            raise SearchError(
+            raise StalePlanError(
                 f"plan was built against store version {plan.store_version},"
                 f" but the service now serves {snap.store.version}; replan"
             )

@@ -527,25 +527,32 @@ class ShardedSearchService(SearchService):
         agrees; asking for a different K — or loading a plain index
         file — partitions from the base on first use.
         """
+        from pathlib import Path
+
         from repro.core.errors import PathIndexError
         from repro.index.serialize import load_indexes, load_sharded_indexes
 
         try:
             sharded = load_sharded_indexes(path)
         except PathIndexError:
-            return cls(
+            sharded = None
+        if sharded is None:
+            service = cls(
                 load_indexes(path),
                 num_shards=num_shards or DEFAULT_NUM_SHARDS,
                 **kwargs,
             )
-        if num_shards is not None and num_shards != sharded.num_shards:
-            return cls(sharded.base, num_shards=num_shards, **kwargs)
-        return cls(
-            sharded.base,
-            num_shards=sharded.num_shards,
-            sharded=sharded,
-            **kwargs,
-        )
+        elif num_shards is not None and num_shards != sharded.num_shards:
+            service = cls(sharded.base, num_shards=num_shards, **kwargs)
+        else:
+            service = cls(
+                sharded.base,
+                num_shards=sharded.num_shards,
+                sharded=sharded,
+                **kwargs,
+            )
+        service.index_path = Path(path)
+        return service
 
     def close(self) -> None:
         """Reap the worker pool (the service remains usable; the next
@@ -561,6 +568,20 @@ class ShardedSearchService(SearchService):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def _compact_shards(self) -> int:
+        """Compactions write the service's partition into the file, so a
+        restart re-maps the shards for free and the live pool adopts the
+        fresh mapped partition without a re-partition."""
+        return self.num_shards
+
+    def _adopt_compaction(self, outcome: dict) -> None:
+        """Adopt the compaction's fresh mapped partition: its
+        ``store_version`` is the post-re-map live version, so the next
+        shardable query's pool rebuild forks workers holding re-mapped
+        shard extents — never heap copies."""
+        if outcome["sharded"] is not None:
+            self._preloaded = outcome["sharded"]
 
     def _ensure_pool(
         self, snap: PathIndexes

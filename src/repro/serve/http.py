@@ -43,7 +43,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, StalePlanError
 from repro.search.service import SearchService
 from repro.serve.metrics import (
     MetricFamily,
@@ -365,7 +365,24 @@ class HttpSearchServer:
             return 504, _error_body(
                 504, "deadline expired before execution")
         try:
-            result = self.service.search(plan=plan)
+            # A writer can move the store between planning (in the async
+            # loop) and execution (here); a stale plan is not an error to
+            # surface, just a race to absorb — replan against the fresh
+            # snapshot.  Bounded: a writer hot enough to outrun three
+            # replans gets the 500 and the client's retry.
+            for attempt in range(3):
+                try:
+                    result = self.service.search(plan=plan)
+                    break
+                except StalePlanError:
+                    if attempt == 2:
+                        raise
+                    plan = self.service.plan(
+                        request.query,
+                        k=request.k,
+                        algorithm=request.algorithm,
+                        **dict(request.params),
+                    )
         except ReproError as exc:
             return 500, _error_body(500, str(exc))
         self.metrics.absorb_search_stats(result.stats)
@@ -506,6 +523,27 @@ class HttpSearchServer:
             "repro_index_load_seconds", "gauge",
             "Seconds spent (re)loading the serving snapshot.",
         ).add({}, stats.load_seconds))
+
+        # Delta-overlay lifecycle: live mutation backlog and compaction
+        # lineage of the serving store (all zero for heap-resident
+        # bundles, which have no overlay and no generations).
+        store = self.service.indexes.store
+        families.append(MetricFamily(
+            "repro_service_compactions_total", "counter",
+            "Delta-overlay compactions run through the service.",
+        ).add({}, stats.compactions))
+        families.append(MetricFamily(
+            "repro_store_generation", "gauge",
+            "Compaction generation of the serving store's mapped base.",
+        ).add({}, getattr(store, "generation", 0)))
+        families.append(MetricFamily(
+            "repro_store_overlay_words", "gauge",
+            "Words holding heap overlay postings since the last re-map.",
+        ).add({}, getattr(store, "overlay_words", 0)))
+        families.append(MetricFamily(
+            "repro_store_overlay_postings", "gauge",
+            "Heap overlay postings awaiting compaction.",
+        ).add({}, getattr(store, "overlay_postings", 0)))
 
         # Execution backend: which spine runs cache-miss executions and
         # how wide it is.  A plain service executes on this server's

@@ -490,30 +490,39 @@ class PooledSearchService(SearchService):
         sharded composition is requested (mirrors
         :meth:`ShardedSearchService.from_file <repro.search.sharding.\
 ShardedSearchService.from_file>`)."""
+        from pathlib import Path
+
         from repro.core.errors import PathIndexError
         from repro.index.serialize import load_indexes, load_sharded_indexes
 
         if not num_shards:
-            return cls(load_indexes(path), processes=processes, **kwargs)
+            service = cls(load_indexes(path), processes=processes, **kwargs)
+            service.index_path = Path(path)
+            return service
         try:
             sharded = load_sharded_indexes(path)
         except PathIndexError:
-            return cls(
+            sharded = None
+        if sharded is None:
+            service = cls(
                 load_indexes(path),
                 processes=processes,
                 num_shards=num_shards,
                 **kwargs,
             )
-        if sharded.num_shards != num_shards:
-            return cls(
+        elif sharded.num_shards != num_shards:
+            service = cls(
                 sharded.base,
                 processes=processes,
                 num_shards=num_shards,
                 **kwargs,
             )
-        return cls(
-            sharded.base, processes=processes, sharded=sharded, **kwargs
-        )
+        else:
+            service = cls(
+                sharded.base, processes=processes, sharded=sharded, **kwargs
+            )
+        service.index_path = Path(path)
+        return service
 
     def close(self) -> None:
         """Reap the worker pool (the service stays usable; the next
@@ -522,6 +531,19 @@ ShardedSearchService.from_file>`)."""
             if self._pool is not None:
                 self._pool.close()
                 self._pool = None
+
+    def _compact_shards(self) -> int:
+        """Sharded composition writes its partition into the compacted
+        file; a plain pool (num_shards=0) writes a single store."""
+        return self.num_shards
+
+    def _adopt_compaction(self, outcome: dict) -> None:
+        """Adopt the compaction's fresh mapped partition (when sharded):
+        its ``store_version`` matches the post-re-map live version, so
+        the next pool rebuild forks workers over re-mapped extents
+        instead of re-partitioning — and never inherits a heap copy."""
+        if outcome["sharded"] is not None:
+            self._preloaded = outcome["sharded"]
 
     def _ensure_pool(self, snap: PathIndexes) -> ForkWorkerPool:
         """The pool for the serving version, rebuilt when the store

@@ -1,4 +1,5 @@
-"""The v3 mmap index format: laziness, COW, migration, crash safety.
+"""The v3 mmap index format: laziness, delta overlay, migration, crash
+safety.
 
 v3 lays every posting/bound column out as flat fixed-width arrays behind
 an offset table (``docs/index-format.md``); ``load_indexes`` maps the
@@ -10,8 +11,11 @@ contracts the format exists for:
   through every migration chain (build→v3, v1→v3, v2→v3, sharded v3);
 * **laziness** — cold open + first query never thaws the store and only
   materializes the queried words (class counters assert it);
-* **COW** — mutation heap-copies the store, bumps the version, and
-  pre-mutation snapshots keep serving the old bytes.
+* **O(delta) mutation** — mutation lands in the heap delta overlay (no
+  wholesale thaw, only the touched word's columns leave the mapping),
+  bumps the version, pre-mutation snapshots keep serving the old bytes,
+  and post-mutation / post-compaction answers are bit-identical to a
+  heap engine that applied the same updates.
 """
 
 import os
@@ -22,9 +26,11 @@ import pytest
 from repro.core.errors import PathIndexError
 from repro.datasets.wiki import WikiConfig, generate_wiki_graph
 from repro.index.builder import ResolvedQuery, build_indexes
+from repro.index.incremental import add_entity, add_relationship
 from repro.index.mmapstore import MappedPostingStore
 from repro.index.serialize import (
     FORMAT_NAME,
+    compact_indexes,
     describe_index_file,
     load_indexes,
     load_sharded_indexes,
@@ -162,29 +168,50 @@ class TestLaziness:
         )
 
 
-class TestCopyOnWrite:
+def _apply_updates(bundle):
+    """The shared mutation script for the differential tests.
+
+    Deterministic: applied to a mapped bundle and to a heap oracle, it
+    produces identical node/path/posting ids in both.
+    """
+    a = add_entity(bundle, "city", "overlayton riverbed", pagerank=0.004)
+    b = add_entity(bundle, "person", "quanta overlayton", pagerank=0.003)
+    add_relationship(bundle, a, "mayor", b)
+    return (a, b)
+
+
+class TestDeltaOverlay:
     def _loaded(self, indexes, tmp_path):
         path = tmp_path / "wiki.idx"
         save_indexes(indexes, path, version=3)
         return load_indexes(path)
 
-    def test_mutation_thaws_and_bumps_version(self, wiki_indexes, tmp_path):
+    def test_mutation_stays_backed_and_bumps_version(
+        self, wiki_indexes, tmp_path
+    ):
+        """O(delta): a posting append must not thaw — only the touched
+        word's columns leave the mapping."""
         loaded = self._loaded(wiki_indexes, tmp_path)
         store = loaded.store
-        word = next(iter(store.words()))
+        words = iter(store.words())
+        word = next(words)
+        untouched = next(words)
         before_version = store.version
         thawed = MappedPostingStore.backed_stores_thawed
         store.add_posting(word, 0, 0.5)
-        assert MappedPostingStore.backed_stores_thawed == thawed + 1
-        assert not store._backed
+        assert MappedPostingStore.backed_stores_thawed == thawed
+        assert store._backed
         assert store.version > before_version
         assert not isinstance(store._posting_ids[word], memoryview)
+        assert isinstance(store._posting_ids[untouched], memoryview)
         assert store.num_postings(word) == (
             wiki_indexes.store.num_postings(word) + 1
         )
+        assert store.overlay_words == 1
+        assert store.overlay_postings == 1
 
     def test_snapshot_survives_mutation(self, wiki_indexes, tmp_path):
-        """A snapshot pinned before the COW keeps the mapped bytes."""
+        """A snapshot pinned before the overlay keeps the mapped bytes."""
         loaded = self._loaded(wiki_indexes, tmp_path)
         query = _query_for(wiki_indexes)
         expected = _all_algorithms(wiki_indexes, query)
@@ -193,8 +220,7 @@ class TestCopyOnWrite:
         assert _all_algorithms(snapshot, query) == expected
 
     def test_incremental_update_answers_change(self, wiki_indexes, tmp_path):
-        """After the thaw the store behaves like any heap store: the new
-        posting is searchable."""
+        """The overlay posting is searchable after the views refresh."""
         loaded = self._loaded(wiki_indexes, tmp_path)
         query = _query_for(wiki_indexes, num_words=1)
         word = query[0]
@@ -203,8 +229,158 @@ class TestCopyOnWrite:
         loaded.pattern_first.finalize()
         loaded.root_first.finalize()
         assert loaded.store.num_postings(word) == before + 1
+        assert loaded.store._backed
         result = pattern_enum_search(loaded, query, k=10)
         assert result.num_answers >= 1
+
+    def test_explicit_thaw_is_the_only_thaw(self, wiki_indexes, tmp_path):
+        """thaw() is an opt-in escape hatch, counted by the class
+        counter; afterwards the store behaves like a heap store."""
+        loaded = self._loaded(wiki_indexes, tmp_path)
+        store = loaded.store
+        _apply_updates(loaded)  # overlay first, to cover the mixed path
+        thawed = MappedPostingStore.backed_stores_thawed
+        store.thaw()
+        assert MappedPostingStore.backed_stores_thawed == thawed + 1
+        assert not store._backed
+        assert store.overlay_words == 0
+        store.thaw()  # idempotent
+        assert MappedPostingStore.backed_stores_thawed == thawed + 1
+        query = _query_for(wiki_indexes, num_words=1)
+        result = pattern_enum_search(loaded, query, k=10)
+        assert result.num_answers >= 1
+
+    def test_post_mutation_identical_to_heap_oracle(
+        self, wiki_indexes, tmp_path
+    ):
+        """All four algorithms agree with a heap engine that applied the
+        same updates — the no-thaw acceptance gate at unit scale."""
+        path = tmp_path / "wiki.idx"
+        save_indexes(wiki_indexes, path, version=3)
+        mapped = load_indexes(path)
+        oracle = load_indexes(
+            tmp_path / "wiki.idx"
+        )  # second mapping, thawed into a heap oracle
+        oracle.store.thaw()
+        assert _apply_updates(mapped) == _apply_updates(oracle)
+        thawed = MappedPostingStore.backed_stores_thawed
+        for query in (
+            _query_for(wiki_indexes),
+            ResolvedQuery(("overlayton",)),
+            ResolvedQuery(("overlayton", "riverbed")),
+        ):
+            assert _all_algorithms(mapped, query) == _all_algorithms(
+                oracle, query
+            )
+        assert MappedPostingStore.backed_stores_thawed == thawed
+        assert mapped.store._backed
+
+
+class TestCompaction:
+    def test_compact_remaps_in_place(self, wiki_indexes, tmp_path):
+        path = tmp_path / "wiki.idx"
+        save_indexes(wiki_indexes, path, version=3)
+        mapped = load_indexes(path)
+        oracle = load_indexes(path)
+        oracle.store.thaw()
+        assert _apply_updates(mapped) == _apply_updates(oracle)
+        store = mapped.store
+        version_before = store.version
+        result = compact_indexes(mapped, path)
+        assert result["generation"] == 1
+        assert result["sharded"] is None
+        assert store.generation == 1
+        assert store.version == version_before + 1
+        assert store._backed
+        assert store.overlay_words == 0
+        assert isinstance(
+            next(iter(store._posting_ids.values())), memoryview
+        )
+        for query in (
+            _query_for(wiki_indexes),
+            ResolvedQuery(("overlayton",)),
+        ):
+            assert _all_algorithms(mapped, query) == _all_algorithms(
+                oracle, query
+            )
+
+    def test_compacted_file_reloads_identically(self, wiki_indexes, tmp_path):
+        path = tmp_path / "wiki.idx"
+        save_indexes(wiki_indexes, path, version=3)
+        mapped = load_indexes(path)
+        oracle = load_indexes(path)
+        oracle.store.thaw()
+        assert _apply_updates(mapped) == _apply_updates(oracle)
+        compact_indexes(mapped, path)
+        fresh = load_indexes(path)
+        assert fresh.store.generation == 1
+        assert describe_index_file(path)["generation"] == 1
+        for query in (
+            _query_for(wiki_indexes),
+            ResolvedQuery(("overlayton",)),
+        ):
+            assert _all_algorithms(fresh, query) == _all_algorithms(
+                oracle, query
+            )
+
+    def test_snapshot_pinned_across_compaction(self, wiki_indexes, tmp_path):
+        """A snapshot taken before compaction keeps serving the old
+        generation's answers after the re-map."""
+        path = tmp_path / "wiki.idx"
+        save_indexes(wiki_indexes, path, version=3)
+        mapped = load_indexes(path)
+        query = _query_for(wiki_indexes)
+        expected = _all_algorithms(wiki_indexes, query)
+        snapshot = mapped.snapshot()
+        _apply_updates(mapped)
+        compact_indexes(mapped, path)
+        assert _all_algorithms(snapshot, query) == expected
+
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_sharded_compaction_identical(
+        self, wiki_indexes, tmp_path, num_shards
+    ):
+        """Sharded compaction preserves per-shard extents: the written
+        file restores a partition whose coordinator answers match the
+        heap oracle for the updated content."""
+        from repro.search.engine import TableAnswerEngine
+        from repro.search.sharding import ShardedSearchService
+
+        path = tmp_path / "wiki.idx"
+        save_indexes(wiki_indexes, path, version=3)
+        mapped = load_indexes(path)
+        oracle = load_indexes(path)
+        oracle.store.thaw()
+        assert _apply_updates(mapped) == _apply_updates(oracle)
+        result = compact_indexes(mapped, path, num_shards=num_shards)
+        sharded = result["sharded"]
+        assert sharded is not None
+        assert sharded.num_shards == num_shards
+        assert sharded.store_version == mapped.store.version
+        assert all(
+            isinstance(shard.store, MappedPostingStore)
+            for shard in sharded.shards
+        )
+        restored = load_sharded_indexes(path)
+        assert restored.num_shards == num_shards
+        engine = TableAnswerEngine(oracle.graph, indexes=oracle)
+        service = ShardedSearchService(
+            mapped, num_shards=num_shards, sharded=sharded
+        )
+        try:
+            for terms in (
+                list(_query_for(wiki_indexes)),
+                ["overlayton"],
+            ):
+                for algorithm in ("pattern_enum", "linear"):
+                    expected = engine.search(
+                        terms, k=10, algorithm=algorithm
+                    )
+                    got = service.search(terms, k=10, algorithm=algorithm)
+                    assert got.scores() == expected.scores()
+                    assert got.pattern_keys() == expected.pattern_keys()
+        finally:
+            service.close()
 
 
 class TestMigrationChains:
